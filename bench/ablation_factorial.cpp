@@ -1,0 +1,109 @@
+// Ablation: factorial designs vs the one-at-a-time prioritizing tool
+// (paper §3: "The design for such a parameter prioritizing tool is based on
+// an assumption that the interaction among parameters is relatively small.
+// ... If this case is not true, the user may need to use full or fractional
+// factorial experiment design to further investigate the relation among
+// parameters").
+//
+// Demonstrates the failure mode and the remedy: on a landscape dominated by
+// a two-parameter interaction the OAT sweep scores both parameters near
+// zero, the full factorial's interaction contrast flags them, and the
+// Plackett-Burman screen gets main effects at a fraction of the runs.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/factorial.hpp"
+#include "core/objective.hpp"
+#include "core/sensitivity.hpp"
+#include "util/table.hpp"
+#include "websim/cluster.hpp"
+
+using namespace harmony;
+
+int main() {
+  bench::section("Ablation: factorial designs vs one-at-a-time sensitivity");
+  bench::expectation(
+      "OAT misses parameters whose effect is purely interactive; the "
+      "factorial interaction contrast catches them; Plackett-Burman screens "
+      "main effects with ~N runs instead of 2^k");
+
+  // --- the pathological case ------------------------------------------------
+  // y depends on p0 XOR-style: at the default of either parameter the other
+  // has no marginal effect, so the OAT sweep is blind to both.
+  ParameterSpace space;
+  for (int i = 0; i < 4; ++i) {
+    space.add(ParameterDef("p" + std::to_string(i), -1, 1, 1, 0));
+  }
+  FunctionObjective objective([](const Configuration& c) {
+    return 10.0 * c[0] * c[1]  // pure interaction
+           + 2.0 * c[2];       // plus one honest main effect
+  });
+
+  const auto sens = analyze_sensitivity(space, objective, space.defaults());
+  const auto full = full_factorial(space, objective);
+  const auto pb = plackett_burman(space, objective);
+
+  Table t({"parameter", "OAT sensitivity", "PB main effect",
+           "full-factorial main", "max interaction with it"});
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    double max_inter = 0.0;
+    for (const auto& e : full.interaction_effects) {
+      if (e.a == i || e.b == i) {
+        max_inter = std::max(max_inter, std::abs(e.value));
+      }
+    }
+    t.add_row({space.param(i).name, Table::num(sens[i].sensitivity, 2),
+               Table::num(pb.main_effects[i].value, 2),
+               Table::num(full.main_effects[i].value, 2),
+               Table::num(max_inter, 2)});
+  }
+  bench::print_table(t, "ablation_factorial");
+  std::printf("runs: OAT %d, Plackett-Burman %d, full factorial %d\n",
+              sens[0].evaluations * static_cast<int>(space.size()), pb.runs,
+              full.runs);
+  std::printf("interaction ratio (max |interaction| / max |main|): %.2f\n",
+              full.interaction_ratio());
+
+  const bool oat_blind = sens[0].sensitivity < 1.0 && sens[1].sensitivity < 1.0;
+  const bool factorial_sees = full.interaction_ratio() > 2.0;
+  bench::finding(oat_blind,
+                 "OAT scores the interacting pair near zero (the §3 caveat)");
+  bench::finding(factorial_sees,
+                 "the factorial interaction contrast flags the pair");
+
+  // --- sanity check on the cluster ------------------------------------------
+  // The simulated cluster's parameters interact only weakly at the default
+  // operating point, which is exactly the §3 assumption the prioritizing
+  // tool relies on; verify with a 2^5 factorial over the five most active
+  // knobs.
+  const ParameterSpace wfull = websim::ClusterConfig::parameter_space();
+  const std::vector<std::size_t> active = {
+      websim::kAjpMaxProcessors, websim::kMysqlNetBuffer,
+      websim::kProxyCacheMem, websim::kProxyMaxObject,
+      websim::kHttpBufferSize};
+  ParameterSpace wsub;
+  for (std::size_t idx : active) {
+    // Bracket the defaults instead of the full range: factorial levels at
+    // the extremes would leave the operating region the tool works in.
+    ParameterDef p = wfull.param(idx);
+    const double centre = p.default_value;
+    const double span = (p.max_value - p.min_value) * 0.25;
+    wsub.add(ParameterDef(p.name, std::max(p.min_value, centre - span),
+                          std::min(p.max_value, centre + span), p.step,
+                          centre));
+  }
+  websim::SimOptions sim;
+  sim.measure_s = 6.0;
+  sim.seed = 9;
+  websim::ClusterObjective web(sim);
+  SubspaceObjective web_sub(web, wfull.defaults(), active);
+  const auto wres = full_factorial(wsub, web_sub, /*repeats=*/3);
+  std::printf("\ncluster 2^5 factorial around defaults: interaction ratio "
+              "%.2f (%d runs)\n",
+              wres.interaction_ratio(), wres.runs);
+  bench::finding(wres.interaction_ratio() < 1.0,
+                 "cluster interactions are subordinate to main effects near "
+                 "the defaults - the prioritizing tool's assumption holds");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the experiment-reproduction bench binaries.
+//
+// Each binary regenerates one table or figure from the paper and prints the
+// measured rows next to the paper's qualitative expectation, so
+// EXPERIMENTS.md can record paper-vs-measured per experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace harmony::bench {
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void expectation(const std::string& text) {
+  std::cout << "paper expectation: " << text << "\n\n";
+}
+
+inline void finding(bool ok, const std::string& text) {
+  std::cout << (ok ? "[REPRODUCED] " : "[DIVERGED]   ") << text << "\n";
+}
+
+/// Prints the table to stdout; additionally writes `<dir>/<id>.csv` when
+/// the HARMONY_BENCH_CSV_DIR environment variable is set, so sweeps can be
+/// post-processed/plotted without scraping the console output.
+inline void print_table(const Table& table, const std::string& id) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("HARMONY_BENCH_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + id + ".csv";
+    std::ofstream os(path);
+    if (os.good()) {
+      table.write_csv(os);
+    } else {
+      std::cerr << "warning: cannot write " << path << "\n";
+    }
+  }
+}
+
+}  // namespace harmony::bench

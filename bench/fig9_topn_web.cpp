@@ -1,0 +1,90 @@
+// Figure 9: tuning using only the n most sensitive parameters of the
+// cluster-based web service system (n = 1, 3, 6, 10).
+//
+// Expected shape (paper §6.2): tuning a limited number of parameters saves
+// a significant share of tuning time (up to 71.8 %) while giving up very
+// little of the tuned performance (< 2.5 %).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/sensitivity.hpp"
+#include "core/tuner.hpp"
+#include "util/table.hpp"
+#include "websim/cluster.hpp"
+
+using namespace harmony;
+using namespace harmony::websim;
+
+int main() {
+  bench::section("Figure 9: tuning only the n most sensitive cluster "
+                 "parameters");
+  bench::expectation(
+      "small n cuts tuning time substantially (paper: up to 71.8 %) while "
+      "losing little tuned WIPS (paper: < 2.5 %)");
+
+  const ParameterSpace space = ClusterConfig::parameter_space();
+  const std::size_t ns[] = {1, 3, 6, 10};
+
+  Table t({"workload", "n", "time (iters)", "WIPS", "time saved vs n=10",
+           "perf loss vs n=10"});
+  bool saved_ok = false, loss_ok = false;
+
+  struct MixCase {
+    const char* name;
+    WorkloadMix mix;
+  };
+  const MixCase cases[] = {{"shopping", WorkloadMix::shopping()},
+                           {"ordering", WorkloadMix::ordering()}};
+
+  for (const auto& mc : cases) {
+    SimOptions sim;
+    sim.mix = mc.mix;
+    sim.warmup_s = 2.0;
+    sim.measure_s = 8.0;
+    sim.seed = 31;
+    ClusterObjective objective(sim);
+
+    SensitivityOptions sopts;
+    sopts.max_points_per_parameter = 8;
+    sopts.repeats = 3;
+    const auto sens =
+        analyze_sensitivity(space, objective, space.defaults(), sopts);
+
+    std::vector<int> times;
+    std::vector<double> perfs;
+    for (std::size_t n : ns) {
+      const auto top = top_n_parameters(sens, n);
+      const ParameterSpace sub = space.project(top);
+      SubspaceObjective sub_obj(objective, space.defaults(), top);
+      TuningOptions topts;
+      topts.simplex.max_evaluations = 250;
+      TuningSession session(sub, sub_obj, topts);
+      const TuningResult r = session.run();
+      times.push_back(r.evaluations);
+      // Re-measure the winner with a longer window for a stable report.
+      SimOptions verify = sim;
+      verify.measure_s = 20.0;
+      verify.seed = 777;
+      perfs.push_back(
+          simulate_cluster(ClusterConfig::from_configuration(
+                               space.snap(sub_obj.expand(r.best_config))),
+                           verify)
+              .wips);
+    }
+    for (std::size_t i = 0; i < std::size(ns); ++i) {
+      const double saved = 100.0 * (1.0 - static_cast<double>(times[i]) /
+                                              static_cast<double>(times.back()));
+      const double loss = 100.0 * (1.0 - perfs[i] / perfs.back());
+      t.add_row({mc.name, std::to_string(ns[i]), std::to_string(times[i]),
+                 Table::num(perfs[i], 1), Table::num(saved, 1) + "%",
+                 Table::num(loss, 1) + "%"});
+      if (ns[i] <= 3 && saved >= 40.0) saved_ok = true;
+      if (ns[i] == 6 && loss <= 6.0) loss_ok = true;
+    }
+  }
+  bench::print_table(t, "fig9");
+
+  bench::finding(saved_ok, "n<=3 saves a large share of tuning time");
+  bench::finding(loss_ok, "n=6 stays within a few percent of full tuning");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the kernels the tuning loop and
+// the simulator sit on: DES event throughput, one full cluster simulation,
+// simplex search cost on an analytic landscape, the triangulation solve,
+// RSL parsing and the sensitivity sweep.
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.hpp"
+#include "core/rsl.hpp"
+#include "core/sensitivity.hpp"
+#include "core/simplex.hpp"
+#include "core/strategies.hpp"
+#include "synth/ecommerce.hpp"
+#include "synth/landscapes.hpp"
+#include "util/rng.hpp"
+#include "websim/cluster.hpp"
+#include "websim/des.hpp"
+
+using namespace harmony;
+
+namespace {
+
+void BM_DesEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    websim::Simulation sim;
+    std::int64_t fired = 0;
+    const std::int64_t target = state.range(0);
+    std::function<void()> chain = [&] {
+      if (++fired < target) sim.schedule(0.001, chain);
+    };
+    sim.schedule(0.001, chain);
+    sim.run_until(1e18);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DesEventThroughput)->Arg(10000);
+
+void BM_ClusterSimulation(benchmark::State& state) {
+  websim::SimOptions opts;
+  opts.measure_s = static_cast<double>(state.range(0));
+  opts.seed = 5;
+  for (auto _ : state) {
+    const auto m = websim::simulate_cluster(websim::ClusterConfig{}, opts);
+    benchmark::DoNotOptimize(m.wips);
+  }
+}
+BENCHMARK(BM_ClusterSimulation)->Arg(5)->Arg(30);
+
+void BM_SimplexSearch(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const ParameterSpace space = synth::symmetric_space(dims, 20.0, 1.0);
+  auto objective = synth::sphere_objective(7.0);
+  for (auto _ : state) {
+    SimplexOptions opts;
+    opts.max_evaluations = 200;
+    SimplexSearch search(space, opts);
+    EvenSpreadStrategy strategy;
+    const auto r = search.maximize(
+        [&](const Configuration& c) { return objective.measure(c); },
+        strategy.vertices(space, space.defaults()));
+    benchmark::DoNotOptimize(r.best_value);
+  }
+}
+BENCHMARK(BM_SimplexSearch)->Arg(4)->Arg(8)->Arg(15);
+
+void BM_EstimatorSolve(benchmark::State& state) {
+  synth::SyntheticSystem system;
+  const ParameterSpace& space = system.space();
+  PerformanceEstimator est(space);
+  Rng rng(3);
+  const auto w = system.shopping_workload();
+  for (int i = 0; i < 200; ++i) {
+    const Configuration c = space.random_configuration(rng);
+    est.add(c, system.measure(c, w));
+  }
+  const Configuration target = space.defaults();
+  for (auto _ : state) {
+    const auto r = est.estimate(target, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_EstimatorSolve)->Arg(16)->Arg(64);
+
+void BM_RslParse(benchmark::State& state) {
+  std::string spec;
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = "P" + std::to_string(i);
+    if (i == 0) {
+      spec += "{ harmonyBundle " + name + " { int {1 100 1} } }\n";
+    } else {
+      spec += "{ harmonyBundle " + name + " { int {1 100-$P" +
+              std::to_string(i - 1) + " 1} } }\n";
+    }
+  }
+  for (auto _ : state) {
+    const ParameterSpace s = parse_rsl(spec);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+BENCHMARK(BM_RslParse);
+
+void BM_SensitivitySweep(benchmark::State& state) {
+  synth::SyntheticSystem system;
+  synth::SyntheticObjective obj(system, system.shopping_workload());
+  SensitivityOptions opts;
+  opts.max_points_per_parameter = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto s = analyze_sensitivity(system.space(), obj,
+                                       system.space().defaults(), opts);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+BENCHMARK(BM_SensitivitySweep)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Table 2: tuning with and without prior histories.
+//
+// The server first serves a related workload (recording experience), then
+// tunes the target workload either cold or warm-started through the data
+// analyzer. Columns follow the paper: convergence time, initial-performance
+// oscillation mean (stddev) over the early iterations, plus the number of
+// bad-performance iterations the text quotes (shopping 9 -> 1, ordering
+// 11 -> 3).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/server.hpp"
+#include "core/tuner.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "websim/cluster.hpp"
+
+using namespace harmony;
+using namespace harmony::websim;
+
+namespace {
+
+struct Row {
+  double convergence = 0.0;
+  double initial_mean = 0.0;
+  double initial_std = 0.0;
+  double bad = 0.0;
+};
+
+ClusterObjective make_objective(const WorkloadMix& mix, std::uint64_t seed) {
+  SimOptions sim;
+  sim.mix = mix;
+  sim.warmup_s = 2.0;
+  sim.measure_s = 8.0;
+  sim.seed = seed;
+  return ClusterObjective(sim);
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Table 2: tuning with and without prior histories");
+  bench::expectation(
+      "with prior histories the convergence is faster (paper: 56 % for "
+      "shopping, 17 % for ordering), the initial oscillation is milder, and "
+      "bad iterations drop (9->1 shopping, 11->3 ordering)");
+
+  const ParameterSpace space = ClusterConfig::parameter_space();
+  const int replicas = 5;
+
+  Table t({"workload", "priors", "convergence (iters)",
+           "initial oscillation avg (std)", "bad iterations"});
+  bool conv_ok = true, bad_ok = true;
+
+  struct MixCase {
+    const char* name;
+    WorkloadMix target;
+    WorkloadMix trainer;  // related but distinct workload for the history
+  };
+  const MixCase cases[] = {
+      {"shopping", WorkloadMix::shopping(),
+       WorkloadMix::blend(WorkloadMix::shopping(), WorkloadMix::browsing(),
+                          0.35)},
+      {"ordering", WorkloadMix::ordering(),
+       WorkloadMix::blend(WorkloadMix::ordering(), WorkloadMix::shopping(),
+                          0.35)},
+  };
+
+  for (const auto& mc : cases) {
+    Row cold{}, warm{};
+    for (int rep = 0; rep < replicas; ++rep) {
+      const std::uint64_t seed = 500 + static_cast<std::uint64_t>(rep) * 31;
+
+      // Train the database on the related workload.
+      ServerOptions sopts;
+      sopts.tuning.simplex.max_evaluations = 200;
+      HarmonyServer server(space, sopts);
+      ClusterObjective trainer = make_objective(mc.trainer, seed);
+      (void)server.tune(trainer, mc.trainer.signature(), "trainer");
+
+      // Warm: the analyzer retrieves the trainer experience.
+      ClusterObjective live_w = make_objective(mc.target, seed + 1);
+      const auto warm_run =
+          server.tune(live_w, mc.target.signature(), "target");
+      // Cold: fresh server with no history.
+      HarmonyServer cold_server(space, sopts);
+      ClusterObjective live_c = make_objective(mc.target, seed + 1);
+      const auto cold_run =
+          cold_server.tune(live_c, mc.target.signature(), "target");
+
+      const TraceMetrics mw = analyze_trace(warm_run.tuning.trace);
+      const TraceMetrics mcold = analyze_trace(cold_run.tuning.trace);
+      warm.convergence += mw.convergence_iteration;
+      warm.initial_mean += mw.initial_mean;
+      warm.initial_std += mw.initial_stddev;
+      warm.bad += mw.bad_iterations;
+      cold.convergence += mcold.convergence_iteration;
+      cold.initial_mean += mcold.initial_mean;
+      cold.initial_std += mcold.initial_stddev;
+      cold.bad += mcold.bad_iterations;
+    }
+    for (Row* r : {&cold, &warm}) {
+      r->convergence /= replicas;
+      r->initial_mean /= replicas;
+      r->initial_std /= replicas;
+      r->bad /= replicas;
+    }
+    t.add_row({mc.name, "without", Table::num(cold.convergence, 1),
+               Table::num(cold.initial_mean, 2) + " (" +
+                   Table::num(cold.initial_std, 2) + ")",
+               Table::num(cold.bad, 1)});
+    t.add_row({mc.name, "with", Table::num(warm.convergence, 1),
+               Table::num(warm.initial_mean, 2) + " (" +
+                   Table::num(warm.initial_std, 2) + ")",
+               Table::num(warm.bad, 1)});
+    const double speedup =
+        100.0 * (1.0 - warm.convergence / cold.convergence);
+    std::printf("%s: convergence speedup with priors: %.1f%%\n", mc.name,
+                speedup);
+    if (speedup < 10.0) conv_ok = false;
+    if (warm.bad > cold.bad) bad_ok = false;
+  }
+  bench::print_table(t, "table2");
+
+  bench::finding(conv_ok, "priors speed up convergence on both workloads");
+  bench::finding(bad_ok,
+                 "priors reduce (or at worst match) bad-performance "
+                 "iterations");
+  return 0;
+}

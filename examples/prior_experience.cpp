@@ -1,0 +1,71 @@
+// Using information from prior runs (paper §4.2/§4.3) on synthetic data.
+//
+// Builds the paper's 15-parameter synthetic e-commerce system, tunes one
+// workload from scratch, persists the experience database to disk, reloads
+// it in a "new process", and warm-starts tuning of a similar workload. Also
+// shows the triangulation estimator answering for configurations the
+// history never measured.
+#include <cstdio>
+#include <sstream>
+
+#include "core/analyzer.hpp"
+#include "core/estimator.hpp"
+#include "core/server.hpp"
+#include "core/tuner.hpp"
+#include "synth/ecommerce.hpp"
+
+int main() {
+  using namespace harmony;
+  using namespace harmony::synth;
+
+  SyntheticSystem system;
+  const ParameterSpace& space = system.space();
+
+  ServerOptions opts;
+  opts.tuning.simplex.max_evaluations = 150;
+  HarmonyServer server(space, opts);
+
+  // Day 1: a shopping-like workload, never seen before.
+  const WorkloadSignature shopping = system.shopping_workload();
+  SyntheticObjective day1(system, shopping);
+  auto cold = server.tune(day1, shopping, "shopping");
+  std::printf("cold tuning : best %.2f in %d evaluations (warm start: %s)\n",
+              cold.tuning.best_performance, cold.tuning.evaluations,
+              cold.experience_label ? cold.experience_label->c_str() : "none");
+
+  // Persist and reload — the paper's cross-execution experience reuse.
+  std::stringstream disk;
+  server.database().save(disk);
+  HarmonyServer server2(space, opts);
+  server2.database().load(disk);
+  std::printf("experience database round-tripped: %zu record(s)\n",
+              server2.database().size());
+
+  // Day 2: a nearby workload retrieves day 1's experience.
+  const WorkloadSignature nearby =
+      system.workload_at_distance(shopping, 0.05);
+  SyntheticObjective day2(system, nearby);
+  auto warm = server2.tune(day2, nearby, "shopping-day2");
+  std::printf("warm tuning : best %.2f in %d evaluations (warm start: %s, "
+              "distance %.3f)\n",
+              warm.tuning.best_performance, warm.tuning.evaluations,
+              warm.experience_label ? warm.experience_label->c_str() : "none",
+              warm.experience_distance);
+
+  const auto mc = analyze_trace(cold.tuning.trace);
+  const auto mw = analyze_trace(warm.tuning.trace);
+  std::printf("bad iterations: cold %d vs warm %d; worst seen %.2f vs %.2f\n",
+              mc.bad_iterations, mw.bad_iterations, mc.worst, mw.worst);
+
+  // Triangulation estimation at a configuration tuning never measured.
+  PerformanceEstimator estimator(space);
+  estimator.add_all(cold.tuning.trace);
+  Configuration probe = space.defaults();
+  probe[0] = space.param(0).snap(probe[0] + 2 * space.param(0).step);
+  const auto est = estimator.estimate(probe);
+  const double actual = system.measure(probe, shopping);
+  std::printf("estimator: predicted %.2f vs actual %.2f (%zu points, %s)\n",
+              est.value, actual, est.points_used,
+              est.extrapolated ? "extrapolated" : "interpolated");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Tuning the simulated cluster-based web service (paper §6).
+//
+// Walks the full workflow on the TPC-W cluster simulator: prioritize the
+// ten parameters under the shopping mix, tune only the most sensitive ones,
+// then serve an ordering workload through the HarmonyServer so the second
+// run warm-starts from recorded experience.
+#include <cstdio>
+#include <iostream>
+
+#include "core/sensitivity.hpp"
+#include "core/server.hpp"
+#include "core/tuner.hpp"
+#include "util/table.hpp"
+#include "websim/cluster.hpp"
+
+int main() {
+  using namespace harmony;
+  using namespace harmony::websim;
+
+  const ParameterSpace space = ClusterConfig::parameter_space();
+
+  SimOptions sim;
+  sim.mix = WorkloadMix::shopping();
+  sim.measure_s = 12.0;  // short windows: this is a demo, not a bench
+  sim.seed = 7;
+  ClusterObjective shopping(sim);
+
+  // --- parameter prioritization under the shopping mix -------------------
+  SensitivityOptions sens_opts;
+  sens_opts.max_points_per_parameter = 8;
+  const auto sens = analyze_sensitivity(space, shopping, space.defaults(),
+                                        sens_opts);
+  Table st({"parameter", "sensitivity (WIPS per normalized step)"});
+  for (const auto& s : sens) st.add_row({s.name, Table::num(s.sensitivity, 1)});
+  std::cout << "Shopping-mix parameter sensitivities:\n";
+  st.print(std::cout);
+
+  // --- tune only the top-4 parameters ------------------------------------
+  const auto top = top_n_parameters(sens, 4);
+  const ParameterSpace sub = space.project(top);
+  SubspaceObjective sub_obj(shopping, space.defaults(), top);
+
+  TuningOptions topts;
+  topts.simplex.max_evaluations = 60;
+  TuningSession session(sub, sub_obj, topts);
+  const TuningResult sub_result = session.run();
+  std::printf("\nTop-4 tuning: best WIPS %.1f in %d evaluations\n",
+              sub_result.best_performance, sub_result.evaluations);
+  const Configuration tuned_full = sub_obj.expand(sub_result.best_config);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    std::printf("  %-22s = %g\n", space.param(i).name.c_str(),
+                tuned_full[i]);
+  }
+
+  // --- serve two workloads through the Harmony server --------------------
+  ServerOptions sopts;
+  sopts.tuning.simplex.max_evaluations = 60;
+  HarmonyServer server(space, sopts);
+
+  SimOptions ordering_sim = sim;
+  ordering_sim.mix = WorkloadMix::ordering();
+  ClusterObjective ordering(ordering_sim);
+
+  // First run: never-seen workload, tunes from scratch and records.
+  auto first = server.tune(ordering, ordering_sim.mix.signature(),
+                           "ordering-day1");
+  std::printf("\nOrdering day 1 (cold): best %.1f WIPS in %d evals\n",
+              first.tuning.best_performance, first.tuning.evaluations);
+
+  // Second run: closely-related workload retrieves the experience.
+  SimOptions day2 = ordering_sim;
+  day2.mix = WorkloadMix::blend(WorkloadMix::ordering(),
+                                WorkloadMix::shopping(), 0.1);
+  ClusterObjective ordering2(day2);
+  auto second = server.tune(ordering2, day2.mix.signature(), "ordering-day2");
+  std::printf(
+      "Ordering day 2 (warm via '%s', distance %.3f): best %.1f WIPS "
+      "in %d evals\n",
+      second.experience_label.value_or("none").c_str(),
+      second.experience_distance, second.tuning.best_performance,
+      second.tuning.evaluations);
+
+  const auto m1 = analyze_trace(first.tuning.trace);
+  const auto m2 = analyze_trace(second.tuning.trace);
+  std::printf("  bad iterations (<80%% of best): cold %d vs warm %d\n",
+              m1.bad_iterations, m2.bad_iterations);
+  return 0;
+}

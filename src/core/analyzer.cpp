@@ -1,0 +1,285 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+std::size_t LeastSquareClassifier::classify(
+    const WorkloadSignature& observed,
+    const std::vector<WorkloadSignature>& known) const {
+  HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < known.size(); ++j) {
+    const double d = signature_distance_sq(observed, known[j]);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+KMeansClassifier::KMeansClassifier(std::size_t k, std::uint64_t seed,
+                                   int max_iterations)
+    : k_(k), seed_(seed), max_iterations_(max_iterations) {
+  HARMONY_REQUIRE(k_ > 0, "k-means needs k >= 1");
+  HARMONY_REQUIRE(max_iterations_ > 0, "k-means needs iterations >= 1");
+}
+
+std::size_t KMeansClassifier::classify(
+    const WorkloadSignature& observed,
+    const std::vector<WorkloadSignature>& known) const {
+  HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
+  const std::size_t k = std::min(k_, known.size());
+  const std::size_t dims = known.front().size();
+  for (const auto& s : known) {
+    HARMONY_REQUIRE(s.size() == dims, "signature arity mismatch");
+  }
+
+  // Deterministic seeding: k distinct members chosen by shuffled index.
+  Rng rng(seed_);
+  std::vector<std::size_t> order(known.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<WorkloadSignature> centroids;
+  centroids.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) centroids.push_back(known[order[i]]);
+
+  std::vector<std::size_t> assignment(known.size(), 0);
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < known.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = signature_distance_sq(known[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids; empty clusters keep their previous position.
+    std::vector<WorkloadSignature> sums(k, WorkloadSignature(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < known.size(); ++i) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        sums[assignment[i]][d] += known[i][d];
+      }
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // Nearest centroid to the observation, then nearest member within it.
+  std::size_t best_c = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k; ++c) {
+    const double d = signature_distance_sq(observed, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best_c = c;
+    }
+  }
+  std::size_t best_member = known.size();
+  best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < known.size(); ++i) {
+    if (assignment[i] != best_c) continue;
+    const double d = signature_distance_sq(observed, known[i]);
+    if (d < best_d) {
+      best_d = d;
+      best_member = i;
+    }
+  }
+  if (best_member == known.size()) {
+    // Chosen centroid ended up empty (possible with degenerate seeds):
+    // fall back to global nearest neighbour.
+    return LeastSquareClassifier{}.classify(observed, known);
+  }
+  return best_member;
+}
+
+namespace {
+
+/// One node of the signature tree: either a split or a leaf of indices.
+struct TreeNode {
+  // split
+  std::size_t dim = 0;
+  double threshold = 0.0;
+  int left = -1;   // node indices; -1 means none
+  int right = -1;
+  // leaf
+  std::vector<std::size_t> members;
+  [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+};
+
+class SignatureTree {
+ public:
+  SignatureTree(const std::vector<WorkloadSignature>& known,
+                std::size_t leaf_size)
+      : known_(known) {
+    std::vector<std::size_t> all(known.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    root_ = build(std::move(all), leaf_size);
+  }
+
+  /// Nearest member index: descend to the leaf, then check sibling
+  /// subtrees whose splitting plane is closer than the best found so far
+  /// (standard k-d backtrack, exact for the Euclidean metric).
+  [[nodiscard]] std::size_t nearest(const WorkloadSignature& q) const {
+    std::size_t best = known_.size();
+    double best_d = std::numeric_limits<double>::infinity();
+    search(root_, q, best, best_d);
+    return best;
+  }
+
+ private:
+  int build(std::vector<std::size_t> members, std::size_t leaf_size) {
+    TreeNode node;
+    if (members.size() <= leaf_size) {
+      node.members = std::move(members);
+      nodes_.push_back(std::move(node));
+      return static_cast<int>(nodes_.size()) - 1;
+    }
+    // Split on the dimension with the largest spread, at its median.
+    const std::size_t dims = known_[members[0]].size();
+    std::size_t best_dim = 0;
+    double best_spread = -1.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      double lo = known_[members[0]][d], hi = lo;
+      for (std::size_t m : members) {
+        lo = std::min(lo, known_[m][d]);
+        hi = std::max(hi, known_[m][d]);
+      }
+      if (hi - lo > best_spread) {
+        best_spread = hi - lo;
+        best_dim = d;
+      }
+    }
+    if (best_spread <= 0.0) {  // all identical: cannot split
+      node.members = std::move(members);
+      nodes_.push_back(std::move(node));
+      return static_cast<int>(nodes_.size()) - 1;
+    }
+    std::sort(members.begin(), members.end(),
+              [&](std::size_t a, std::size_t b) {
+                return known_[a][best_dim] < known_[b][best_dim];
+              });
+    const std::size_t mid = members.size() / 2;
+    node.dim = best_dim;
+    node.threshold = known_[members[mid]][best_dim];
+    std::vector<std::size_t> left(members.begin(),
+                                  members.begin() + static_cast<long>(mid));
+    std::vector<std::size_t> right(members.begin() + static_cast<long>(mid),
+                                   members.end());
+    if (left.empty()) {  // degenerate median (many equal values)
+      node.members = std::move(right);
+      nodes_.push_back(std::move(node));
+      return static_cast<int>(nodes_.size()) - 1;
+    }
+    const int self = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+    const int l = build(std::move(left), leaf_size);
+    const int r = build(std::move(right), leaf_size);
+    nodes_[static_cast<std::size_t>(self)].left = l;
+    nodes_[static_cast<std::size_t>(self)].right = r;
+    return self;
+  }
+
+  void search(int idx, const WorkloadSignature& q, std::size_t& best,
+              double& best_d) const {
+    const TreeNode& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.is_leaf()) {
+      for (std::size_t m : node.members) {
+        const double d = signature_distance_sq(q, known_[m]);
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      return;
+    }
+    const double diff = q[node.dim] - node.threshold;
+    const int near = diff < 0.0 ? node.left : node.right;
+    const int far = diff < 0.0 ? node.right : node.left;
+    search(near, q, best, best_d);
+    if (diff * diff < best_d) search(far, q, best, best_d);  // backtrack
+  }
+
+  const std::vector<WorkloadSignature>& known_;
+  std::vector<TreeNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(std::size_t leaf_size)
+    : leaf_size_(leaf_size) {
+  HARMONY_REQUIRE(leaf_size_ >= 1, "leaf size must be >= 1");
+}
+
+std::size_t DecisionTreeClassifier::classify(
+    const WorkloadSignature& observed,
+    const std::vector<WorkloadSignature>& known) const {
+  HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
+  const std::size_t dims = known.front().size();
+  HARMONY_REQUIRE(observed.size() == dims, "signature arity mismatch");
+  for (const auto& s : known) {
+    HARMONY_REQUIRE(s.size() == dims, "signature arity mismatch");
+  }
+  SignatureTree tree(known, leaf_size_);
+  return tree.nearest(observed);
+}
+
+DataAnalyzer::DataAnalyzer()
+    : classifier_(std::make_shared<LeastSquareClassifier>()) {}
+
+DataAnalyzer::DataAnalyzer(std::shared_ptr<const Classifier> classifier)
+    : classifier_(std::move(classifier)) {
+  HARMONY_REQUIRE(classifier_ != nullptr, "null classifier");
+}
+
+WorkloadSignature DataAnalyzer::characterize(
+    const std::function<WorkloadSignature()>& sample_request, int samples) {
+  HARMONY_REQUIRE(samples > 0, "need at least one sample");
+  WorkloadSignature acc;
+  for (int i = 0; i < samples; ++i) {
+    WorkloadSignature s = sample_request();
+    if (acc.empty()) {
+      acc.assign(s.size(), 0.0);
+    }
+    HARMONY_REQUIRE(s.size() == acc.size(), "sample arity changed");
+    for (std::size_t d = 0; d < s.size(); ++d) acc[d] += s[d];
+  }
+  for (double& v : acc) v /= samples;
+  return acc;
+}
+
+std::optional<std::size_t> DataAnalyzer::classify(
+    const HistoryDatabase& db, const WorkloadSignature& observed) const {
+  if (db.empty()) return std::nullopt;
+  return classifier_->classify(observed, db.signatures());
+}
+
+const ExperienceRecord* DataAnalyzer::retrieve(
+    const HistoryDatabase& db, const WorkloadSignature& observed) const {
+  const auto idx = classify(db, observed);
+  if (!idx) return nullptr;
+  return &db.record(*idx);
+}
+
+}  // namespace harmony

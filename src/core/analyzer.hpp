@@ -1,0 +1,108 @@
+// Data analyzer (paper §4.2, Figure 2).
+//
+// Before tuning starts, the analyzer observes a small number of sample
+// requests through a user-supplied characteristics-extraction function,
+// averages them into a WorkloadSignature, classifies the signature against
+// the data characteristics database, and hands the tuner the matching
+// experience for warm start. The classification mechanism is pluggable; the
+// paper's current implementation is least-square-error nearest neighbour,
+// and a k-means clustering classifier is provided as the drop-in
+// alternative Figure 2 sketches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+
+/// Maps an observed signature to the index of the best-matching known
+/// signature. Implementations must handle an empty `known` by throwing.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  [[nodiscard]] virtual std::size_t classify(
+      const WorkloadSignature& observed,
+      const std::vector<WorkloadSignature>& known) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's mechanism: returns argmin_j sum_k (c_jk - c_ok)^2.
+class LeastSquareClassifier final : public Classifier {
+ public:
+  std::size_t classify(const WorkloadSignature& observed,
+                       const std::vector<WorkloadSignature>& known)
+      const override;
+  std::string name() const override { return "least-square"; }
+};
+
+/// K-means alternative: clusters the known signatures (Lloyd's algorithm,
+/// deterministic given the seed), finds the nearest centroid to the observed
+/// signature, then the nearest member within that cluster. Equivalent to
+/// nearest-neighbour when k >= #known; cheaper lookups for large databases.
+class KMeansClassifier final : public Classifier {
+ public:
+  explicit KMeansClassifier(std::size_t k, std::uint64_t seed = 42,
+                            int max_iterations = 50);
+  std::size_t classify(const WorkloadSignature& observed,
+                       const std::vector<WorkloadSignature>& known)
+      const override;
+  std::string name() const override { return "k-means"; }
+
+ private:
+  std::size_t k_;
+  std::uint64_t seed_;
+  int max_iterations_;
+};
+
+/// Decision-tree alternative (Figure 2 lists it next to k-means): a k-d
+/// style axis-aligned tree over the known signatures — split on the
+/// dimension with the largest spread at its median until leaves hold at
+/// most `leaf_size` signatures — with nearest-neighbour resolution inside
+/// the reached leaf plus a bounded backtrack so results match exact
+/// nearest-neighbour on well-separated data at a fraction of the lookups.
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(std::size_t leaf_size = 4);
+  std::size_t classify(const WorkloadSignature& observed,
+                       const std::vector<WorkloadSignature>& known)
+      const override;
+  std::string name() const override { return "decision-tree"; }
+
+ private:
+  std::size_t leaf_size_;
+};
+
+/// Front door combining characterization and retrieval.
+class DataAnalyzer {
+ public:
+  /// Uses the paper's least-square classifier by default.
+  DataAnalyzer();
+  explicit DataAnalyzer(std::shared_ptr<const Classifier> classifier);
+
+  /// Observes `samples` requests via the user-supplied extraction function
+  /// and averages the resulting characteristic vectors into a signature
+  /// (all samples must have equal arity).
+  [[nodiscard]] static WorkloadSignature characterize(
+      const std::function<WorkloadSignature()>& sample_request,
+      int samples);
+
+  /// Index of the best-matching experience, or nullopt when the database is
+  /// empty (the paper's "never seen before" case — tune from scratch).
+  [[nodiscard]] std::optional<std::size_t> classify(
+      const HistoryDatabase& db, const WorkloadSignature& observed) const;
+
+  /// The matching experience record, or nullptr when the database is empty.
+  [[nodiscard]] const ExperienceRecord* retrieve(
+      const HistoryDatabase& db, const WorkloadSignature& observed) const;
+
+ private:
+  std::shared_ptr<const Classifier> classifier_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,167 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+namespace {
+
+TuningResult finish(const RecordingObjective& recorder) {
+  TuningResult out;
+  out.best_performance = -std::numeric_limits<double>::infinity();
+  for (const auto& s : recorder.trace()) {
+    out.trace.push_back({s.config, s.value, /*estimated=*/false});
+    if (s.value > out.best_performance) {
+      out.best_performance = s.value;
+      out.best_config = s.config;
+    }
+  }
+  out.evaluations = static_cast<int>(recorder.count());
+  return out;
+}
+
+}  // namespace
+
+TuningResult powell_search(const ParameterSpace& space, Objective& objective,
+                           const Configuration& start, PowellOptions opts) {
+  HARMONY_REQUIRE(!space.empty(), "empty parameter space");
+  HARMONY_REQUIRE(opts.max_evaluations > 0, "evaluation budget needed");
+  const std::size_t n = space.size();
+
+  RecordingObjective recorder(objective);
+  bool budget_hit = false;
+  auto measure = [&](const Configuration& raw) {
+    if (static_cast<int>(recorder.count()) >= opts.max_evaluations) {
+      budget_hit = true;
+      return -std::numeric_limits<double>::infinity();
+    }
+    return recorder.measure(space.snap(raw));
+  };
+
+  // Direction set: one step-length unit vector per parameter.
+  std::vector<std::vector<double>> dirs(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) dirs[i][i] = space.param(i).step;
+
+  Configuration x = space.snap(start);
+  double fx = measure(x);
+
+  // Discrete line maximization along `d` from `x`: bracket by doubling the
+  // multiplier in the better direction (the paper describes Powell's 1-D
+  // stage as a binary search within a range), then refine by halving.
+  auto line_max = [&](Configuration& x0, double& f0,
+                      const std::vector<double>& d) {
+    auto at = [&](double t) {
+      Configuration c = x0;
+      for (std::size_t i = 0; i < n; ++i) c[i] += t * d[i];
+      return space.snap(std::move(c));
+    };
+    double best_t = 0.0;
+    double best_f = f0;
+    for (const double sign : {+1.0, -1.0}) {
+      double t = sign;
+      Configuration prev = x0;
+      while (!budget_hit) {
+        Configuration c = at(t);
+        if (c == prev) break;  // clamped against the boundary
+        const double f = measure(c);
+        if (budget_hit) break;
+        if (f > best_f) {
+          best_f = f;
+          best_t = t;
+          prev = std::move(c);
+          t *= 2.0;
+        } else {
+          break;
+        }
+      }
+    }
+    // Refine between best_t/2 and 2*best_t by halving the step.
+    double step = std::abs(best_t) / 2.0;
+    while (step >= 0.5 && !budget_hit) {
+      for (const double cand : {best_t - step, best_t + step}) {
+        Configuration c = at(cand);
+        if (c == x0) continue;
+        const double f = measure(c);
+        if (budget_hit) break;
+        if (f > best_f) {
+          best_f = f;
+          best_t = cand;
+        }
+      }
+      step /= 2.0;
+    }
+    if (best_t != 0.0 && best_f > f0) {
+      x0 = at(best_t);
+      f0 = best_f;
+    }
+  };
+
+  for (int cycle = 0; cycle < opts.max_cycles && !budget_hit; ++cycle) {
+    const Configuration cycle_start = x;
+    const double cycle_f0 = fx;
+    double biggest_gain = 0.0;
+    std::size_t biggest_dir = 0;
+    for (std::size_t d = 0; d < n && !budget_hit; ++d) {
+      const double before = fx;
+      line_max(x, fx, dirs[d]);
+      if (fx - before > biggest_gain) {
+        biggest_gain = fx - before;
+        biggest_dir = d;
+      }
+    }
+    // Replace the most productive direction with the cycle displacement
+    // (Powell's update; keeps the set spanning).
+    std::vector<double> disp(n);
+    double disp_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      disp[i] = x[i] - cycle_start[i];
+      disp_norm += disp[i] * disp[i];
+    }
+    if (disp_norm > 0.0 && biggest_gain > 0.0) {
+      dirs[biggest_dir] = disp;
+      line_max(x, fx, disp);
+    }
+    const double rel_gain =
+        (fx - cycle_f0) / std::max(std::abs(cycle_f0), 1e-12);
+    if (rel_gain < opts.rel_tolerance) break;
+  }
+
+  TuningResult out = finish(recorder);
+  out.converged = !budget_hit;
+  out.stop_reason = budget_hit ? "budget" : "tolerance";
+  return out;
+}
+
+TuningResult random_search(const ParameterSpace& space, Objective& objective,
+                           int evaluations, Rng rng) {
+  HARMONY_REQUIRE(evaluations > 0, "evaluation budget needed");
+  RecordingObjective recorder(objective);
+  for (int i = 0; i < evaluations; ++i) {
+    (void)recorder.measure(space.random_configuration(rng));
+  }
+  TuningResult out = finish(recorder);
+  out.converged = true;
+  out.stop_reason = "budget";
+  return out;
+}
+
+TuningResult exhaustive_search(const ParameterSpace& space,
+                               Objective& objective, std::uint64_t cap) {
+  const std::uint64_t size = space.feasible_cardinality(cap);
+  HARMONY_REQUIRE(size < cap, "space too large for exhaustive search");
+  RecordingObjective recorder(objective);
+  space.for_each_configuration([&](const Configuration& c) {
+    (void)recorder.measure(c);
+    return true;
+  });
+  TuningResult out = finish(recorder);
+  out.converged = true;
+  out.stop_reason = "exhausted";
+  return out;
+}
+
+}  // namespace harmony

@@ -1,0 +1,47 @@
+// Baseline searchers the paper's related-work section compares against
+// conceptually: Powell's direction-set method (coordinate descent with
+// direction updates, no parameter-interaction modelling), plain random
+// search, and exhaustive search for small spaces (also used to establish
+// ground-truth optima in tests and the Fig. 4 sweep). All maximize, record
+// their exploration trace and return the same TuningResult as the simplex
+// tuner so benches can compare like for like.
+#pragma once
+
+#include <cstdint>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+#include "core/tuner.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+
+struct PowellOptions {
+  int max_evaluations = 400;
+  /// Stop when a full cycle over all directions improves the best value by
+  /// less than this relative amount.
+  double rel_tolerance = 1e-3;
+  int max_cycles = 20;
+};
+
+/// Powell's method: line-maximizes along each direction in turn (discrete
+/// geometric bracketing + refinement on the grid), then replaces the
+/// direction of largest gain with the cycle's net displacement.
+[[nodiscard]] TuningResult powell_search(const ParameterSpace& space,
+                                         Objective& objective,
+                                         const Configuration& start,
+                                         PowellOptions options = {});
+
+/// Uniform random sampling of feasible grid points.
+[[nodiscard]] TuningResult random_search(const ParameterSpace& space,
+                                         Objective& objective,
+                                         int evaluations, Rng rng);
+
+/// Visits every feasible grid point (throws when the space exceeds `cap`
+/// points). The returned trace holds every configuration in enumeration
+/// order.
+[[nodiscard]] TuningResult exhaustive_search(
+    const ParameterSpace& space, Objective& objective,
+    std::uint64_t cap = 2'000'000ULL);
+
+}  // namespace harmony

@@ -1,0 +1,100 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+
+namespace harmony {
+
+PerformanceEstimator::PerformanceEstimator(const ParameterSpace& space)
+    : space_(space) {}
+
+void PerformanceEstimator::add(const Configuration& config,
+                               double performance) {
+  points_.push_back({space_.snap(config), performance});
+}
+
+void PerformanceEstimator::add_all(
+    const std::vector<Measurement>& measurements) {
+  for (const auto& m : measurements) add(m.config, m.performance);
+}
+
+std::optional<double> PerformanceEstimator::exact(
+    const Configuration& c) const {
+  const Configuration snapped = space_.snap(c);
+  for (auto it = points_.rbegin(); it != points_.rend(); ++it) {
+    if (it->config == snapped) return it->value;
+  }
+  return std::nullopt;
+}
+
+EstimateResult PerformanceEstimator::estimate(
+    const Configuration& target, std::size_t k,
+    VertexSelection selection) const {
+  HARMONY_REQUIRE(points_.size() >= 2,
+                  "estimator needs at least two recorded points");
+  const std::size_t n = space_.size();
+  if (k == 0) k = n + 1;
+  k = std::min(k, points_.size());
+  HARMONY_REQUIRE(k >= 2, "estimator needs k >= 2");
+
+  const Configuration t = space_.snap(target);
+
+  std::vector<std::size_t> order(points_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (selection == VertexSelection::kNearest) {
+    // k nearest points by normalized Euclidean distance.
+    std::vector<double> dist(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      dist[i] = space_.normalized_distance(points_[i].config, t);
+    }
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return dist[a] < dist[b];
+                      });
+  } else {
+    // k most recent points (points_ is in recording order).
+    std::reverse(order.begin(), order.end());
+  }
+  order.resize(k);
+
+  // Fit P ≈ [C 1] x over the selected points, on normalized coordinates so
+  // the fit is well-conditioned across heterogeneous parameter ranges.
+  linalg::Matrix a(k, n + 1);
+  std::vector<double> b(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    const auto norm = space_.normalize(points_[order[r]].config);
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = norm[c];
+    a(r, n) = 1.0;
+    b[r] = points_[order[r]].value;
+  }
+  const auto fit = linalg::least_squares(a, b);
+
+  const auto tn = space_.normalize(t);
+  double value = fit.x[n];
+  for (std::size_t c = 0; c < n; ++c) value += fit.x[c] * tn[c];
+
+  EstimateResult out;
+  out.value = value;
+  out.residual_norm = fit.residual_norm;
+  out.points_used = k;
+
+  // Bounding-box proxy for hull membership: outside on any axis counts as
+  // extrapolation.
+  for (std::size_t c = 0; c < n && !out.extrapolated; ++c) {
+    double lo = 1.0, hi = 0.0;
+    for (std::size_t r = 0; r < k; ++r) {
+      const double v = space_.param(c).normalize(points_[order[r]].config[c]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double tv = tn[c];
+    if (tv < lo - 1e-12 || tv > hi + 1e-12) out.extrapolated = true;
+  }
+  return out;
+}
+
+}  // namespace harmony

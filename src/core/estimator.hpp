@@ -1,0 +1,77 @@
+// Triangulation performance estimation (paper §4.3).
+//
+// When historical data lacks the exact configuration the tuning server
+// wants, its performance is estimated from nearby recorded points: pick the
+// k "appropriate" configurations (we use the k nearest in normalized search-
+// space distance, the paper's current implementation), lift them into an
+// N+1-dimensional space whose extra axis is the performance, fit the
+// hyperplane
+//
+//     P ≈ [C 1] · x     (A x = b, least squares when over/under-determined)
+//
+// and evaluate it at the target configuration — interpolation inside the
+// simplex, extrapolation outside.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/parameter.hpp"
+#include "core/tuner.hpp"
+
+namespace harmony {
+
+/// Which recorded vertices form the estimation simplex. The paper's
+/// footnote: "if the execution environment is static or does not change
+/// frequently, vertices close to the target vertex may be used for
+/// estimation; when the execution environment is changing frequently, we
+/// may need to use the latest vertices". kNearest is the paper's current
+/// implementation and our default.
+enum class VertexSelection {
+  kNearest,  ///< k nearest in normalized search-space distance
+  kLatest,   ///< k most recently recorded
+};
+
+struct EstimateResult {
+  double value = 0.0;          ///< estimated performance at the target
+  double residual_norm = 0.0;  ///< plane-fit residual over the k points
+  std::size_t points_used = 0;
+  bool extrapolated = false;   ///< target outside the convex hull (bounding
+                               ///< box proxy) of the points used
+};
+
+/// Store of (configuration, performance) points with plane-fit estimation.
+class PerformanceEstimator {
+ public:
+  /// The space must outlive the estimator (used for normalization).
+  explicit PerformanceEstimator(const ParameterSpace& space);
+
+  /// Adds one historical point (snapped on entry).
+  void add(const Configuration& config, double performance);
+
+  /// Bulk-load from a tuning trace.
+  void add_all(const std::vector<Measurement>& measurements);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// If the exact configuration was recorded, its (latest) value.
+  [[nodiscard]] std::optional<double> exact(const Configuration& c) const;
+
+  /// Estimates the performance at `target` using `k` recorded points
+  /// chosen by `selection` (k = 0 picks the paper's N+1). Throws
+  /// harmony::Error when fewer than two points are stored.
+  [[nodiscard]] EstimateResult estimate(
+      const Configuration& target, std::size_t k = 0,
+      VertexSelection selection = VertexSelection::kNearest) const;
+
+ private:
+  const ParameterSpace& space_;
+  struct Point {
+    Configuration config;
+    double value;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace harmony

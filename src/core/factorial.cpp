@@ -1,0 +1,176 @@
+#include "core/factorial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+double FactorialResult::interaction_ratio() const {
+  if (interaction_effects.empty() || main_effects.empty()) return 0.0;
+  double max_main = 0.0;
+  for (const Effect& e : main_effects) {
+    max_main = std::max(max_main, std::abs(e.value));
+  }
+  double max_inter = 0.0;
+  for (const Effect& e : interaction_effects) {
+    max_inter = std::max(max_inter, std::abs(e.value));
+  }
+  return max_main == 0.0 ? 0.0 : max_inter / max_main;
+}
+
+namespace {
+
+double run_once(const ParameterSpace& space, Objective& objective,
+                const Configuration& raw, int repeats) {
+  const Configuration c = space.snap(raw);
+  double sum = 0.0;
+  for (int r = 0; r < repeats; ++r) sum += objective.measure(c);
+  return sum / repeats;
+}
+
+}  // namespace
+
+FactorialResult full_factorial(const ParameterSpace& space,
+                               Objective& objective, int repeats) {
+  const std::size_t k = space.size();
+  HARMONY_REQUIRE(k >= 1, "empty parameter space");
+  HARMONY_REQUIRE(k <= 20, "full factorial beyond 2^20 runs refused");
+  HARMONY_REQUIRE(repeats >= 1, "repeats must be >= 1");
+
+  const std::uint64_t runs = 1ULL << k;
+  std::vector<double> response(runs);
+  Configuration c(k);
+  for (std::uint64_t mask = 0; mask < runs; ++mask) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const ParameterDef& p = space.param(i);
+      c[i] = ((mask >> i) & 1) ? p.max_value : p.min_value;
+    }
+    response[mask] = run_once(space, objective, c, repeats);
+  }
+
+  FactorialResult out;
+  out.runs = static_cast<int>(runs) * repeats;
+  const auto n = static_cast<double>(runs);
+  for (double y : response) out.grand_mean += y / n;
+
+  // Main effect of i: contrast between the high-i and low-i halves.
+  for (std::size_t i = 0; i < k; ++i) {
+    double contrast = 0.0;
+    for (std::uint64_t mask = 0; mask < runs; ++mask) {
+      contrast += (((mask >> i) & 1) ? 1.0 : -1.0) * response[mask];
+    }
+    out.main_effects.push_back({i, i, contrast / (n / 2.0)});
+  }
+  // Two-way interaction of (i, j): contrast of the sign product.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      double contrast = 0.0;
+      for (std::uint64_t mask = 0; mask < runs; ++mask) {
+        const double si = ((mask >> i) & 1) ? 1.0 : -1.0;
+        const double sj = ((mask >> j) & 1) ? 1.0 : -1.0;
+        contrast += si * sj * response[mask];
+      }
+      out.interaction_effects.push_back({i, j, contrast / (n / 2.0)});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> plackett_burman_matrix(std::size_t runs) {
+  HARMONY_REQUIRE(runs >= 4 && runs % 4 == 0 && runs <= 24,
+                  "supported Plackett-Burman sizes: 4, 8, 12, 16, 20, 24");
+
+  // Powers of two: Sylvester-Hadamard construction.
+  if ((runs & (runs - 1)) == 0) {
+    // H(1) = [1]; H(2n) = [[H, H], [H, -H]]. The design drops the all-ones
+    // first column.
+    std::vector<std::vector<int>> h = {{1}};
+    while (h.size() < runs) {
+      const std::size_t n = h.size();
+      std::vector<std::vector<int>> next(2 * n, std::vector<int>(2 * n));
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          next[r][c] = h[r][c];
+          next[r][c + n] = h[r][c];
+          next[r + n][c] = h[r][c];
+          next[r + n][c + n] = -h[r][c];
+        }
+      }
+      h = std::move(next);
+    }
+    std::vector<std::vector<int>> design(runs, std::vector<int>(runs - 1));
+    for (std::size_t r = 0; r < runs; ++r) {
+      for (std::size_t c = 1; c < runs; ++c) design[r][c - 1] = h[r][c];
+    }
+    return design;
+  }
+
+  // Cyclic construction from the published first rows (Plackett & Burman
+  // 1946): rotate the generator, append the all-minus run.
+  std::vector<int> generator;
+  switch (runs) {
+    case 12:
+      generator = {+1, +1, -1, +1, +1, +1, -1, -1, -1, +1, -1};
+      break;
+    case 20:
+      generator = {+1, +1, -1, -1, +1, +1, +1, +1, -1, +1,
+                   -1, +1, -1, -1, -1, -1, +1, +1, -1};
+      break;
+    case 24:
+      generator = {+1, +1, +1, +1, +1, -1, +1, -1, +1, +1, -1, -1,
+                   +1, +1, -1, -1, +1, -1, +1, -1, -1, -1, -1};
+      break;
+    default:
+      throw Error("unsupported Plackett-Burman size");
+  }
+  std::vector<std::vector<int>> design;
+  design.reserve(runs);
+  for (std::size_t r = 0; r + 1 < runs; ++r) {
+    std::vector<int> row(runs - 1);
+    for (std::size_t c = 0; c < runs - 1; ++c) {
+      row[c] = generator[(c + runs - 1 - r) % (runs - 1)];
+    }
+    design.push_back(std::move(row));
+  }
+  design.emplace_back(runs - 1, -1);  // final all-low run
+  return design;
+}
+
+FactorialResult plackett_burman(const ParameterSpace& space,
+                                Objective& objective, int repeats) {
+  const std::size_t k = space.size();
+  HARMONY_REQUIRE(k >= 1, "empty parameter space");
+  HARMONY_REQUIRE(repeats >= 1, "repeats must be >= 1");
+  std::size_t runs = 4;
+  while (runs - 1 < k) runs += 4;
+  HARMONY_REQUIRE(runs <= 24,
+                  "Plackett-Burman supports up to 23 parameters here");
+
+  const auto design = plackett_burman_matrix(runs);
+  std::vector<double> response(runs);
+  Configuration c(k);
+  for (std::size_t r = 0; r < runs; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const ParameterDef& p = space.param(i);
+      c[i] = design[r][i] > 0 ? p.max_value : p.min_value;
+    }
+    response[r] = run_once(space, objective, c, repeats);
+  }
+
+  FactorialResult out;
+  out.runs = static_cast<int>(runs) * repeats;
+  const auto n = static_cast<double>(runs);
+  for (double y : response) out.grand_mean += y / n;
+  for (std::size_t i = 0; i < k; ++i) {
+    double contrast = 0.0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      contrast += design[r][i] * response[r];
+    }
+    out.main_effects.push_back({i, i, contrast / (n / 2.0)});
+  }
+  return out;
+}
+
+}  // namespace harmony

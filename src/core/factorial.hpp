@@ -1,0 +1,65 @@
+// Factorial experiment designs (paper §3).
+//
+// The prioritizing tool assumes parameter interactions are small; when that
+// assumption is in doubt the paper points the user at full or fractional
+// factorial experiment design (refs [18] Jain, [24] Plackett & Burman).
+// This module provides both:
+//
+//   * full_factorial — the 2^k design: every parameter at its low/high
+//     level, yielding main effects AND two-way interaction effects.
+//   * plackett_burman — the screening design: N runs (N a multiple of 4,
+//     N > k) estimating the k main effects only, at a fraction of the cost.
+//
+// Effects follow the standard contrast convention: effect = (mean response
+// at the high level) - (mean response at the low level).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+
+namespace harmony {
+
+/// One estimated effect.
+struct Effect {
+  std::size_t a = 0;  ///< parameter index
+  std::size_t b = 0;  ///< second parameter for interactions (== a for main)
+  double value = 0.0; ///< high-low contrast
+  [[nodiscard]] bool is_interaction() const noexcept { return a != b; }
+};
+
+struct FactorialResult {
+  std::vector<Effect> main_effects;         ///< one per parameter
+  std::vector<Effect> interaction_effects;  ///< all pairs (full design only)
+  int runs = 0;                             ///< measurements consumed
+  double grand_mean = 0.0;
+
+  /// Largest |interaction| / largest |main| — a quick check of the
+  /// prioritizing tool's small-interaction assumption (0 when no
+  /// interactions were estimated).
+  [[nodiscard]] double interaction_ratio() const;
+};
+
+/// Full 2^k factorial over the parameters' min/max levels, holding nothing
+/// back: 2^k measurements (throws when k > 20). `repeats` averages each
+/// run against measurement noise.
+[[nodiscard]] FactorialResult full_factorial(const ParameterSpace& space,
+                                             Objective& objective,
+                                             int repeats = 1);
+
+/// Plackett–Burman screening design with N runs, where N is the smallest
+/// multiple of 4 greater than the parameter count (supported N: 4, 8, 12,
+/// 16, 20, 24). Estimates main effects only.
+[[nodiscard]] FactorialResult plackett_burman(const ParameterSpace& space,
+                                              Objective& objective,
+                                              int repeats = 1);
+
+/// The +-1 design matrix used by plackett_burman (exposed for tests:
+/// columns must be orthogonal). rows x columns = N x (N-1).
+[[nodiscard]] std::vector<std::vector<int>> plackett_burman_matrix(
+    std::size_t runs);
+
+}  // namespace harmony

@@ -1,0 +1,164 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace harmony {
+
+double signature_distance_sq(const WorkloadSignature& a,
+                             const WorkloadSignature& b) {
+  HARMONY_REQUIRE(a.size() == b.size(), "signature arity mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return s;
+}
+
+double signature_distance(const WorkloadSignature& a,
+                          const WorkloadSignature& b) {
+  return std::sqrt(signature_distance_sq(a, b));
+}
+
+std::vector<Measurement> ExperienceRecord::best(std::size_t n) const {
+  std::vector<Measurement> sorted = measurements;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Measurement& a, const Measurement& b) {
+                     return a.performance > b.performance;
+                   });
+  std::vector<Measurement> out;
+  for (const auto& m : sorted) {
+    const bool dup = std::any_of(out.begin(), out.end(), [&](const auto& o) {
+      return o.config == m.config;
+    });
+    if (dup) continue;
+    out.push_back(m);
+    if (out.size() == n) break;
+  }
+  return out;
+}
+
+void HistoryDatabase::add(ExperienceRecord record) {
+  records_.push_back(std::move(record));
+}
+
+const ExperienceRecord& HistoryDatabase::record(std::size_t i) const {
+  HARMONY_REQUIRE(i < records_.size(), "record index out of range");
+  return records_[i];
+}
+
+std::vector<WorkloadSignature> HistoryDatabase::signatures() const {
+  std::vector<WorkloadSignature> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.signature);
+  return out;
+}
+
+namespace {
+constexpr const char* kMagic = "harmony-history";
+constexpr int kVersion = 1;
+}  // namespace
+
+void HistoryDatabase::save(std::ostream& os) const {
+  os << kMagic << " v" << kVersion << "\n";
+  os << "records " << records_.size() << "\n";
+  for (const auto& r : records_) {
+    os << "record\n";
+    os << "label " << r.label << "\n";
+    os << "signature " << r.signature.size();
+    for (double v : r.signature) os << ' ' << format_double(v);
+    os << "\n";
+    os << "measurements " << r.measurements.size() << "\n";
+    for (const auto& m : r.measurements) {
+      os << format_double(m.performance) << ' ' << (m.estimated ? 1 : 0)
+         << ' ' << m.config.size();
+      for (double v : m.config) os << ' ' << format_double(v);
+      os << "\n";
+    }
+  }
+}
+
+void HistoryDatabase::load(std::istream& is) {
+  std::vector<ExperienceRecord> records;
+  std::string line;
+
+  auto next_line = [&]() -> std::string {
+    HARMONY_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                    "truncated history file");
+    return line;
+  };
+
+  {
+    const auto header = split_ws(next_line());
+    HARMONY_REQUIRE(header.size() == 2 && header[0] == kMagic,
+                    "not a harmony history file");
+    HARMONY_REQUIRE(header[1] == "v" + std::to_string(kVersion),
+                    "unsupported history version: " + header[1]);
+  }
+  const auto count_fields = split_ws(next_line());
+  HARMONY_REQUIRE(count_fields.size() == 2 && count_fields[0] == "records",
+                  "expected 'records N'");
+  const long n_records = parse_long(count_fields[1]);
+  HARMONY_REQUIRE(n_records >= 0, "negative record count");
+
+  for (long r = 0; r < n_records; ++r) {
+    HARMONY_REQUIRE(trim(next_line()) == "record", "expected 'record'");
+    ExperienceRecord rec;
+
+    const std::string label_line = next_line();
+    HARMONY_REQUIRE(starts_with(label_line, "label "), "expected 'label'");
+    rec.label = std::string(trim(label_line.substr(6)));
+
+    const auto sig_fields = split_ws(next_line());
+    HARMONY_REQUIRE(sig_fields.size() >= 2 && sig_fields[0] == "signature",
+                    "expected 'signature'");
+    const long sig_len = parse_long(sig_fields[1]);
+    HARMONY_REQUIRE(static_cast<long>(sig_fields.size()) == 2 + sig_len,
+                    "signature length mismatch");
+    for (long i = 0; i < sig_len; ++i) {
+      rec.signature.push_back(parse_double(sig_fields[2 + i]));
+    }
+
+    const auto m_fields = split_ws(next_line());
+    HARMONY_REQUIRE(m_fields.size() == 2 && m_fields[0] == "measurements",
+                    "expected 'measurements N'");
+    const long n_meas = parse_long(m_fields[1]);
+    HARMONY_REQUIRE(n_meas >= 0, "negative measurement count");
+    for (long m = 0; m < n_meas; ++m) {
+      const auto fields = split_ws(next_line());
+      HARMONY_REQUIRE(fields.size() >= 3, "short measurement line");
+      Measurement meas;
+      meas.performance = parse_double(fields[0]);
+      meas.estimated = parse_long(fields[1]) != 0;
+      const long dims = parse_long(fields[2]);
+      HARMONY_REQUIRE(static_cast<long>(fields.size()) == 3 + dims,
+                      "measurement arity mismatch");
+      for (long d = 0; d < dims; ++d) {
+        meas.config.push_back(parse_double(fields[3 + d]));
+      }
+      rec.measurements.push_back(std::move(meas));
+    }
+    records.push_back(std::move(rec));
+  }
+  records_ = std::move(records);
+}
+
+void HistoryDatabase::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  HARMONY_REQUIRE(os.good(), "cannot open for write: " + path);
+  save(os);
+  HARMONY_REQUIRE(os.good(), "write failed: " + path);
+}
+
+void HistoryDatabase::load_file(const std::string& path) {
+  std::ifstream is(path);
+  HARMONY_REQUIRE(is.good(), "cannot open for read: " + path);
+  load(is);
+}
+
+}  // namespace harmony

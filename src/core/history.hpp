@@ -1,0 +1,69 @@
+// Data characteristics database (paper §4.2, Figure 2).
+//
+// During tuning, Active Harmony records every explored configuration with
+// its measured performance. Each completed run is stored as an
+// ExperienceRecord keyed by the workload's characteristics signature (for
+// the cluster web service: the frequency distribution of web interactions).
+// Later runs retrieve the experience whose signature is closest to the
+// observed one and warm-start the tuner from it. The database persists to a
+// versioned line-oriented text format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/parameter.hpp"
+#include "core/tuner.hpp"
+
+namespace harmony {
+
+/// Workload characteristics vector Ci = (ci1, ci2, ...).
+using WorkloadSignature = std::vector<double>;
+
+/// Squared-error distance the paper's classifier minimizes.
+[[nodiscard]] double signature_distance_sq(const WorkloadSignature& a,
+                                           const WorkloadSignature& b);
+/// Euclidean distance between signatures.
+[[nodiscard]] double signature_distance(const WorkloadSignature& a,
+                                        const WorkloadSignature& b);
+
+/// One prior run: its workload signature and everything measured during it.
+struct ExperienceRecord {
+  std::string label;  ///< human-readable tag ("shopping", "ordering", ...)
+  WorkloadSignature signature;
+  std::vector<Measurement> measurements;
+
+  /// The best `n` distinct measurements, best first.
+  [[nodiscard]] std::vector<Measurement> best(std::size_t n) const;
+};
+
+class HistoryDatabase {
+ public:
+  void add(ExperienceRecord record);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const ExperienceRecord& record(std::size_t i) const;
+  [[nodiscard]] const std::vector<ExperienceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// All stored signatures, in record order (classifier input).
+  [[nodiscard]] std::vector<WorkloadSignature> signatures() const;
+
+  /// Serializes to the versioned text format.
+  void save(std::ostream& os) const;
+  /// Parses the text format; throws harmony::Error on malformed or
+  /// version-incompatible input. Replaces current contents.
+  void load(std::istream& is);
+
+  /// Convenience file wrappers; throw on I/O failure.
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  std::vector<ExperienceRecord> records_;
+};
+
+}  // namespace harmony

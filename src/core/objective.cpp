@@ -1,0 +1,63 @@
+#include "core/objective.hpp"
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+FunctionObjective::FunctionObjective(Fn fn, std::string metric)
+    : fn_(std::move(fn)), metric_(std::move(metric)) {
+  HARMONY_REQUIRE(static_cast<bool>(fn_), "null objective function");
+}
+
+PerturbedObjective::PerturbedObjective(Objective& inner, double perturbation,
+                                       Rng rng)
+    : inner_(inner), perturbation_(perturbation), rng_(rng) {
+  HARMONY_REQUIRE(perturbation >= 0.0 && perturbation < 1.0,
+                  "perturbation must be in [0, 1)");
+}
+
+double PerturbedObjective::measure(const Configuration& config) {
+  const double base = inner_.measure(config);
+  if (perturbation_ == 0.0) return base;
+  return base * rng_.uniform(1.0 - perturbation_, 1.0 + perturbation_);
+}
+
+double RecordingObjective::measure(const Configuration& config) {
+  const double v = inner_.measure(config);
+  trace_.push_back({config, v});
+  return v;
+}
+
+double CachingObjective::measure(const Configuration& config) {
+  auto it = cache_.find(config);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const double v = inner_.measure(config);
+  cache_.emplace(config, v);
+  return v;
+}
+
+SubspaceObjective::SubspaceObjective(Objective& inner, Configuration base,
+                                     std::vector<std::size_t> kept_indices)
+    : inner_(inner), base_(std::move(base)), kept_(std::move(kept_indices)) {
+  for (std::size_t idx : kept_) {
+    HARMONY_REQUIRE(idx < base_.size(), "kept index out of range");
+  }
+}
+
+Configuration SubspaceObjective::expand(const Configuration& sub) const {
+  HARMONY_REQUIRE(sub.size() == kept_.size(),
+                  "sub-configuration arity mismatch");
+  Configuration full = base_;
+  for (std::size_t i = 0; i < kept_.size(); ++i) full[kept_[i]] = sub[i];
+  return full;
+}
+
+double SubspaceObjective::measure(const Configuration& sub) {
+  return inner_.measure(expand(sub));
+}
+
+}  // namespace harmony

@@ -1,0 +1,122 @@
+// Objective abstraction: everything the tuner can observe about the system
+// being tuned is a (configuration -> measured performance) mapping. Higher
+// is better throughout (the paper's metric is WIPS).
+//
+// Adapters compose cross-cutting behaviours: measurement noise (the paper's
+// 0–25 % uniform perturbation), evaluation counting/tracing, memoization and
+// sub-space projection for top-n tuning.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+
+/// Interface to the system being tuned.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+  /// Measures the performance of one configuration. Implementations may be
+  /// stochastic (live systems are); the tuner never assumes repeatability.
+  [[nodiscard]] virtual double measure(const Configuration& config) = 0;
+  /// Name of the performance metric, for reports ("WIPS", "throughput", ...).
+  [[nodiscard]] virtual std::string metric_name() const {
+    return "performance";
+  }
+};
+
+/// Wraps a callable as an Objective.
+class FunctionObjective final : public Objective {
+ public:
+  using Fn = std::function<double(const Configuration&)>;
+  explicit FunctionObjective(Fn fn, std::string metric = "performance");
+  double measure(const Configuration& config) override { return fn_(config); }
+  std::string metric_name() const override { return metric_; }
+
+ private:
+  Fn fn_;
+  std::string metric_;
+};
+
+/// Multiplies the wrapped measurement by U(1-p, 1+p): the paper's synthetic
+/// "perturbation" model for run-to-run variation (§5.2).
+class PerturbedObjective final : public Objective {
+ public:
+  /// p in [0, 1): e.g. 0.25 for the paper's ±25 % case.
+  PerturbedObjective(Objective& inner, double perturbation, Rng rng);
+  double measure(const Configuration& config) override;
+  std::string metric_name() const override { return inner_.metric_name(); }
+
+ private:
+  Objective& inner_;
+  double perturbation_;
+  Rng rng_;
+};
+
+/// Counts measurements and records the full (config, value) trace in
+/// measurement order — the tuner's "iterations".
+class RecordingObjective final : public Objective {
+ public:
+  struct Sample {
+    Configuration config;
+    double value;
+  };
+
+  explicit RecordingObjective(Objective& inner) : inner_(inner) {}
+  double measure(const Configuration& config) override;
+  std::string metric_name() const override { return inner_.metric_name(); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return trace_.size(); }
+  [[nodiscard]] const std::vector<Sample>& trace() const noexcept {
+    return trace_;
+  }
+  void clear() noexcept { trace_.clear(); }
+
+ private:
+  Objective& inner_;
+  std::vector<Sample> trace_;
+};
+
+/// Memoizes measurements per exact configuration. Useful for deterministic
+/// objectives (synthetic rules without noise) and for tests; a live system
+/// would not use this since repeated measurements carry information.
+class CachingObjective final : public Objective {
+ public:
+  explicit CachingObjective(Objective& inner) : inner_(inner) {}
+  double measure(const Configuration& config) override;
+  std::string metric_name() const override { return inner_.metric_name(); }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  Objective& inner_;
+  std::map<Configuration, double> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// Projects a sub-space configuration into the full space: kept parameters
+/// come from the sub-configuration, the rest stay at the base configuration
+/// (their defaults, for the paper's top-n experiments).
+class SubspaceObjective final : public Objective {
+ public:
+  SubspaceObjective(Objective& inner, Configuration base,
+                    std::vector<std::size_t> kept_indices);
+  double measure(const Configuration& sub_config) override;
+  std::string metric_name() const override { return inner_.metric_name(); }
+
+  /// Expands a sub-configuration to a full configuration.
+  [[nodiscard]] Configuration expand(const Configuration& sub_config) const;
+
+ private:
+  Objective& inner_;
+  Configuration base_;
+  std::vector<std::size_t> kept_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,361 @@
+#include "core/parameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace harmony {
+
+namespace {
+
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(double v) : v_(v) {}
+  double eval(const Configuration&) const override { return v_; }
+  int max_param_index() const noexcept override { return -1; }
+  void collect_param_refs(std::set<std::size_t>&) const override {}
+  std::string to_string() const override { return format_double(v_); }
+
+ private:
+  double v_;
+};
+
+class ParamRefExpr final : public Expr {
+ public:
+  ParamRefExpr(std::size_t index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+  double eval(const Configuration& config) const override {
+    HARMONY_REQUIRE(index_ < config.size(),
+                    "expression references parameter beyond configuration");
+    return config[index_];
+  }
+  int max_param_index() const noexcept override {
+    return static_cast<int>(index_);
+  }
+  void collect_param_refs(std::set<std::size_t>& out) const override {
+    out.insert(index_);
+  }
+  std::string to_string() const override { return "$" + name_; }
+
+ private:
+  std::size_t index_;
+  std::string name_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(char op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  double eval(const Configuration& config) const override {
+    const double a = lhs_->eval(config);
+    const double b = rhs_->eval(config);
+    switch (op_) {
+      case '+': return a + b;
+      case '-': return a - b;
+      case '*': return a * b;
+      case '/':
+        HARMONY_REQUIRE(b != 0.0, "division by zero in bound expression");
+        return a / b;
+      default: throw Error("unknown operator in expression");
+    }
+  }
+  int max_param_index() const noexcept override {
+    return std::max(lhs_->max_param_index(), rhs_->max_param_index());
+  }
+  void collect_param_refs(std::set<std::size_t>& out) const override {
+    lhs_->collect_param_refs(out);
+    rhs_->collect_param_refs(out);
+  }
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + op_ + rhs_->to_string() + ")";
+  }
+
+ private:
+  char op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class NegateExpr final : public Expr {
+ public:
+  explicit NegateExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  double eval(const Configuration& config) const override {
+    return -operand_->eval(config);
+  }
+  int max_param_index() const noexcept override {
+    return operand_->max_param_index();
+  }
+  void collect_param_refs(std::set<std::size_t>& out) const override {
+    operand_->collect_param_refs(out);
+  }
+  std::string to_string() const override {
+    return "(-" + operand_->to_string() + ")";
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+}  // namespace
+
+ExprPtr make_const(double value) { return std::make_shared<ConstExpr>(value); }
+
+ExprPtr make_param_ref(std::size_t index, std::string name) {
+  return std::make_shared<ParamRefExpr>(index, std::move(name));
+}
+
+ExprPtr make_binary(char op, ExprPtr lhs, ExprPtr rhs) {
+  HARMONY_REQUIRE(op == '+' || op == '-' || op == '*' || op == '/',
+                  "unsupported operator");
+  HARMONY_REQUIRE(lhs != nullptr && rhs != nullptr, "null expression operand");
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr make_negate(ExprPtr operand) {
+  HARMONY_REQUIRE(operand != nullptr, "null expression operand");
+  return std::make_shared<NegateExpr>(std::move(operand));
+}
+
+ParameterDef::ParameterDef(std::string name_, double min_, double max_,
+                           double step_)
+    : ParameterDef(std::move(name_), min_, max_, step_,
+                   min_ + (max_ - min_) / 2.0) {}
+
+ParameterDef::ParameterDef(std::string name_, double min_, double max_,
+                           double step_, double default_)
+    : name(std::move(name_)),
+      min_value(min_),
+      max_value(max_),
+      step(step_),
+      default_value(default_) {
+  HARMONY_REQUIRE(!name.empty(), "parameter needs a name");
+  HARMONY_REQUIRE(max_value >= min_value, "parameter range inverted");
+  HARMONY_REQUIRE(step > 0.0, "parameter step must be positive");
+  default_value = snap(default_value);
+}
+
+double ParameterDef::snap(double v) const noexcept {
+  const double clamped = std::clamp(v, min_value, max_value);
+  const double offset = std::round((clamped - min_value) / step);
+  return std::min(min_value + offset * step, max_value);
+}
+
+double ParameterDef::normalize(double v) const noexcept {
+  if (max_value == min_value) return 0.0;
+  return (v - min_value) / (max_value - min_value);
+}
+
+double ParameterDef::denormalize(double u) const noexcept {
+  return min_value + u * (max_value - min_value);
+}
+
+std::uint64_t ParameterDef::grid_size() const noexcept {
+  return static_cast<std::uint64_t>(
+             std::floor((max_value - min_value) / step + 1e-9)) +
+         1;
+}
+
+double ParameterDef::value_at(std::uint64_t i) const noexcept {
+  return std::min(min_value + static_cast<double>(i) * step, max_value);
+}
+
+ParameterSpace::ParameterSpace(std::vector<ParameterDef> params) {
+  for (auto& p : params) add(std::move(p));
+}
+
+void ParameterSpace::add(ParameterDef def) {
+  HARMONY_REQUIRE(!contains(def.name),
+                  "duplicate parameter name: " + def.name);
+  const int limit = static_cast<int>(params_.size());
+  for (const ExprPtr& bound : {def.lower, def.upper}) {
+    if (bound) {
+      HARMONY_REQUIRE(bound->max_param_index() < limit,
+                      "bound for '" + def.name +
+                          "' references a later or self parameter");
+    }
+  }
+  params_.push_back(std::move(def));
+}
+
+const ParameterDef& ParameterSpace::param(std::size_t i) const {
+  HARMONY_REQUIRE(i < params_.size(), "parameter index out of range");
+  return params_[i];
+}
+
+std::size_t ParameterSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return i;
+  }
+  throw Error("unknown parameter: " + name);
+}
+
+bool ParameterSpace::contains(const std::string& name) const noexcept {
+  for (const auto& p : params_) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+Configuration ParameterSpace::defaults() const {
+  Configuration c(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    c[i] = params_[i].default_value;
+  }
+  return snap(std::move(c));
+}
+
+std::pair<double, double> ParameterSpace::effective_bounds(
+    std::size_t i, const Configuration& config) const {
+  const ParameterDef& p = param(i);
+  double lo = p.min_value;
+  double hi = p.max_value;
+  if (p.lower) lo = std::max(lo, p.lower->eval(config));
+  if (p.upper) hi = std::min(hi, p.upper->eval(config));
+  // Keep the interval non-empty: an over-constrained parameter collapses to
+  // the nearest feasible edge rather than producing lo > hi.
+  if (lo > hi) {
+    const double mid = std::clamp((lo + hi) / 2.0, p.min_value, p.max_value);
+    lo = hi = mid;
+  }
+  return {lo, hi};
+}
+
+Configuration ParameterSpace::snap(Configuration config) const {
+  HARMONY_REQUIRE(config.size() == params_.size(),
+                  "configuration arity mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto [lo, hi] = effective_bounds(i, config);
+    const ParameterDef& p = params_[i];
+    double v = std::clamp(config[i], lo, hi);
+    v = p.snap(v);
+    // Snapping to the static grid can step outside the dynamic interval;
+    // nudge back inside, one grid step at a time.
+    while (v < lo - 1e-12) v += p.step;
+    while (v > hi + 1e-12) v -= p.step;
+    v = std::clamp(v, lo, hi);
+    config[i] = v;
+  }
+  return config;
+}
+
+bool ParameterSpace::feasible(const Configuration& config) const {
+  if (config.size() != params_.size()) return false;
+  Configuration snapped = snap(config);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (std::abs(snapped[i] - config[i]) > 1e-9) return false;
+  }
+  return true;
+}
+
+std::vector<double> ParameterSpace::normalize(const Configuration& c) const {
+  HARMONY_REQUIRE(c.size() == params_.size(), "configuration arity mismatch");
+  std::vector<double> out(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    out[i] = params_[i].normalize(c[i]);
+  }
+  return out;
+}
+
+double ParameterSpace::normalized_distance(const Configuration& a,
+                                           const Configuration& b) const {
+  const auto na = normalize(a);
+  const auto nb = normalize(b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < na.size(); ++i) {
+    s += (na[i] - nb[i]) * (na[i] - nb[i]);
+  }
+  return std::sqrt(s);
+}
+
+std::uint64_t ParameterSpace::grid_cardinality() const noexcept {
+  std::uint64_t total = 1;
+  for (const auto& p : params_) {
+    const std::uint64_t g = p.grid_size();
+    if (g != 0 && total > std::numeric_limits<std::uint64_t>::max() / g) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    total *= g;
+  }
+  return total;
+}
+
+namespace {
+
+std::uint64_t count_recursive(const ParameterSpace& space, Configuration& c,
+                              std::size_t depth, std::uint64_t cap,
+                              std::uint64_t counted) {
+  if (counted >= cap) return counted;
+  if (depth == space.size()) return counted + 1;
+  const auto [lo, hi] = space.effective_bounds(depth, c);
+  const ParameterDef& p = space.param(depth);
+  for (double v = p.snap(lo); v <= hi + 1e-12; v += p.step) {
+    if (v < lo - 1e-12) continue;
+    c[depth] = std::min(v, hi);
+    counted = count_recursive(space, c, depth + 1, cap, counted);
+    if (counted >= cap) return counted;
+  }
+  return counted;
+}
+
+bool enumerate_recursive(
+    const ParameterSpace& space, Configuration& c, std::size_t depth,
+    const std::function<bool(const Configuration&)>& fn) {
+  if (depth == space.size()) return fn(c);
+  const auto [lo, hi] = space.effective_bounds(depth, c);
+  const ParameterDef& p = space.param(depth);
+  for (double v = p.snap(lo); v <= hi + 1e-12; v += p.step) {
+    if (v < lo - 1e-12) continue;
+    c[depth] = std::min(v, hi);
+    if (!enumerate_recursive(space, c, depth + 1, fn)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t ParameterSpace::feasible_cardinality(std::uint64_t cap) const {
+  if (params_.empty()) return 0;
+  Configuration c(params_.size(), 0.0);
+  return count_recursive(*this, c, 0, cap, 0);
+}
+
+Configuration ParameterSpace::random_configuration(Rng& rng) const {
+  Configuration c(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto [lo, hi] = effective_bounds(i, c);
+    c[i] = params_[i].snap(rng.uniform(lo, hi));
+    const auto [lo2, hi2] = effective_bounds(i, c);
+    c[i] = std::clamp(c[i], lo2, hi2);
+  }
+  return snap(std::move(c));
+}
+
+ParameterSpace ParameterSpace::project(
+    const std::vector<std::size_t>& indices) const {
+  ParameterSpace out;
+  for (std::size_t idx : indices) {
+    ParameterDef def = param(idx);
+    // Dependent bounds are only meaningful if the referenced parameters are
+    // all present in the projection with smaller positions; we conservatively
+    // drop them and fall back to the static hull. Top-n tuning (the only
+    // client) uses unconstrained spaces, so nothing is lost in practice.
+    def.lower = nullptr;
+    def.upper = nullptr;
+    out.add(std::move(def));
+  }
+  return out;
+}
+
+void ParameterSpace::for_each_configuration(
+    const std::function<bool(const Configuration&)>& fn) const {
+  if (params_.empty()) return;
+  Configuration c(params_.size(), 0.0);
+  enumerate_recursive(*this, c, 0, fn);
+}
+
+}  // namespace harmony

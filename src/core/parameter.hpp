@@ -1,0 +1,161 @@
+// Tunable-parameter model for the Active Harmony reproduction.
+//
+// A parameter is declared with minimum, maximum, default value and the
+// distance between two neighbour values (paper §3). The tuner works on
+// Configurations (one value per parameter) that are always snapped to the
+// parameter grid — the paper's adaptation of Nelder–Mead "using the resulting
+// values from the nearest integer point" (§2).
+//
+// Appendix B's parameter-restriction extension is modelled by optional bound
+// expressions: a parameter's lower/upper bound may be an arithmetic function
+// of previously-declared parameters (e.g. C in [1, 9-$B]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+class ParameterSpace;
+
+/// One configuration: a value per parameter, in declaration order.
+using Configuration = std::vector<double>;
+
+/// Arithmetic expression over previously-declared parameters, used for
+/// dependent bounds (Appendix B). Nodes are immutable and shareable.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  /// Evaluates with `config` supplying values for parameter references.
+  /// Only parameters with index < `limit` may be referenced; referencing a
+  /// later one throws harmony::Error (enforced at construction time too).
+  [[nodiscard]] virtual double eval(const Configuration& config) const = 0;
+  /// Largest parameter index referenced, or -1 when constant.
+  [[nodiscard]] virtual int max_param_index() const noexcept = 0;
+  /// Adds every referenced parameter index to `out`.
+  virtual void collect_param_refs(std::set<std::size_t>& out) const = 0;
+  /// Human-readable rendering ("10-$B-$C") for persistence and diagnostics.
+  [[nodiscard]] virtual std::string to_string() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Constant literal.
+[[nodiscard]] ExprPtr make_const(double value);
+/// Reference to parameter `index` named `name` (name kept for printing).
+[[nodiscard]] ExprPtr make_param_ref(std::size_t index, std::string name);
+/// Binary operation; op is one of '+', '-', '*', '/'.
+[[nodiscard]] ExprPtr make_binary(char op, ExprPtr lhs, ExprPtr rhs);
+/// Unary negation.
+[[nodiscard]] ExprPtr make_negate(ExprPtr operand);
+
+/// Static description of one tunable parameter.
+struct ParameterDef {
+  std::string name;
+  double min_value = 0.0;      ///< static lower bound (hull when constrained)
+  double max_value = 1.0;      ///< static upper bound (hull when constrained)
+  double step = 1.0;           ///< distance between two neighbour values
+  double default_value = 0.0;  ///< starting value used by the tuner/tools
+  ExprPtr lower;               ///< optional dependent lower bound
+  ExprPtr upper;               ///< optional dependent upper bound
+
+  ParameterDef() = default;
+  ParameterDef(std::string name_, double min_, double max_, double step_);
+  ParameterDef(std::string name_, double min_, double max_, double step_,
+               double default_);
+
+  /// Snaps to the grid {min + i*step} and clamps to [min, max].
+  [[nodiscard]] double snap(double v) const noexcept;
+  /// Maps a value to [0, 1] over the static range.
+  [[nodiscard]] double normalize(double v) const noexcept;
+  /// Inverse of normalize (no snapping).
+  [[nodiscard]] double denormalize(double u) const noexcept;
+  /// Number of grid points in the static range.
+  [[nodiscard]] std::uint64_t grid_size() const noexcept;
+  /// i-th grid value (0-based); clamped to the range.
+  [[nodiscard]] double value_at(std::uint64_t i) const noexcept;
+  /// True when the parameter has dependent bounds.
+  [[nodiscard]] bool constrained() const noexcept {
+    return lower != nullptr || upper != nullptr;
+  }
+};
+
+/// Ordered collection of parameters plus the constraint machinery.
+class ParameterSpace {
+ public:
+  ParameterSpace() = default;
+  explicit ParameterSpace(std::vector<ParameterDef> params);
+
+  /// Appends a parameter. Dependent bounds may only reference parameters
+  /// already in the space; otherwise throws harmony::Error.
+  void add(ParameterDef def);
+
+  [[nodiscard]] std::size_t size() const noexcept { return params_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return params_.empty(); }
+  [[nodiscard]] const ParameterDef& param(std::size_t i) const;
+  [[nodiscard]] const std::vector<ParameterDef>& params() const noexcept {
+    return params_;
+  }
+  /// Index of the parameter with this name; throws when absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  /// Configuration with every parameter at its default (then snapped).
+  [[nodiscard]] Configuration defaults() const;
+
+  /// Effective bounds of parameter `i` given the (earlier) values in
+  /// `config`. Equal to the static bounds for unconstrained parameters.
+  /// Dependent bounds are intersected with the static range and kept
+  /// non-empty (lo <= hi) by clamping.
+  [[nodiscard]] std::pair<double, double> effective_bounds(
+      std::size_t i, const Configuration& config) const;
+
+  /// Snaps each value, in declaration order, to the grid within its
+  /// effective bounds — the canonical feasibility projection.
+  [[nodiscard]] Configuration snap(Configuration config) const;
+
+  /// True when `config` is already snapped and within effective bounds.
+  [[nodiscard]] bool feasible(const Configuration& config) const;
+
+  /// Per-dimension normalization over static ranges (for distances).
+  [[nodiscard]] std::vector<double> normalize(const Configuration& c) const;
+
+  /// Euclidean distance between normalized configurations.
+  [[nodiscard]] double normalized_distance(const Configuration& a,
+                                           const Configuration& b) const;
+
+  /// Product of static grid sizes (ignores constraints); saturates at
+  /// uint64 max.
+  [[nodiscard]] std::uint64_t grid_cardinality() const noexcept;
+
+  /// Number of feasible grid points honouring dependent bounds, counted by
+  /// recursive enumeration; stops and returns `cap` when the count reaches
+  /// it (cap guards exponential blow-ups).
+  [[nodiscard]] std::uint64_t feasible_cardinality(
+      std::uint64_t cap = 100'000'000ULL) const;
+
+  /// Uniform-ish random feasible configuration (grid point).
+  [[nodiscard]] Configuration random_configuration(class Rng& rng) const;
+
+  /// Sub-space with only the given parameters (in the given order).
+  /// Dependent bounds are dropped unless every referenced parameter is also
+  /// kept (indices are remapped when possible, otherwise the static hull is
+  /// used). Used for top-n tuning (paper Figs. 6 and 9).
+  [[nodiscard]] ParameterSpace project(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Enumerates every feasible grid point, invoking `fn`; stops early when
+  /// `fn` returns false. Intended for small spaces (tests, Fig. 4 sweep).
+  void for_each_configuration(
+      const std::function<bool(const Configuration&)>& fn) const;
+
+ private:
+  std::vector<ParameterDef> params_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,297 @@
+#include "core/protocol.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/rsl.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace harmony::proto {
+
+namespace {
+
+/// Verbs whose single argument is transmitted as rest-of-line (may contain
+/// whitespace).
+bool rest_of_line_verb(const std::string& verb) {
+  return verb == "HELLO" || verb == "BUNDLES" || verb == "ERROR";
+}
+
+}  // namespace
+
+std::string serialize(const Message& message) {
+  HARMONY_REQUIRE(!message.verb.empty(), "message needs a verb");
+  HARMONY_REQUIRE(message.verb.find_first_of(" \t\n") == std::string::npos,
+                  "verb must not contain whitespace");
+  std::string out = message.verb;
+  if (rest_of_line_verb(message.verb)) {
+    HARMONY_REQUIRE(message.args.size() <= 1,
+                    "rest-of-line verb takes at most one argument");
+    if (!message.args.empty()) out += " " + message.args[0];
+    return out;
+  }
+  for (const std::string& a : message.args) {
+    HARMONY_REQUIRE(a.find_first_of(" \t\n") == std::string::npos,
+                    "argument must not contain whitespace: '" + a + "'");
+    out += " " + a;
+  }
+  return out;
+}
+
+Message parse_message(const std::string& line) {
+  const std::string_view trimmed = trim(line);
+  HARMONY_REQUIRE(!trimmed.empty(), "empty protocol line");
+  const std::size_t sp = trimmed.find_first_of(" \t");
+  Message m;
+  if (sp == std::string_view::npos) {
+    m.verb = std::string(trimmed);
+    return m;
+  }
+  m.verb = std::string(trimmed.substr(0, sp));
+  const std::string_view rest = trim(trimmed.substr(sp + 1));
+  if (rest_of_line_verb(m.verb)) {
+    if (!rest.empty()) m.args.emplace_back(rest);
+  } else {
+    m.args = split_ws(rest);
+  }
+  return m;
+}
+
+Message ok() { return {"OK", {}}; }
+
+Message error(const std::string& what) { return {"ERROR", {what}}; }
+
+ServerSession::ServerSession(SessionOptions options, HistoryDatabase* database)
+    : opts_(std::move(options)), db_(database) {
+  HARMONY_REQUIRE(opts_.tuning.strategy != nullptr,
+                  "null initial-simplex strategy");
+}
+
+ServerSession::~ServerSession() = default;
+ServerSession::ServerSession(ServerSession&&) noexcept = default;
+ServerSession& ServerSession::operator=(ServerSession&&) noexcept = default;
+
+bool ServerSession::finished() const noexcept {
+  return state_ == State::kClosed ||
+         (kernel_ != nullptr && kernel_->finished());
+}
+
+Message ServerSession::handle(const Message& request) {
+  try {
+    if (request.is("BYE")) return handle_bye();
+    switch (state_) {
+      case State::kAwaitHello:
+        if (request.is("HELLO")) return handle_hello(request);
+        return error("expected HELLO");
+      case State::kAwaitBundles:
+        if (request.is("BUNDLES")) return handle_bundles(request);
+        return error("expected BUNDLES");
+      case State::kTuning:
+        if (request.is("SIGNATURE")) return handle_signature(request);
+        if (request.is("FETCH")) return handle_fetch();
+        if (request.is("REPORT")) return handle_report(request);
+        return error("unexpected verb in tuning state: " + request.verb);
+      case State::kClosed:
+        return error("session closed");
+    }
+    return error("unreachable");
+  } catch (const Error& e) {
+    return error(e.what());
+  }
+}
+
+Message ServerSession::handle_hello(const Message& m) {
+  if (m.args.size() != 1 || m.args[0].empty()) {
+    return error("HELLO needs a client name");
+  }
+  client_name_ = m.args[0];
+  state_ = State::kAwaitBundles;
+  return ok();
+}
+
+Message ServerSession::handle_bundles(const Message& m) {
+  if (m.args.size() != 1) return error("BUNDLES needs an RSL payload");
+  ParameterSpace space = parse_rsl(m.args[0]);
+  if (space.empty()) return error("no bundles declared");
+  space_ = std::move(space);
+  kernel_ = std::make_unique<StepwiseSimplex>(
+      space_, opts_.tuning.simplex,
+      opts_.tuning.strategy->vertices(space_, space_.defaults()));
+  state_ = State::kTuning;
+  Message reply = ok();
+  reply.args.push_back(std::to_string(space_.size()));
+  return reply;
+}
+
+Message ServerSession::handle_signature(const Message& m) {
+  if (!trace_.empty() || outstanding_.has_value()) {
+    return error("SIGNATURE must precede the first FETCH");
+  }
+  if (m.args.empty()) return error("SIGNATURE needs a length");
+  const long k = parse_long(m.args[0]);
+  if (k < 0 || static_cast<std::size_t>(k) + 1 != m.args.size()) {
+    return error("SIGNATURE arity mismatch");
+  }
+  signature_.clear();
+  for (long i = 0; i < k; ++i) {
+    signature_.push_back(parse_double(m.args[static_cast<std::size_t>(i) + 1]));
+  }
+
+  Message reply = ok();
+  if (db_ != nullptr && !db_->empty()) {
+    if (const ExperienceRecord* exp = analyzer_.retrieve(*db_, signature_)) {
+      // Warm start: rebuild the kernel seeded from the experience.
+      const auto best = exp->best(space_.size() + 1);
+      std::vector<Configuration> seeds;
+      seeds.reserve(best.size());
+      for (const auto& b : best) seeds.push_back(b.config);
+      SeededStrategy seeded(seeds);
+      auto vertices = seeded.vertices(space_, space_.defaults());
+      std::vector<double> values(
+          vertices.size(), std::numeric_limits<double>::quiet_NaN());
+      if (opts_.use_recorded_values) {
+        for (std::size_t i = 0; i < best.size() && i < vertices.size(); ++i) {
+          if (vertices[i] == space_.snap(best[i].config)) {
+            values[i] = best[i].performance;
+          }
+        }
+      }
+      kernel_ = std::make_unique<StepwiseSimplex>(
+          space_, opts_.tuning.simplex, std::move(vertices),
+          std::move(values));
+      reply.args.push_back("experience");
+      reply.args.push_back(exp->label);
+    }
+  }
+  return reply;
+}
+
+Message ServerSession::handle_fetch() {
+  if (outstanding_.has_value()) {
+    return error("REPORT the previous configuration first");
+  }
+  const auto next = kernel_->next();
+  if (!next.has_value()) {
+    const SimplexResult& r = kernel_->result();
+    store_experience();
+    Message reply{"DONE", {}};
+    reply.args.push_back(std::to_string(r.best.size()));
+    for (double v : r.best) reply.args.push_back(format_double(v));
+    reply.args.push_back(format_double(r.best_value));
+    return reply;
+  }
+  outstanding_ = *next;
+  Message reply{"CONFIG", {}};
+  reply.args.push_back(std::to_string(next->size()));
+  for (double v : *next) reply.args.push_back(format_double(v));
+  return reply;
+}
+
+Message ServerSession::handle_report(const Message& m) {
+  if (!outstanding_.has_value()) return error("no configuration outstanding");
+  if (m.args.size() != 1) return error("REPORT needs one performance value");
+  const double perf = parse_double(m.args[0]);
+  trace_.push_back({*outstanding_, perf, /*estimated=*/false});
+  kernel_->submit(perf);
+  outstanding_.reset();
+  return ok();
+}
+
+Message ServerSession::handle_bye() {
+  if (state_ == State::kTuning) store_experience();
+  state_ = State::kClosed;
+  return ok();
+}
+
+void ServerSession::store_experience() {
+  if (!opts_.record_experience || experience_stored_ || db_ == nullptr ||
+      trace_.empty()) {
+    return;
+  }
+  ExperienceRecord rec;
+  rec.label = client_name_;
+  rec.signature = signature_;
+  rec.measurements = trace_;
+  db_->add(std::move(rec));
+  experience_stored_ = true;
+}
+
+HarmonyClient::HarmonyClient(Transport transport)
+    : transport_(std::move(transport)) {
+  HARMONY_REQUIRE(static_cast<bool>(transport_), "null transport");
+}
+
+Message HarmonyClient::call(const Message& m) {
+  // Round-trip through the wire format so both sides exercise it.
+  const Message response = parse_message(
+      serialize(transport_(parse_message(serialize(m)))));
+  if (response.is("ERROR")) {
+    throw Error("server error: " +
+                (response.args.empty() ? "?" : response.args[0]));
+  }
+  return response;
+}
+
+void HarmonyClient::open(const std::string& name, const std::string& rsl) {
+  (void)call({"HELLO", {name}});
+  // Collapse the RSL to one line for the wire.
+  std::string flat;
+  for (char c : rsl) flat += (c == '\n' || c == '\t') ? ' ' : c;
+  (void)call({"BUNDLES", {flat}});
+}
+
+std::optional<std::string> HarmonyClient::send_signature(
+    const WorkloadSignature& sig) {
+  Message m{"SIGNATURE", {std::to_string(sig.size())}};
+  for (double v : sig) m.args.push_back(format_double(v));
+  const Message reply = call(m);
+  if (reply.args.size() == 2 && reply.args[0] == "experience") {
+    return reply.args[1];
+  }
+  return std::nullopt;
+}
+
+std::optional<Configuration> HarmonyClient::fetch() {
+  const Message reply = call({"FETCH", {}});
+  if (reply.is("CONFIG")) {
+    HARMONY_REQUIRE(!reply.args.empty(), "CONFIG missing arity");
+    const long n = parse_long(reply.args[0]);
+    HARMONY_REQUIRE(n >= 0 && reply.args.size() ==
+                                  static_cast<std::size_t>(n) + 1,
+                    "CONFIG arity mismatch");
+    Configuration c;
+    for (long i = 0; i < n; ++i) {
+      c.push_back(parse_double(reply.args[static_cast<std::size_t>(i) + 1]));
+    }
+    return c;
+  }
+  if (reply.is("DONE")) {
+    HARMONY_REQUIRE(!reply.args.empty(), "DONE missing arity");
+    const long n = parse_long(reply.args[0]);
+    HARMONY_REQUIRE(n >= 0 && reply.args.size() ==
+                                  static_cast<std::size_t>(n) + 2,
+                    "DONE arity mismatch");
+    best_.clear();
+    for (long i = 0; i < n; ++i) {
+      best_.push_back(
+          parse_double(reply.args[static_cast<std::size_t>(i) + 1]));
+    }
+    best_perf_ = parse_double(reply.args.back());
+    done_ = true;
+    return std::nullopt;
+  }
+  throw Error("unexpected reply to FETCH: " + reply.verb);
+}
+
+void HarmonyClient::report(double performance) {
+  (void)call({"REPORT", {format_double(performance)}});
+}
+
+void HarmonyClient::close() { (void)call({"BYE", {}}); }
+
+const Configuration& HarmonyClient::best_configuration() const {
+  HARMONY_REQUIRE(done_, "no DONE received yet");
+  return best_;
+}
+
+}  // namespace harmony::proto

@@ -1,0 +1,158 @@
+// Harmony client/server tuning protocol.
+//
+// Active Harmony is a client/server system: the application to be tuned
+// registers its tunable parameters with the tuning server using the
+// resource specification language, then repeatedly fetches a configuration,
+// runs with it, and reports the observed performance (§2, Appendix B). This
+// module implements that exchange as a line-oriented text protocol plus a
+// server-side session state machine and a client convenience wrapper. The
+// transport is abstract (any request/response callable), so tests and
+// examples run it in-process while a deployment would put it on a socket.
+//
+// Exchange:
+//   C: HELLO <client-name>
+//   S: OK
+//   C: BUNDLES <rsl-text on one line>
+//   S: OK <n-parameters>
+//   C: SIGNATURE <k> <v1> ... <vk>        (optional: workload characteristics)
+//   S: OK [experience <label>]            (warm start found / not)
+//   C: FETCH
+//   S: CONFIG <n> <v1> ... <vn>           (measure this configuration)
+//      | DONE <n> <v1> ... <vn> <perf>    (tuning finished; best config)
+//   C: REPORT <performance>
+//   S: OK
+//   C: BYE
+//   S: OK
+// Any protocol violation yields "ERROR <message>" and leaves the session
+// state unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/history.hpp"
+#include "core/parameter.hpp"
+#include "core/simplex.hpp"
+#include "core/strategies.hpp"
+#include "core/tuner.hpp"
+
+namespace harmony::proto {
+
+/// One protocol message: a verb plus space-separated arguments.
+struct Message {
+  std::string verb;
+  std::vector<std::string> args;
+
+  [[nodiscard]] bool is(const std::string& v) const noexcept {
+    return verb == v;
+  }
+};
+
+/// Serializes to one line (no trailing newline). Arguments containing
+/// whitespace are rejected except for the final argument of HELLO/BUNDLES/
+/// ERROR-class verbs, which is transmitted as a rest-of-line payload.
+[[nodiscard]] std::string serialize(const Message& message);
+
+/// Parses one line; throws harmony::Error on an empty line.
+[[nodiscard]] Message parse_message(const std::string& line);
+
+/// Convenience constructors.
+[[nodiscard]] Message ok();
+[[nodiscard]] Message error(const std::string& what);
+
+struct SessionOptions {
+  TuningOptions tuning;
+  /// Feed recorded performances from retrieved experience to the kernel as
+  /// the training stage instead of re-measuring.
+  bool use_recorded_values = true;
+  /// Store the finished run back into the database under the client name.
+  bool record_experience = true;
+};
+
+/// Server-side session: one per connected client. The shared database (may
+/// be null) provides prior-run experience across sessions.
+class ServerSession {
+ public:
+  explicit ServerSession(SessionOptions options = {},
+                         HistoryDatabase* database = nullptr);
+  ~ServerSession();
+  ServerSession(ServerSession&&) noexcept;
+  ServerSession& operator=(ServerSession&&) noexcept;
+
+  /// Processes one request and produces the response. Never throws for
+  /// protocol-level problems (returns ERROR); throws only on internal bugs.
+  [[nodiscard]] Message handle(const Message& request);
+
+  [[nodiscard]] bool finished() const noexcept;
+  /// Trace of every reported measurement, in order.
+  [[nodiscard]] const std::vector<Measurement>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  enum class State { kAwaitHello, kAwaitBundles, kTuning, kClosed };
+
+  Message handle_hello(const Message& m);
+  Message handle_bundles(const Message& m);
+  Message handle_signature(const Message& m);
+  Message handle_fetch();
+  Message handle_report(const Message& m);
+  Message handle_bye();
+  void store_experience();
+
+  SessionOptions opts_;
+  HistoryDatabase* db_;
+  DataAnalyzer analyzer_;
+  State state_ = State::kAwaitHello;
+  std::string client_name_;
+  ParameterSpace space_;
+  WorkloadSignature signature_;
+  std::unique_ptr<StepwiseSimplex> kernel_;
+  std::optional<Configuration> outstanding_;
+  std::vector<Measurement> trace_;
+  bool experience_stored_ = false;
+};
+
+/// Request/response transport the client sends through.
+using Transport = std::function<Message(const Message&)>;
+
+/// Client-side convenience wrapper implementing the exchange above.
+class HarmonyClient {
+ public:
+  explicit HarmonyClient(Transport transport);
+
+  /// HELLO + BUNDLES; throws harmony::Error when the server rejects.
+  void open(const std::string& name, const std::string& rsl);
+
+  /// Optional workload characteristics; returns the experience label the
+  /// server warm-started from, if any.
+  std::optional<std::string> send_signature(const WorkloadSignature& sig);
+
+  /// Next configuration to run with, or nullopt when the server says DONE.
+  [[nodiscard]] std::optional<Configuration> fetch();
+
+  /// Reports the performance of the configuration from the last fetch().
+  void report(double performance);
+
+  /// Closes the session (BYE).
+  void close();
+
+  /// Best configuration/performance from the server's DONE message (only
+  /// valid after fetch() returned nullopt).
+  [[nodiscard]] const Configuration& best_configuration() const;
+  [[nodiscard]] double best_performance() const noexcept { return best_perf_; }
+
+ private:
+  Message call(const Message& m);
+
+  Transport transport_;
+  Configuration best_;
+  double best_perf_ = 0.0;
+  bool done_ = false;
+};
+
+}  // namespace harmony::proto

@@ -1,0 +1,298 @@
+#include "core/rsl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace harmony {
+
+namespace {
+
+enum class TokKind { LBrace, RBrace, LParen, RParen, Ident, Number, Dollar,
+                     Plus, Minus, Star, Slash, End };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const noexcept { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, current_.line);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_ = {TokKind::End, "", 0.0, line_};
+      return;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': current_ = {TokKind::LBrace, "{", 0.0, line_}; ++pos_; return;
+      case '}': current_ = {TokKind::RBrace, "}", 0.0, line_}; ++pos_; return;
+      case '(': current_ = {TokKind::LParen, "(", 0.0, line_}; ++pos_; return;
+      case ')': current_ = {TokKind::RParen, ")", 0.0, line_}; ++pos_; return;
+      case '$': current_ = {TokKind::Dollar, "$", 0.0, line_}; ++pos_; return;
+      case '+': current_ = {TokKind::Plus, "+", 0.0, line_}; ++pos_; return;
+      case '-': current_ = {TokKind::Minus, "-", 0.0, line_}; ++pos_; return;
+      case '*': current_ = {TokKind::Star, "*", 0.0, line_}; ++pos_; return;
+      case '/': current_ = {TokKind::Slash, "/", 0.0, line_}; ++pos_; return;
+      default: break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+              ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+               (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+        ++end;
+      }
+      const std::string num(text_.substr(pos_, end - pos_));
+      Token t{TokKind::Number, num, 0.0, line_};
+      try {
+        t.number = parse_double(num);
+      } catch (const Error&) {
+        throw ParseError("invalid number '" + num + "'", line_);
+      }
+      pos_ = end;
+      current_ = t;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      current_ = {TokKind::Ident, std::string(text_.substr(pos_, end - pos_)),
+                  0.0, line_};
+      pos_ = end;
+      return;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line_);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_{TokKind::End, "", 0.0, 1};
+};
+
+/// Recursive-descent expression parser building harmony::Expr trees.
+/// References resolve against the bundles declared so far.
+class ExprParser {
+ public:
+  ExprParser(Lexer& lex, const ParameterSpace& declared)
+      : lex_(lex), declared_(declared) {}
+
+  ExprPtr parse() { return parse_sum(); }
+
+ private:
+  ExprPtr parse_sum() {
+    ExprPtr lhs = parse_term();
+    while (lex_.peek().kind == TokKind::Plus ||
+           lex_.peek().kind == TokKind::Minus) {
+      const char op = lex_.take().kind == TokKind::Plus ? '+' : '-';
+      lhs = make_binary(op, std::move(lhs), parse_term());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    while (lex_.peek().kind == TokKind::Star ||
+           lex_.peek().kind == TokKind::Slash) {
+      const char op = lex_.take().kind == TokKind::Star ? '*' : '/';
+      lhs = make_binary(op, std::move(lhs), parse_factor());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_factor() {
+    const Token& t = lex_.peek();
+    switch (t.kind) {
+      case TokKind::Number:
+        return make_const(lex_.take().number);
+      case TokKind::Minus:
+        lex_.take();
+        return make_negate(parse_factor());
+      case TokKind::LParen: {
+        lex_.take();
+        ExprPtr inner = parse_sum();
+        if (lex_.peek().kind != TokKind::RParen) lex_.fail("expected ')'");
+        lex_.take();
+        return inner;
+      }
+      case TokKind::Dollar: {
+        lex_.take();
+        if (lex_.peek().kind != TokKind::Ident) {
+          lex_.fail("expected parameter name after '$'");
+        }
+        const Token name = lex_.take();
+        if (!declared_.contains(name.text)) {
+          throw ParseError(
+              "reference to undeclared bundle '" + name.text + "'", name.line);
+        }
+        return make_param_ref(declared_.index_of(name.text), name.text);
+      }
+      default:
+        lex_.fail("expected number, '$name', '-' or '('");
+    }
+  }
+
+  Lexer& lex_;
+  const ParameterSpace& declared_;
+};
+
+void expect(Lexer& lex, TokKind kind, const char* what) {
+  if (lex.peek().kind != kind) lex.fail(std::string("expected ") + what);
+  lex.take();
+}
+
+/// Evaluates an expression's conservative hull by probing the static corner
+/// combinations of the parameters it references (sufficient for the linear
+/// bound expressions the RSL is used for; nonlinear expressions still get a
+/// valid hull as long as extrema lie at corners).
+std::pair<double, double> expression_hull(const Expr& e,
+                                          const ParameterSpace& declared) {
+  Configuration probe(declared.size(), 0.0);
+  for (std::size_t i = 0; i < declared.size(); ++i) {
+    probe[i] = declared.param(i).min_value;
+  }
+  std::set<std::size_t> ref_set;
+  e.collect_param_refs(ref_set);
+  if (ref_set.empty()) {
+    const double v = e.eval(probe);
+    return {v, v};
+  }
+  // Probe only the corner combinations of the *referenced* parameters
+  // (capped defensively; bound expressions reference a handful at most).
+  const std::vector<std::size_t> refs(ref_set.begin(), ref_set.end());
+  HARMONY_REQUIRE(refs.size() <= 20,
+                  "bound expression references too many parameters");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const std::uint64_t combos = 1ULL << refs.size();
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      const ParameterDef& p = declared.param(refs[r]);
+      probe[refs[r]] = ((mask >> r) & 1) ? p.max_value : p.min_value;
+    }
+    const double v = e.eval(probe);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+ParameterSpace parse_rsl(std::string_view text) {
+  Lexer lex(text);
+  ParameterSpace space;
+  while (lex.peek().kind != TokKind::End) {
+    expect(lex, TokKind::LBrace, "'{'");
+    if (lex.peek().kind != TokKind::Ident ||
+        lex.peek().text != "harmonyBundle") {
+      lex.fail("expected 'harmonyBundle'");
+    }
+    lex.take();
+    if (lex.peek().kind != TokKind::Ident) lex.fail("expected bundle name");
+    const std::string name = lex.take().text;
+    expect(lex, TokKind::LBrace, "'{'");
+    if (lex.peek().kind != TokKind::Ident ||
+        (lex.peek().text != "int" && lex.peek().text != "real")) {
+      lex.fail("expected type 'int' or 'real'");
+    }
+    lex.take();  // type currently informational; both map to gridded doubles
+    expect(lex, TokKind::LBrace, "'{'");
+
+    ExprParser expr_parser(lex, space);
+    ExprPtr lower = expr_parser.parse();
+    ExprPtr upper = expr_parser.parse();
+    ExprPtr step_expr = expr_parser.parse();
+    std::optional<double> default_value;
+    if (lex.peek().kind != TokKind::RBrace) {
+      ExprPtr def_expr = expr_parser.parse();
+      HARMONY_REQUIRE(def_expr->max_param_index() < 0,
+                      "default value must be constant");
+      default_value = def_expr->eval({});
+    }
+    expect(lex, TokKind::RBrace, "'}'");
+    expect(lex, TokKind::RBrace, "'}'");
+    expect(lex, TokKind::RBrace, "'}'");
+
+    HARMONY_REQUIRE(step_expr->max_param_index() < 0,
+                    "step must be a constant");
+    const Configuration empty;
+    const double step = step_expr->eval(empty);
+
+    const bool lower_const = lower->max_param_index() < 0;
+    const bool upper_const = upper->max_param_index() < 0;
+    const auto [lo_lo, lo_hi] = expression_hull(*lower, space);
+    const auto [up_lo, up_hi] = expression_hull(*upper, space);
+
+    ParameterDef def(name, lo_lo, up_hi, step,
+                     default_value.value_or(lo_lo + (up_hi - lo_lo) / 2.0));
+    if (!lower_const) def.lower = lower;
+    if (!upper_const) def.upper = upper;
+    (void)lo_hi;
+    (void)up_lo;
+    space.add(std::move(def));
+  }
+  return space;
+}
+
+std::string to_rsl(const ParameterSpace& space) {
+  std::string out;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const ParameterDef& p = space.param(i);
+    out += "{ harmonyBundle " + p.name + " { real {";
+    out += p.lower ? p.lower->to_string() : format_double(p.min_value);
+    out += " ";
+    out += p.upper ? p.upper->to_string() : format_double(p.max_value);
+    out += " " + format_double(p.step);
+    out += " " + format_double(p.default_value);
+    out += "} } }\n";
+  }
+  return out;
+}
+
+}  // namespace harmony

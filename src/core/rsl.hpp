@@ -1,0 +1,32 @@
+// Resource Specification Language (RSL) parser.
+//
+// The system to be tuned describes its tunable parameters to the Harmony
+// server in the paper's RSL (Appendix B):
+//
+//   { harmonyBundle B { int {1 10 1} } }
+//   { harmonyBundle C { int {1 9-$B 1} } }
+//   { harmonyBundle P { real {0.5 2.5 0.25 1.0} } }
+//
+// Each bundle gives min, max and the neighbour distance (step), optionally
+// followed by a default value. Bounds may be arithmetic expressions over
+// previously-declared bundles ($-references) — the parameter-restriction
+// extension that prunes infeasible regions of the search space.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/parameter.hpp"
+
+namespace harmony {
+
+/// Parses an RSL document into a ParameterSpace. Throws harmony::ParseError
+/// (with line number) on malformed input, including references to unknown or
+/// later bundles.
+[[nodiscard]] ParameterSpace parse_rsl(std::string_view text);
+
+/// Renders a ParameterSpace back to RSL text (round-trips through
+/// parse_rsl). Dependent bounds are printed as expressions.
+[[nodiscard]] std::string to_rsl(const ParameterSpace& space);
+
+}  // namespace harmony

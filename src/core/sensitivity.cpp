@@ -1,0 +1,120 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+std::vector<ParameterSensitivity> analyze_sensitivity(
+    const ParameterSpace& space, Objective& objective,
+    const Configuration& base, SensitivityOptions options) {
+  HARMONY_REQUIRE(base.size() == space.size(),
+                  "base configuration arity mismatch");
+  HARMONY_REQUIRE(options.repeats >= 1, "repeats must be >= 1");
+
+  std::vector<ParameterSensitivity> out;
+  out.reserve(space.size());
+  const Configuration snapped_base = space.snap(base);
+
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const ParameterDef& p = space.param(i);
+    ParameterSensitivity s;
+    s.index = i;
+    s.name = p.name;
+
+    // Choose the grid values to sweep: full grid, or an even subsample.
+    const std::uint64_t grid = p.grid_size();
+    std::vector<double> values;
+    if (options.max_points_per_parameter == 0 ||
+        grid <= options.max_points_per_parameter) {
+      values.reserve(static_cast<std::size_t>(grid));
+      for (std::uint64_t g = 0; g < grid; ++g) {
+        values.push_back(p.value_at(g));
+      }
+    } else {
+      const std::size_t k = options.max_points_per_parameter;
+      values.reserve(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        const auto g = static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(j) *
+                         static_cast<double>(grid - 1) /
+                         static_cast<double>(k - 1)));
+        values.push_back(p.value_at(g));
+      }
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+    }
+
+    double pooled_var = 0.0;  // variance of the per-point means
+    for (double v : values) {
+      Configuration c = snapped_base;
+      c[i] = v;
+      c = space.snap(std::move(c));
+      double sum = 0.0, sumsq = 0.0;
+      for (int r = 0; r < options.repeats; ++r) {
+        const double p = objective.measure(c);
+        sum += p;
+        sumsq += p * p;
+        ++s.evaluations;
+      }
+      const double mean = sum / options.repeats;
+      if (options.repeats >= 2) {
+        const double var =
+            std::max(0.0, (sumsq - sum * mean) / (options.repeats - 1));
+        pooled_var += var / options.repeats;  // variance of the mean
+      }
+      s.values.push_back(c[i]);
+      s.performances.push_back(mean);
+    }
+    const double point_se =
+        values.empty() ? 0.0
+                       : std::sqrt(pooled_var /
+                                   static_cast<double>(values.size()));
+
+    // sensitivity = |P_max - P_min| / |v'_argmax - v'_argmin|
+    const auto max_it =
+        std::max_element(s.performances.begin(), s.performances.end());
+    const auto min_it =
+        std::min_element(s.performances.begin(), s.performances.end());
+    const std::size_t a =
+        static_cast<std::size_t>(max_it - s.performances.begin());
+    const std::size_t b =
+        static_cast<std::size_t>(min_it - s.performances.begin());
+    const double dp = std::abs(*max_it - *min_it);
+    const double dv = std::abs(p.normalize(s.values[a]) -
+                               p.normalize(s.values[b]));
+    if (options.noise_guard_sigmas > 0.0 && options.repeats >= 2 &&
+        dp <= options.noise_guard_sigmas * point_se) {
+      // Statistically flat: the observed spread is noise; do not let a
+      // small |Δv'| between two random positions inflate it.
+      s.sensitivity = dp;
+    } else {
+      s.sensitivity = (dv < 1e-12) ? 0.0 : dp / dv;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::size_t> sensitivity_ranking(
+    const std::vector<ParameterSensitivity>& sensitivities) {
+  std::vector<std::size_t> order(sensitivities.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sensitivities[a].sensitivity >
+                            sensitivities[b].sensitivity;
+                   });
+  for (auto& idx : order) idx = sensitivities[idx].index;
+  return order;
+}
+
+std::vector<std::size_t> top_n_parameters(
+    const std::vector<ParameterSensitivity>& sensitivities, std::size_t n) {
+  auto ranking = sensitivity_ranking(sensitivities);
+  if (ranking.size() > n) ranking.resize(n);
+  return ranking;
+}
+
+}  // namespace harmony

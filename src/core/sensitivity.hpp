@@ -1,0 +1,64 @@
+// Parameter-prioritizing tool (paper §3).
+//
+// For each parameter, sweeps its grid values v1..vn while holding every
+// other parameter at its default, records the performance P1..Pn, and
+// computes
+//
+//     sensitivity = |Pa - Pb| / |v'a - v'b|,
+//
+// where a/b index the maximum/minimum performance and v' is the
+// range-normalized parameter value — so wide-range parameters are not given
+// excessive weight. High sensitivity means changing the parameter moves the
+// performance directly; such parameters get priority at runtime. The tool
+// assumes parameter interactions are small (the paper points users at full
+// or fractional factorial designs otherwise).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+
+namespace harmony {
+
+/// One parameter's sweep outcome.
+struct ParameterSensitivity {
+  std::size_t index = 0;         ///< position in the ParameterSpace
+  std::string name;
+  double sensitivity = 0.0;      ///< |ΔP| / |Δv'| (0 for flat responses)
+  std::vector<double> values;        ///< swept grid values
+  std::vector<double> performances;  ///< measured performance per value
+  int evaluations = 0;           ///< measurements this sweep consumed
+};
+
+struct SensitivityOptions {
+  /// Cap on grid points swept per parameter (evenly subsampled when the
+  /// grid is larger); 0 means sweep the full grid.
+  std::size_t max_points_per_parameter = 0;
+  /// Repeated measurements per point, averaged — the tool's defence against
+  /// run-to-run perturbation (§5.2 studies robustness to noise).
+  int repeats = 1;
+  /// Noise guard (requires repeats >= 2): when the sweep's |ΔP| is below
+  /// this many standard errors of the point means, the response is
+  /// statistically flat and the position denominator |Δv'| is not applied
+  /// (it would amplify pure noise when argmax/argmin happen to land on
+  /// adjacent grid points). Set to 0 to disable.
+  double noise_guard_sigmas = 5.5;
+};
+
+/// Runs the one-at-a-time sweep around `base` (typically the defaults).
+/// Results come back in parameter order.
+[[nodiscard]] std::vector<ParameterSensitivity> analyze_sensitivity(
+    const ParameterSpace& space, Objective& objective,
+    const Configuration& base, SensitivityOptions options = {});
+
+/// Parameter indices sorted by descending sensitivity (ties by index).
+[[nodiscard]] std::vector<std::size_t> sensitivity_ranking(
+    const std::vector<ParameterSensitivity>& sensitivities);
+
+/// The `n` most sensitive parameter indices (n clamped to the total).
+[[nodiscard]] std::vector<std::size_t> top_n_parameters(
+    const std::vector<ParameterSensitivity>& sensitivities, std::size_t n);
+
+}  // namespace harmony

@@ -1,0 +1,35 @@
+#include "core/server.hpp"
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+HarmonyServer::HarmonyServer(const ParameterSpace& space, ServerOptions options)
+    : space_(space), opts_(std::move(options)) {
+  HARMONY_REQUIRE(!space_.empty(), "empty parameter space");
+}
+
+ServedTuningResult HarmonyServer::tune(Objective& objective,
+                                       const WorkloadSignature& signature,
+                                       const std::string& label) {
+  ServedTuningResult out;
+
+  TuningSession session(space_, objective, opts_.tuning);
+  if (const ExperienceRecord* exp = analyzer_.retrieve(db_, signature)) {
+    session.seed(exp->best(space_.size() + 1), opts_.use_recorded_values);
+    out.experience_label = exp->label;
+    out.experience_distance = signature_distance(signature, exp->signature);
+  }
+  out.tuning = session.run();
+
+  if (opts_.record_experience) {
+    ExperienceRecord rec;
+    rec.label = label;
+    rec.signature = signature;
+    rec.measurements = out.tuning.trace;
+    db_.add(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace harmony

@@ -1,0 +1,64 @@
+// HarmonyServer — the end-to-end tuning server façade.
+//
+// Combines the paper's pieces the way §6.4 describes the deployed system:
+// the data analyzer characterizes the incoming workload, the data
+// characteristics database is consulted for the closest prior experience,
+// the tuner is warm-started from it (or tunes from scratch for never-seen
+// workloads), and the finished run is stored back as new experience.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/history.hpp"
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+#include "core/tuner.hpp"
+
+namespace harmony {
+
+struct ServerOptions {
+  TuningOptions tuning;
+  /// Warm-start behaviour: feed recorded performances to the kernel as the
+  /// training stage (true, the paper's §4.2 design) or re-measure the
+  /// seeded configurations live (false).
+  bool use_recorded_values = true;
+  /// Store each finished run back into the database.
+  bool record_experience = true;
+};
+
+/// Outcome of one served tuning run, with provenance of the warm start.
+struct ServedTuningResult {
+  TuningResult tuning;
+  /// Label of the experience used for training, if any.
+  std::optional<std::string> experience_label;
+  /// Distance between the observed signature and the experience used.
+  double experience_distance = 0.0;
+};
+
+class HarmonyServer {
+ public:
+  /// The space must outlive the server.
+  explicit HarmonyServer(const ParameterSpace& space, ServerOptions options = {});
+
+  [[nodiscard]] HistoryDatabase& database() noexcept { return db_; }
+  [[nodiscard]] const HistoryDatabase& database() const noexcept { return db_; }
+
+  /// Replaces the classifier used for experience retrieval.
+  void set_analyzer(DataAnalyzer analyzer) { analyzer_ = std::move(analyzer); }
+
+  /// Tunes `objective` for a workload with the given observed signature.
+  /// `label` tags the experience stored back into the database.
+  [[nodiscard]] ServedTuningResult tune(Objective& objective,
+                                        const WorkloadSignature& signature,
+                                        const std::string& label);
+
+ private:
+  const ParameterSpace& space_;
+  ServerOptions opts_;
+  DataAnalyzer analyzer_;
+  HistoryDatabase db_;
+};
+
+}  // namespace harmony

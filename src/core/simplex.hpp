@@ -1,0 +1,174 @@
+// Discrete Nelder–Mead simplex search — the Active Harmony tuning kernel.
+//
+// The classic Nelder–Mead method assumes a well-defined function on a
+// continuous space; neither holds here. Following the paper (§2), every
+// candidate point is snapped to the nearest feasible grid point before being
+// measured, and the measured value stands in for the continuous one. The
+// search maximizes performance (the paper's WIPS); internally it minimizes
+// the negated value with the standard reflection / expansion / contraction /
+// shrink moves.
+//
+// Two driving styles are provided:
+//   * StepwiseSimplex — an inverted-control state machine: the caller pulls
+//     the next configuration to measure and pushes the result back. This is
+//     what the Harmony server protocol uses: the client application fetches
+//     a configuration, runs with it, and reports the observed performance.
+//   * SimplexSearch::maximize — the blocking convenience wrapper around it.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parameter.hpp"
+
+namespace harmony {
+
+struct SimplexOptions {
+  double alpha = 1.0;  ///< reflection coefficient
+  double gamma = 2.0;  ///< expansion coefficient
+  double beta = 0.5;   ///< contraction coefficient
+  double sigma = 0.5;  ///< shrink coefficient
+
+  int max_evaluations = 400;  ///< live-measurement budget
+  /// Converged when (best-worst)/max(|best|,1e-12) across vertices drops
+  /// below this relative spread...
+  double perf_rel_tolerance = 0.01;
+  /// ...or when the normalized simplex diameter drops below this.
+  double size_tolerance = 1e-3;
+  /// Abort when this many consecutive moves fail to improve the best vertex
+  /// (discrete landscapes can plateau without shrinking to a point).
+  int max_stall_moves = 25;
+  /// A low value-spread only counts as convergence when the simplex is
+  /// spatially smaller than this normalized diameter; otherwise (distinct
+  /// grid points sharing a value — common on quantized landscapes) the
+  /// kernel shrinks and keeps going, at most `max_plateau_shrinks` times.
+  /// <= 0 auto-derives the threshold as 3x the largest normalized grid
+  /// step of the space.
+  double plateau_diameter = 0.0;
+  int max_plateau_shrinks = 3;
+  /// When a shrink cannot move any vertex (the grid is too coarse around
+  /// the cluster), restart with a unit-step simplex around the best vertex
+  /// instead of giving up, at most this many times.
+  int max_restarts = 4;
+};
+
+/// Result of one simplex run.
+struct SimplexResult {
+  Configuration best;          ///< best configuration measured
+  double best_value = 0.0;     ///< its performance
+  int evaluations = 0;         ///< live measurements consumed
+  bool converged = false;      ///< simplex met a convergence criterion
+  std::string stop_reason;     ///< "perf-spread", "size", "budget", "stall"
+};
+
+/// Inverted-control Nelder–Mead: call next() for the configuration to
+/// measure, run the system with it, then submit() the observed performance.
+/// next() returns nullopt once the search has finished (converged, stalled
+/// or out of budget); result() is then final.
+class StepwiseSimplex {
+ public:
+  /// `initial_vertices` are snapped and deduplicated; at least two distinct
+  /// vertices must remain or construction throws. `seeded_values` may
+  /// pre-supply performance for the matching initial vertex (NaN entries
+  /// are measured live) — the training stage of §4.2.
+  StepwiseSimplex(const ParameterSpace& space, SimplexOptions options,
+                  std::vector<Configuration> initial_vertices,
+                  std::vector<double> seeded_values = {});
+
+  /// The configuration to measure next; nullopt when finished. Repeated
+  /// calls without an intervening submit() return the same configuration.
+  [[nodiscard]] std::optional<Configuration> next();
+
+  /// Reports the measured performance of the configuration last returned by
+  /// next(). Throws when no measurement is outstanding.
+  void submit(double performance);
+
+  [[nodiscard]] bool finished() const noexcept { return state_ == State::kDone; }
+  [[nodiscard]] const SimplexResult& result() const;
+  [[nodiscard]] int evaluations() const noexcept { return evals_; }
+
+ private:
+  enum class State {
+    kInit,        // measuring initial vertices
+    kPlan,        // decide the next move from a sorted simplex
+    kReflect,     // awaiting f(xr)
+    kExpand,      // awaiting f(xe)
+    kContract,    // awaiting f(xc)
+    kShrink,      // awaiting shrink-vertex measurements
+    kReseed,      // awaiting restart-vertex measurements
+    kDone,
+  };
+
+  struct Vertex {
+    Configuration config;
+    double value;
+  };
+
+  void record(const Configuration& c, double value);
+  void sort_vertices();
+  void plan();                       // kPlan: choose move, set pending
+  void accept(const Configuration& config, double value);
+  void begin_shrink();
+  void continue_shrink();
+  void begin_reseed();
+  void continue_reseed();
+  void finish(bool converged, std::string reason);
+  [[nodiscard]] Configuration affine(double t) const;
+  [[nodiscard]] double simplex_diameter() const;
+
+  const ParameterSpace& space_;
+  SimplexOptions opts_;
+
+  // initial phase
+  std::vector<Configuration> init_configs_;
+  std::vector<double> init_seeded_;
+  std::size_t init_index_ = 0;
+
+  std::vector<Vertex> verts_;
+  State state_ = State::kInit;
+  std::optional<Configuration> pending_;  // outstanding measurement
+  bool awaiting_submit_ = false;
+
+  // move context (captured when the move was planned)
+  Configuration centroid_;
+  Configuration worst_config_;
+  Configuration xr_;
+  double fr_ = 0.0;
+  double best_value_ = 0.0;
+  double second_worst_value_ = 0.0;
+  double worst_value_ = 0.0;
+  double prev_best_ = 0.0;
+  bool prev_best_initialized_ = false;
+  std::size_t shrink_index_ = 0;  // next vertex to shrink (best is kept)
+  bool shrink_moved_any_ = false;
+  std::size_t reseed_index_ = 0;
+  bool reseed_moved_any_ = false;
+  int restarts_ = 0;
+
+  int evals_ = 0;
+  int stall_ = 0;
+  int plateau_shrinks_ = 0;
+  SimplexResult result_;
+};
+
+/// Blocking convenience wrapper.
+class SimplexSearch {
+ public:
+  /// Evaluator measures a snapped configuration (higher is better).
+  using Evaluator = std::function<double(const Configuration&)>;
+
+  SimplexSearch(const ParameterSpace& space, SimplexOptions options);
+
+  /// Runs StepwiseSimplex to completion with the given evaluator.
+  [[nodiscard]] SimplexResult maximize(
+      const Evaluator& evaluate, std::vector<Configuration> initial_vertices,
+      const std::vector<double>& seeded_values = {});
+
+ private:
+  const ParameterSpace& space_;
+  SimplexOptions opts_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,114 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+std::vector<Configuration> dedup_configurations(
+    const ParameterSpace& space, std::vector<Configuration> configs) {
+  std::set<Configuration> seen;
+  std::vector<Configuration> out;
+  out.reserve(configs.size());
+  for (auto& c : configs) {
+    Configuration snapped = space.snap(std::move(c));
+    if (seen.insert(snapped).second) out.push_back(std::move(snapped));
+  }
+  return out;
+}
+
+std::vector<Configuration> ExtremeCornerStrategy::vertices(
+    const ParameterSpace& space, const Configuration& /*start*/) const {
+  const std::size_t n = space.size();
+  HARMONY_REQUIRE(n > 0, "empty parameter space");
+  std::vector<Configuration> verts;
+  verts.reserve(n + 1);
+  Configuration base(n);
+  for (std::size_t i = 0; i < n; ++i) base[i] = space.param(i).min_value;
+  verts.push_back(space.snap(base));
+  for (std::size_t i = 0; i < n; ++i) {
+    Configuration v = base;
+    v[i] = space.param(i).max_value;
+    verts.push_back(space.snap(std::move(v)));
+  }
+  return verts;
+}
+
+namespace {
+
+/// Reflects `v` into [lo, hi] by bouncing off the boundaries.
+double reflect_into(double v, double lo, double hi) noexcept {
+  if (hi <= lo) return lo;
+  const double span = hi - lo;
+  double t = std::fmod(v - lo, 2.0 * span);
+  if (t < 0.0) t += 2.0 * span;
+  return t <= span ? lo + t : hi - (t - span);
+}
+
+}  // namespace
+
+std::vector<Configuration> EvenSpreadStrategy::vertices(
+    const ParameterSpace& space, const Configuration& start) const {
+  const std::size_t n = space.size();
+  HARMONY_REQUIRE(n > 0, "empty parameter space");
+  HARMONY_REQUIRE(start.size() == n, "start configuration arity mismatch");
+  std::vector<Configuration> verts;
+  verts.reserve(n + 1);
+  const Configuration origin = space.snap(start);
+  verts.push_back(origin);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ParameterDef& p = space.param(i);
+    Configuration v = origin;
+    const double range = p.max_value - p.min_value;
+    // Displace parameter i by (i+1)/(n+1) of its range — a different
+    // fraction per parameter so the first n explorations evenly cover the
+    // space — and keep the vertex interior by reflecting off the margin.
+    const double frac =
+        static_cast<double>(i + 1) / static_cast<double>(n + 1);
+    const double margin = std::min(p.step, range * 0.05);
+    double target = origin[i] + frac * range;
+    target = reflect_into(target, p.min_value + margin, p.max_value - margin);
+    v[i] = target;
+    v = space.snap(std::move(v));
+    if (v[i] == origin[i]) {
+      // Tiny range: nudge one grid step so the simplex is non-degenerate.
+      v[i] = p.snap(origin[i] + (origin[i] + p.step <= p.max_value
+                                     ? p.step
+                                     : -p.step));
+      v = space.snap(std::move(v));
+    }
+    verts.push_back(std::move(v));
+  }
+  return verts;
+}
+
+SeededStrategy::SeededStrategy(std::vector<Configuration> seeds)
+    : seeds_(std::move(seeds)) {
+  HARMONY_REQUIRE(!seeds_.empty(), "seeded strategy needs at least one seed");
+}
+
+std::vector<Configuration> SeededStrategy::vertices(
+    const ParameterSpace& space, const Configuration& start) const {
+  const std::size_t want = space.size() + 1;
+  std::vector<Configuration> verts = dedup_configurations(space, seeds_);
+  if (verts.size() > want) verts.resize(want);
+  if (verts.size() < want) {
+    // Fill the remainder with even-spread vertices around the best seed
+    // (falling back to `start` logic when seeds are degenerate).
+    EvenSpreadStrategy fill;
+    for (auto& v : fill.vertices(space, verts.front())) {
+      if (verts.size() == want) break;
+      if (std::find(verts.begin(), verts.end(), v) == verts.end()) {
+        verts.push_back(std::move(v));
+      }
+    }
+    // Extremely degenerate spaces may still be short; pad with start.
+    while (verts.size() < want) verts.push_back(space.snap(start));
+  }
+  return verts;
+}
+
+}  // namespace harmony

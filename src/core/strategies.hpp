@@ -1,0 +1,73 @@
+// Initial-simplex strategies (paper §4.1, Figure 1).
+//
+// The original Active Harmony kernel seeded the k+1 predefined initial
+// explorations at parameter extremes, where real systems usually perform
+// worst. The improved kernel spreads the initial vertices evenly through the
+// interior of the search space: for each of the n parameters, exploration i
+// displaces parameter i by i/n of its range from the current configuration.
+// Both are implemented behind one interface so benches can compare them; a
+// third strategy seeds vertices from historical configurations (§4.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/parameter.hpp"
+
+namespace harmony {
+
+/// Produces the k+1 initial simplex vertices for a k-parameter space.
+class InitialSimplexStrategy {
+ public:
+  virtual ~InitialSimplexStrategy() = default;
+  /// `start` is the configuration the system is currently running with.
+  /// Returned vertices are snapped and affinely independent whenever the
+  /// space has more than one grid point per dimension.
+  [[nodiscard]] virtual std::vector<Configuration> vertices(
+      const ParameterSpace& space, const Configuration& start) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Original behaviour: vertex 0 at the all-minimum corner, vertex i with
+/// parameter i-1 at its maximum — every vertex sits on the boundary of the
+/// space (extreme values).
+class ExtremeCornerStrategy final : public InitialSimplexStrategy {
+ public:
+  std::vector<Configuration> vertices(const ParameterSpace& space,
+                                      const Configuration& start)
+      const override;
+  std::string name() const override { return "extreme-corner"; }
+};
+
+/// Improved behaviour: vertex 0 at `start`; vertex i displaces parameter i-1
+/// by i/n of its range, reflecting off the boundary so vertices stay
+/// interior and evenly cover the space.
+class EvenSpreadStrategy final : public InitialSimplexStrategy {
+ public:
+  std::vector<Configuration> vertices(const ParameterSpace& space,
+                                      const Configuration& start)
+      const override;
+  std::string name() const override { return "even-spread"; }
+};
+
+/// Warm start from prior runs: uses the given configurations (best
+/// historical ones first) as vertices and fills any remainder with
+/// EvenSpreadStrategy vertices around the first seed.
+class SeededStrategy final : public InitialSimplexStrategy {
+ public:
+  explicit SeededStrategy(std::vector<Configuration> seeds);
+  std::vector<Configuration> vertices(const ParameterSpace& space,
+                                      const Configuration& start)
+      const override;
+  std::string name() const override { return "seeded"; }
+
+ private:
+  std::vector<Configuration> seeds_;
+};
+
+/// Removes duplicate configurations (after snapping) while preserving order;
+/// exposed for strategy implementations and tests.
+[[nodiscard]] std::vector<Configuration> dedup_configurations(
+    const ParameterSpace& space, std::vector<Configuration> configs);
+
+}  // namespace harmony

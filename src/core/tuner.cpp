@@ -1,0 +1,141 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/estimator.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace harmony {
+
+TuningSession::TuningSession(const ParameterSpace& space, Objective& objective,
+                             TuningOptions options)
+    : space_(space), objective_(objective), opts_(std::move(options)) {
+  HARMONY_REQUIRE(!space_.empty(), "empty parameter space");
+  HARMONY_REQUIRE(opts_.strategy != nullptr, "null initial-simplex strategy");
+  start_ = space_.defaults();
+}
+
+void TuningSession::set_start(Configuration start) {
+  start_ = space_.snap(std::move(start));
+}
+
+void TuningSession::seed(const std::vector<Measurement>& history,
+                         bool use_recorded_values, bool estimate_missing) {
+  seed_history_ = history;
+  estimate_missing_ = estimate_missing && history.size() >= 2;
+  // Keep the best-performing distinct configurations, best first.
+  std::vector<Measurement> sorted = history;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Measurement& a, const Measurement& b) {
+                     return a.performance > b.performance;
+                   });
+  seed_configs_.clear();
+  seed_values_.clear();
+  const std::size_t want = space_.size() + 1;
+  for (const Measurement& m : sorted) {
+    Configuration c = space_.snap(m.config);
+    if (std::find(seed_configs_.begin(), seed_configs_.end(), c) !=
+        seed_configs_.end()) {
+      continue;
+    }
+    seed_configs_.push_back(std::move(c));
+    seed_values_.push_back(use_recorded_values
+                               ? m.performance
+                               : std::numeric_limits<double>::quiet_NaN());
+    if (seed_configs_.size() == want) break;
+  }
+}
+
+TuningResult TuningSession::run() {
+  RecordingObjective recorder(objective_);
+
+  std::vector<Configuration> vertices;
+  std::vector<double> seeded_values;
+  if (!seed_configs_.empty()) {
+    SeededStrategy seeded(seed_configs_);
+    vertices = seeded.vertices(space_, start_);
+    // SeededStrategy may append filler vertices; those are measured live.
+    seeded_values.assign(vertices.size(),
+                         std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t i = 0;
+         i < seed_configs_.size() && i < seeded_values.size(); ++i) {
+      if (vertices[i] == seed_configs_[i]) {
+        seeded_values[i] = seed_values_[i];
+      }
+    }
+    if (estimate_missing_) {
+      // Fill filler-vertex values by triangulation over the history (§4.3)
+      // instead of spending live measurements on them.
+      PerformanceEstimator estimator(space_);
+      estimator.add_all(seed_history_);
+      for (std::size_t i = 0; i < seeded_values.size(); ++i) {
+        if (std::isnan(seeded_values[i])) {
+          seeded_values[i] = estimator.estimate(vertices[i]).value;
+        }
+      }
+    }
+  } else {
+    vertices = opts_.strategy->vertices(space_, start_);
+  }
+
+  SimplexSearch search(space_, opts_.simplex);
+  const SimplexResult sr = search.maximize(
+      [&](const Configuration& c) { return recorder.measure(c); },
+      std::move(vertices), seeded_values);
+
+  TuningResult out;
+  out.trace.reserve(recorder.trace().size());
+  for (const auto& s : recorder.trace()) {
+    out.trace.push_back({s.config, s.value, /*estimated=*/false});
+  }
+  out.best_config = sr.best;
+  out.best_performance = sr.best_value;
+  out.evaluations = sr.evaluations;
+  out.converged = sr.converged;
+  out.stop_reason = sr.stop_reason;
+  return out;
+}
+
+TraceMetrics analyze_trace(const std::vector<Measurement>& trace,
+                           TraceMetricsOptions options) {
+  TraceMetrics m;
+  if (trace.empty()) return m;
+
+  double best = -std::numeric_limits<double>::infinity();
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& s : trace) {
+    best = std::max(best, s.performance);
+    worst = std::min(worst, s.performance);
+  }
+  m.best = best;
+  m.worst = worst;
+
+  const double threshold = options.convergence_fraction * best;
+  m.convergence_iteration = static_cast<int>(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].performance >= threshold) {
+      m.convergence_iteration = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+
+  RunningStats initial;
+  const auto window = static_cast<std::size_t>(
+      std::max(1, options.initial_window));
+  for (std::size_t i = 0; i < trace.size() && i < window; ++i) {
+    initial.add(trace[i].performance);
+  }
+  m.initial_mean = initial.mean();
+  m.initial_stddev = initial.stddev();
+
+  const double bad = options.bad_fraction * best;
+  for (const auto& s : trace) {
+    if (s.performance < bad) ++m.bad_iterations;
+  }
+  return m;
+}
+
+}  // namespace harmony

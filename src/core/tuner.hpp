@@ -1,0 +1,116 @@
+// TuningSession — the Adaptation Controller of the Harmony server.
+//
+// Drives the simplex kernel against a live Objective, records every
+// exploration (one "iteration" per measured configuration, matching the
+// paper's reporting unit), and supports the paper's improvements:
+//   * pluggable initial-simplex strategy (§4.1),
+//   * warm start from historical measurements, optionally substituting
+//     triangulation estimates for the training measurements (§4.2/§4.3),
+//   * tuning a top-n sub-space chosen by the prioritizing tool (§3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+#include "core/simplex.hpp"
+#include "core/strategies.hpp"
+
+namespace harmony {
+
+/// One recorded exploration.
+struct Measurement {
+  Configuration config;
+  double performance = 0.0;
+  /// True when the value came from history/estimation rather than a live
+  /// measurement (training-stage entries).
+  bool estimated = false;
+};
+
+struct TuningOptions {
+  SimplexOptions simplex;
+  /// Strategy used when no warm-start seeds are provided. Defaults to the
+  /// paper's improved even-spread refinement; benches switch to
+  /// ExtremeCornerStrategy to reproduce the original behaviour.
+  std::shared_ptr<const InitialSimplexStrategy> strategy =
+      std::make_shared<EvenSpreadStrategy>();
+};
+
+struct TuningResult {
+  std::vector<Measurement> trace;  ///< live explorations, in order
+  Configuration best_config;
+  double best_performance = 0.0;
+  int evaluations = 0;   ///< live measurements (== trace.size())
+  bool converged = false;
+  std::string stop_reason;
+};
+
+class TuningSession {
+ public:
+  /// The objective must outlive the session.
+  TuningSession(const ParameterSpace& space, Objective& objective,
+                TuningOptions options = {});
+
+  /// Warm start (training stage): the initial simplex is seeded from these
+  /// configurations — typically the best ones recorded for the workload the
+  /// data analyzer classified. When `use_recorded_values` is true, their
+  /// recorded performances are fed to the kernel instead of re-measuring
+  /// (the paper's "save time by not retrying those configurations again");
+  /// otherwise the seeds are re-measured live.
+  ///
+  /// When `estimate_missing` is also true, initial vertices that the
+  /// history does not cover (the filler vertices a short history needs) get
+  /// their value from the §4.3 triangulation estimator fitted over the full
+  /// history, instead of a live measurement — the paper's answer to "what
+  /// to do when the configurations needed for training are not available".
+  void seed(const std::vector<Measurement>& history, bool use_recorded_values,
+            bool estimate_missing = false);
+
+  /// Starting configuration for strategies that use it (defaults to the
+  /// space's default configuration).
+  void set_start(Configuration start);
+
+  /// Runs the tuning process to convergence or budget exhaustion.
+  [[nodiscard]] TuningResult run();
+
+ private:
+  const ParameterSpace& space_;
+  Objective& objective_;
+  TuningOptions opts_;
+  Configuration start_;
+  std::vector<Configuration> seed_configs_;
+  std::vector<double> seed_values_;  // NaN => measure live
+  std::vector<Measurement> seed_history_;  // estimator input
+  bool estimate_missing_ = false;
+};
+
+/// Summary statistics over a tuning trace, matching the paper's Tables 1-2
+/// columns. `final_best` is the best performance the run reached.
+struct TraceMetrics {
+  /// First iteration (1-based) whose measurement reaches
+  /// `convergence_fraction` of the final best — "convergence time".
+  int convergence_iteration = 0;
+  double best = 0.0;
+  /// Worst performance seen while tuning (Table 1's oscillation indicator).
+  double worst = 0.0;
+  /// Mean/stddev of the first `initial_window` live measurements
+  /// (Table 2's "initial performance oscillation").
+  double initial_mean = 0.0;
+  double initial_stddev = 0.0;
+  /// Iterations with performance below `bad_fraction` of the final best.
+  int bad_iterations = 0;
+};
+
+struct TraceMetricsOptions {
+  double convergence_fraction = 0.95;
+  double bad_fraction = 0.80;
+  int initial_window = 20;
+};
+
+[[nodiscard]] TraceMetrics analyze_trace(const std::vector<Measurement>& trace,
+                                         TraceMetricsOptions options = {});
+
+}  // namespace harmony

@@ -1,0 +1,70 @@
+#include "linalg/lstsq.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+
+namespace harmony::linalg {
+
+namespace {
+
+double residual(const Matrix& a, const std::vector<double>& x,
+                const std::vector<double>& b) {
+  const auto ax = a.apply(x);
+  double s = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    s += (ax[i] - b[i]) * (ax[i] - b[i]);
+  }
+  return std::sqrt(s);
+}
+
+/// Ridge solve: x = (A^T A + lambda I)^-1 A^T b. Always non-singular for
+/// lambda > 0, so it is the safe fallback for degenerate vertex sets.
+LeastSquaresResult ridge_solve(const Matrix& a, const std::vector<double>& b,
+                               double ridge) {
+  const Matrix at = a.transpose();
+  Matrix ata = at * a;
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
+  const auto atb = at.apply(b);
+  LeastSquaresResult out;
+  out.x = LuDecomposition(ata).solve(atb);
+  out.residual_norm = residual(a, out.x, b);
+  out.regularized = true;
+  return out;
+}
+
+}  // namespace
+
+LeastSquaresResult least_squares(const Matrix& a, const std::vector<double>& b,
+                                 double ridge) {
+  HARMONY_REQUIRE(!a.empty(), "least_squares on empty matrix");
+  HARMONY_REQUIRE(b.size() == a.rows(), "rhs length mismatch");
+
+  if (a.rows() >= a.cols()) {
+    QrDecomposition qr(a);
+    if (!qr.rank_deficient()) {
+      LeastSquaresResult out;
+      out.x = qr.solve(b);
+      out.residual_norm = residual(a, out.x, b);
+      return out;
+    }
+    return ridge_solve(a, b, ridge);
+  }
+
+  // Under-determined: minimum-norm solution x = A^T (A A^T)^-1 b.
+  const Matrix at = a.transpose();
+  Matrix aat = a * at;
+  LuDecomposition lu(aat);
+  if (!lu.singular()) {
+    LeastSquaresResult out;
+    const auto y = lu.solve(b);
+    out.x = at.apply(y);
+    out.residual_norm = residual(a, out.x, b);
+    return out;
+  }
+  return ridge_solve(a, b, ridge);
+}
+
+}  // namespace harmony::linalg

@@ -1,0 +1,26 @@
+// Least-squares front door used by the performance estimator (paper §4.3):
+// handles over-determined (QR), exactly-determined (LU) and under-determined
+// (minimum-norm via normal equations on A^T) systems uniformly, with a
+// ridge-regularized fallback for rank-deficient inputs.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace harmony::linalg {
+
+struct LeastSquaresResult {
+  std::vector<double> x;      ///< solution / minimizer
+  double residual_norm = 0.0; ///< ||A x - b||_2
+  bool regularized = false;   ///< true when the ridge fallback was used
+};
+
+/// Minimizes ||A x - b||_2 (m >= n), returns the minimum-norm solution when
+/// m < n, and falls back to ridge regression (lambda = `ridge`) when the
+/// system is rank-deficient. Throws only on shape mismatch.
+[[nodiscard]] LeastSquaresResult least_squares(const Matrix& a,
+                                               const std::vector<double>& b,
+                                               double ridge = 1e-8);
+
+}  // namespace harmony::linalg

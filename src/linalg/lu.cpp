@@ -1,0 +1,84 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace harmony::linalg {
+
+namespace {
+constexpr double kPivotTolerance = 1e-12;
+}
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
+  HARMONY_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below diagonal.
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kPivotTolerance) {
+      singular_ = true;
+      continue;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(pivot, c), lu_(col, c));
+      }
+      std::swap(perm_[pivot], perm_[col]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double diag = lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) / diag;
+      lu_(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
+  HARMONY_REQUIRE(!singular_, "solve on a singular matrix");
+  const std::size_t n = lu_.rows();
+  HARMONY_REQUIRE(b.size() == n, "rhs length mismatch");
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) s -= lu_(r, c) * y[c];
+    y[r] = s;
+  }
+  // Back substitution on U.
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= lu_(ri, c) * x[c];
+    x[ri] = s / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const noexcept {
+  if (singular_) return 0.0;
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace harmony::linalg

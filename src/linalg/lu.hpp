@@ -1,0 +1,39 @@
+// LU factorization with partial pivoting, used to solve the square systems
+// that arise when the triangulation estimator has exactly N+1 vertices
+// (paper §4.3 step 4, "solve x = A^-1 b").
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace harmony::linalg {
+
+/// PA = LU factorization of a square matrix.
+class LuDecomposition {
+ public:
+  /// Factorizes; throws harmony::Error if `a` is not square.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// True when a pivot below `tolerance` was hit (matrix numerically
+  /// singular); solve() throws in that case.
+  [[nodiscard]] bool singular() const noexcept { return singular_; }
+
+  /// Solves A x = b. Throws when singular or on shape mismatch.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// det(A); 0 when singular.
+  [[nodiscard]] double determinant() const noexcept;
+
+ private:
+  Matrix lu_;                    // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+  bool singular_ = false;
+};
+
+/// One-shot convenience: solve A x = b for square A.
+[[nodiscard]] std::vector<double> solve(const Matrix& a,
+                                        const std::vector<double>& b);
+
+}  // namespace harmony::linalg

@@ -1,0 +1,77 @@
+// Dense row-major matrix with the small set of operations the triangulation
+// estimator and workload classifiers need. Not a general BLAS replacement —
+// sizes here are k x (N+1) with k, N in the tens.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace harmony::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// From nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Column vector from data.
+  [[nodiscard]] static Matrix column(const std::vector<double>& data);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked element access (bounds enforced only via at()).
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws harmony::Error when out of range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix scaled(double factor) const;
+
+  /// Matrix * vector.
+  [[nodiscard]] std::vector<double> apply(const std::vector<double>& v) const;
+
+  /// Flattens a single-column matrix to a vector.
+  [[nodiscard]] std::vector<double> to_vector() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Max |a_ij - b_ij|; throws on shape mismatch.
+  [[nodiscard]] static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+[[nodiscard]] double norm2(const std::vector<double>& v) noexcept;
+
+/// Dot product; throws on length mismatch.
+[[nodiscard]] double dot(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace harmony::linalg

@@ -1,0 +1,41 @@
+// Householder QR factorization for least-squares solves of tall systems
+// (paper §4.3 step 4: "for under- or over-determined system, apply the
+// least square method").
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace harmony::linalg {
+
+/// Thin QR of an m x n matrix with m >= n via Householder reflections.
+class QrDecomposition {
+ public:
+  /// Factorizes; throws when m < n (callers pad or switch to the minimum-norm
+  /// path in lstsq.hpp for underdetermined systems).
+  explicit QrDecomposition(const Matrix& a);
+
+  /// True when some diagonal of R is (near) zero: rank-deficient.
+  [[nodiscard]] bool rank_deficient() const noexcept { return rank_deficient_; }
+
+  /// Minimizes ||A x - b||_2. Throws on shape mismatch or rank deficiency.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Explicit Q (m x n, orthonormal columns) — mostly for testing.
+  [[nodiscard]] Matrix q() const;
+
+  /// Explicit R (n x n upper triangular) — mostly for testing.
+  [[nodiscard]] Matrix r() const;
+
+ private:
+  void apply_reflectors(std::vector<double>& v) const;  // v := Q^T-ish apply
+
+  Matrix a_;                        // packed reflectors below diag, R on/above
+  std::vector<double> beta_;        // reflector scale per column
+  std::vector<double> v0_;          // head element of each reflector
+  std::vector<std::size_t> v0_cols_;  // column each stored reflector acts on
+  bool rank_deficient_ = false;
+};
+
+}  // namespace harmony::linalg

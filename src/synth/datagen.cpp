@@ -1,0 +1,141 @@
+#include "synth/datagen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace harmony::synth {
+
+namespace {
+
+struct Box {
+  std::vector<double> lo;  // raw coordinates, grid-aligned
+  std::vector<double> hi;
+};
+
+/// Number of grid points of parameter `p` inside [lo, hi].
+std::uint64_t points_inside(const ParameterDef& p, double lo, double hi) {
+  const double first = p.snap(lo);
+  const double last = p.snap(hi);
+  if (first > hi + 1e-12 || last < lo - 1e-12) return 0;
+  return static_cast<std::uint64_t>(
+             std::floor((last - first) / p.step + 1e-9)) +
+         1;
+}
+
+}  // namespace
+
+RuleSet generate_rules(const ParameterSpace& space, const TrendModel& trend,
+                       const DataGenOptions& options) {
+  HARMONY_REQUIRE(trend.workload_dims == 0,
+                  "explicit rules require a workload-free trend");
+  HARMONY_REQUIRE(trend.tunable_dims == space.size(),
+                  "trend arity does not match space");
+  HARMONY_REQUIRE(options.target_rules >= 1, "need at least one rule");
+
+  Rng rng(options.seed);
+  const std::size_t n = space.size();
+
+  Box root;
+  root.lo.resize(n);
+  root.hi.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    root.lo[i] = space.param(i).min_value;
+    root.hi[i] = space.param(i).max_value;
+  }
+
+  std::deque<Box> leaves{root};
+  std::vector<double> split_weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    split_weights[i] = trend.weight[i];
+  }
+  const double total_weight =
+      std::accumulate(split_weights.begin(), split_weights.end(), 0.0);
+  HARMONY_REQUIRE(total_weight > 0.0,
+                  "trend has no relevant dimensions to split on");
+
+  // Breadth-first splitting keeps leaf sizes balanced.
+  while (leaves.size() < options.target_rules) {
+    Box box = leaves.front();
+    leaves.pop_front();
+
+    // Pick a splittable dimension weighted by relevance.
+    std::size_t dim = n;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t cand = rng.weighted_index(split_weights);
+      if (points_inside(space.param(cand), box.lo[cand], box.hi[cand]) >= 2) {
+        dim = cand;
+        break;
+      }
+    }
+    if (dim == n) {
+      // Deterministic fallback: any splittable relevant dimension.
+      for (std::size_t i = 0; i < n && dim == n; ++i) {
+        if (split_weights[i] > 0.0 &&
+            points_inside(space.param(i), box.lo[i], box.hi[i]) >= 2) {
+          dim = i;
+        }
+      }
+      if (dim == n) {
+        leaves.push_back(std::move(box));  // indivisible; keep as leaf
+        // Every remaining leaf indivisible => stop.
+        const bool any_splittable = std::any_of(
+            leaves.begin(), leaves.end(), [&](const Box& b) {
+              for (std::size_t i = 0; i < n; ++i) {
+                if (split_weights[i] > 0.0 &&
+                    points_inside(space.param(i), b.lo[i], b.hi[i]) >= 2) {
+                  return true;
+                }
+              }
+              return false;
+            });
+        if (!any_splittable) break;
+        continue;
+      }
+    }
+
+    const ParameterDef& p = space.param(dim);
+    // Cut between two grid points: left gets [lo, cut], right [cut+step, hi].
+    const std::uint64_t pts = points_inside(p, box.lo[dim], box.hi[dim]);
+    const std::uint64_t cut_idx = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pts) - 2));
+    const double first = p.snap(box.lo[dim]);
+    const double cut = first + static_cast<double>(cut_idx) * p.step;
+
+    Box left = box;
+    Box right = box;
+    left.hi[dim] = cut;
+    right.lo[dim] = cut + p.step;
+    leaves.push_back(std::move(left));
+    leaves.push_back(std::move(right));
+  }
+
+  // Emit one rule per leaf; conditions only where the box is narrower than
+  // the parameter's full range (matching the paper's sparse CNF form).
+  const double jitter =
+      options.leaf_jitter * (options.perf_max - options.perf_min);
+  std::vector<Rule> rules;
+  rules.reserve(leaves.size());
+  for (const Box& box : leaves) {
+    Rule r;
+    std::vector<double> center_norm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const ParameterDef& p = space.param(i);
+      if (box.lo[i] > p.min_value + 1e-12 ||
+          box.hi[i] < p.max_value - 1e-12) {
+        r.conditions.push_back({i, box.lo[i], box.hi[i]});
+      }
+      center_norm[i] = p.normalize((box.lo[i] + box.hi[i]) / 2.0);
+    }
+    const double base = trend.value(center_norm);
+    r.performance = std::clamp(base + rng.uniform(-jitter, jitter),
+                               options.perf_min, options.perf_max);
+    rules.push_back(std::move(r));
+  }
+  return RuleSet(std::move(rules));
+}
+
+}  // namespace harmony::synth

@@ -1,0 +1,39 @@
+// DataGen-style synthetic rule-set generator (paper §5.1).
+//
+// Generates conflict-free conjunctive rule sets by recursive axis-aligned
+// partition of the input space: every split divides one box into two along
+// one variable at a grid-aligned cut, so leaves tile the space and no two
+// rules can fire on the same point (the paper's "carefully generated so that
+// no more than one rule will be satisfied"). Each leaf's performance comes
+// from the latent TrendModel evaluated at the leaf centre plus jitter.
+//
+// Split variables are chosen with probability proportional to the trend
+// weight, so performance-relevant variables get fine-grained conditions and
+// irrelevant ones are never tested — exactly the structure the parameter-
+// prioritizing tool is supposed to discover.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/rules.hpp"
+#include "synth/trend.hpp"
+
+namespace harmony::synth {
+
+struct DataGenOptions {
+  std::size_t target_rules = 256;
+  double perf_min = 1.0;
+  double perf_max = 50.0;
+  /// Leaf jitter as a fraction of the performance range.
+  double leaf_jitter = 0.02;
+  std::uint64_t seed = 1;
+};
+
+/// Builds an explicit conflict-free RuleSet over `space` (the trend's
+/// workload dims must be zero — explicit rules are for pure-tunable spaces;
+/// use QuantizedTrendObjective for workload-conditioned data).
+[[nodiscard]] RuleSet generate_rules(const ParameterSpace& space,
+                                     const TrendModel& trend,
+                                     const DataGenOptions& options);
+
+}  // namespace harmony::synth

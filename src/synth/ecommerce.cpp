@@ -1,0 +1,152 @@
+#include "synth/ecommerce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace harmony::synth {
+
+namespace {
+
+/// Deterministic per-cell noise in [-1, 1): hashes the cell index vector.
+double cell_noise(const std::vector<std::uint64_t>& cell, std::uint64_t seed) {
+  std::uint64_t state = seed ^ 0x51ed2701a9b4d2e9ULL;
+  std::uint64_t h = splitmix64(state);
+  for (std::uint64_t c : cell) {
+    state ^= c * 0x2545f4914f6cdd1dULL + (h << 1);
+    h = splitmix64(state);
+  }
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return 2.0 * u - 1.0;
+}
+
+}  // namespace
+
+SyntheticSystem::SyntheticSystem(EcommerceOptions options)
+    : opts_(std::move(options)) {
+  HARMONY_REQUIRE(opts_.tunables > 0, "need tunables");
+  HARMONY_REQUIRE(opts_.levels >= 2, "need at least 2 quantization levels");
+  for (std::size_t idx : opts_.irrelevant) {
+    HARMONY_REQUIRE(idx < opts_.tunables, "irrelevant index out of range");
+  }
+
+  // Parameter names D, E, F, ... matching the paper's Fig. 5 axis. Ranges
+  // are deliberately heterogeneous (connection counts, buffer sizes, cache
+  // sizes) so normalization in the sensitivity metric matters.
+  Rng rng(opts_.seed);
+  for (std::size_t i = 0; i < opts_.tunables; ++i) {
+    const char letter = static_cast<char>('D' + static_cast<int>(i));
+    std::string name(1, letter);
+    double min_v = 1.0, max_v = 0.0, step = 1.0;
+    switch (i % 4) {
+      case 0:  // small process/connection counts
+        min_v = 1.0; max_v = 25.0; step = 1.0; break;
+      case 1:  // medium queue lengths
+        min_v = 0.0; max_v = 120.0; step = 5.0; break;
+      case 2:  // power-of-two-ish buffer sizes (KB)
+        min_v = 4.0; max_v = 256.0; step = 12.0; break;
+      default:  // cache sizes (MB)
+        min_v = 8.0; max_v = 512.0; step = 24.0; break;
+    }
+    ParameterDef def(std::move(name), min_v, max_v, step);
+    space_.add(std::move(def));
+  }
+
+  trend_ = TrendModel::random(opts_.tunables, opts_.workload_dims,
+                              opts_.irrelevant, rng,
+                              /*interaction_pairs=*/3,
+                              opts_.workload_coupling);
+  trend_.calibrate(opts_.perf_min, opts_.perf_max, rng);
+}
+
+double SyntheticSystem::measure(const Configuration& config,
+                                const WorkloadSignature& workload) const {
+  HARMONY_REQUIRE(workload.size() == opts_.workload_dims,
+                  "workload arity mismatch");
+  const Configuration snapped = space_.snap(config);
+
+  // Quantize every coordinate (tunables and workload) to its cell centre —
+  // the implicit conjunctive rule that fires for this input.
+  const std::size_t dims = opts_.tunables + opts_.workload_dims;
+  std::vector<double> u(dims);
+  // Jitter cells hash only the dimensions rules may condition on: the
+  // implicit rules never test irrelevant parameters, so changing one must
+  // not move the input to a different rule.
+  std::vector<std::uint64_t> cell;
+  cell.reserve(dims);
+  const auto levels = static_cast<double>(opts_.levels);
+  for (std::size_t i = 0; i < opts_.tunables; ++i) {
+    const double raw = space_.param(i).normalize(snapped[i]);
+    const auto c = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(raw * levels), opts_.levels - 1);
+    if (trend_.weight[i] != 0.0) cell.push_back(c);
+    u[i] = (static_cast<double>(c) + 0.5) / levels;
+  }
+  for (std::size_t k = 0; k < opts_.workload_dims; ++k) {
+    const double raw = std::clamp(workload[k], 0.0, 1.0);
+    const auto c = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(raw * levels), opts_.levels - 1);
+    cell.push_back(c);
+    u[opts_.tunables + k] = (static_cast<double>(c) + 0.5) / levels;
+  }
+
+  const double base = trend_.value(u);
+  const double jitter = opts_.cell_jitter *
+                        (opts_.perf_max - opts_.perf_min) *
+                        cell_noise(cell, opts_.seed);
+  return std::clamp(base + jitter, opts_.perf_min, opts_.perf_max);
+}
+
+WorkloadSignature SyntheticSystem::browsing_workload() const {
+  // Heavy browse interactions, almost no ordering.
+  WorkloadSignature w(opts_.workload_dims, 0.0);
+  if (!w.empty()) w[0] = 0.95;
+  if (w.size() > 1) w[1] = 0.04;
+  if (w.size() > 2) w[2] = 0.01;
+  return w;
+}
+
+WorkloadSignature SyntheticSystem::shopping_workload() const {
+  WorkloadSignature w(opts_.workload_dims, 0.0);
+  if (!w.empty()) w[0] = 0.80;
+  if (w.size() > 1) w[1] = 0.15;
+  if (w.size() > 2) w[2] = 0.05;
+  return w;
+}
+
+WorkloadSignature SyntheticSystem::ordering_workload() const {
+  WorkloadSignature w(opts_.workload_dims, 0.0);
+  if (!w.empty()) w[0] = 0.50;
+  if (w.size() > 1) w[1] = 0.20;
+  if (w.size() > 2) w[2] = 0.30;
+  return w;
+}
+
+WorkloadSignature SyntheticSystem::workload_at_distance(
+    const WorkloadSignature& base, double distance) const {
+  HARMONY_REQUIRE(base.size() == opts_.workload_dims,
+                  "workload arity mismatch");
+  HARMONY_REQUIRE(distance >= 0.0, "distance must be non-negative");
+  if (distance == 0.0 || base.empty()) return base;
+  // Deterministic direction: alternate +/- so the point stays inside the
+  // cube for moderate distances, then clamp (re-normalizing the achieved
+  // distance is the caller's concern; for the Fig. 7 sweep the direction is
+  // fixed so distances stay comparable).
+  std::vector<double> dir(base.size());
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    dir[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    // Point away from the nearest wall so there is room to move.
+    if (base[i] > 0.5) dir[i] = -std::abs(dir[i]);
+  }
+  double norm = 0.0;
+  for (double d : dir) norm += d * d;
+  norm = std::sqrt(norm);
+  WorkloadSignature out = base;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::clamp(base[i] + distance * dir[i] / norm, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace harmony::synth

@@ -1,0 +1,104 @@
+// Synthetic e-commerce system (paper §5).
+//
+// "We choose to generate synthetic data that is similar to an existing
+// e-commerce web application. Three extra parameters are used to mimic the
+// characteristics of the input workloads: browsing, shopping and ordering.
+// The performance is decided by both the input characteristics and the
+// tunable parameter values."
+//
+// The system exposes 15 tunable parameters named D..R (matching Fig. 5's
+// axis labels), two of which — H and M — are performance-irrelevant by
+// construction, plus a 3-dimensional workload-characteristics input. The
+// underlying data is a dense implicit conjunctive rule set: every dimension
+// is quantized into `levels` interval cells, the latent trend is evaluated
+// at the cell centre, and a deterministic per-cell jitter is added. This is
+// logically the same piecewise-constant CNF model DataGen emits (each cell
+// is one conjunctive rule; the tiling makes conflicts impossible) but
+// supports the high rule densities the sensitivity experiments need without
+// materializing the rules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+#include "synth/trend.hpp"
+
+namespace harmony::synth {
+
+struct EcommerceOptions {
+  std::size_t tunables = 15;
+  /// Indices of performance-irrelevant tunables (paper: H=4 and M=9).
+  std::vector<std::size_t> irrelevant = {4, 9};
+  std::size_t workload_dims = 3;
+  /// Quantization levels per dimension (implicit rule granularity).
+  std::size_t levels = 16;
+  double perf_min = 1.0;
+  double perf_max = 50.0;
+  /// Deterministic per-cell jitter as a fraction of the performance range.
+  double cell_jitter = 0.02;
+  /// How strongly the workload characteristics move the tunables' optima
+  /// (0 = workload-independent landscape).
+  double workload_coupling = 0.4;
+  std::uint64_t seed = 2004;
+};
+
+/// Deterministic synthetic system: measure(tunables, workload) -> performance.
+class SyntheticSystem {
+ public:
+  explicit SyntheticSystem(EcommerceOptions options = {});
+
+  [[nodiscard]] const ParameterSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const TrendModel& trend() const noexcept { return trend_; }
+  [[nodiscard]] const EcommerceOptions& options() const noexcept {
+    return opts_;
+  }
+
+  /// Deterministic performance of a tunable configuration under a workload
+  /// signature (arity = workload_dims, components in [0,1]).
+  [[nodiscard]] double measure(const Configuration& config,
+                               const WorkloadSignature& workload) const;
+
+  /// TPC-W-flavoured workload presets (browse/shop/order interaction mix).
+  [[nodiscard]] WorkloadSignature browsing_workload() const;
+  [[nodiscard]] WorkloadSignature shopping_workload() const;
+  [[nodiscard]] WorkloadSignature ordering_workload() const;
+
+  /// A workload at the given Euclidean distance from `base`, moved along a
+  /// deterministic direction and clamped into [0,1]^k — used by the Fig. 7
+  /// experience-distance experiment.
+  [[nodiscard]] WorkloadSignature workload_at_distance(
+      const WorkloadSignature& base, double distance) const;
+
+  /// Ground-truth indices of the irrelevant tunables.
+  [[nodiscard]] const std::vector<std::size_t>& irrelevant() const noexcept {
+    return opts_.irrelevant;
+  }
+
+ private:
+  EcommerceOptions opts_;
+  ParameterSpace space_;
+  TrendModel trend_;
+};
+
+/// Objective binding a SyntheticSystem to a fixed workload. The system must
+/// outlive the objective.
+class SyntheticObjective final : public Objective {
+ public:
+  SyntheticObjective(const SyntheticSystem& system, WorkloadSignature workload)
+      : system_(system), workload_(std::move(workload)) {}
+  double measure(const Configuration& config) override {
+    return system_.measure(config, workload_);
+  }
+  std::string metric_name() const override { return "normalized-perf"; }
+
+ private:
+  const SyntheticSystem& system_;
+  WorkloadSignature workload_;
+};
+
+}  // namespace harmony::synth

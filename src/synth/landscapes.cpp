@@ -1,0 +1,74 @@
+#include "synth/landscapes.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace harmony::synth {
+
+ParameterSpace symmetric_space(std::size_t dims, double bound, double step) {
+  HARMONY_REQUIRE(dims > 0, "need at least one dimension");
+  HARMONY_REQUIRE(bound > 0.0, "bound must be positive");
+  ParameterSpace space;
+  for (std::size_t i = 0; i < dims; ++i) {
+    space.add(ParameterDef("x" + std::to_string(i), -bound, bound, step, 0.0));
+  }
+  return space;
+}
+
+FunctionObjective sphere_objective(double optimum) {
+  return FunctionObjective(
+      [optimum](const Configuration& c) {
+        double s = 0.0;
+        for (double x : c) s -= (x - optimum) * (x - optimum);
+        return s;
+      },
+      "neg-sphere");
+}
+
+FunctionObjective rosenbrock_objective() {
+  return FunctionObjective(
+      [](const Configuration& c) {
+        double s = 0.0;
+        for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+          const double a = c[i + 1] - c[i] * c[i];
+          const double b = 1.0 - c[i];
+          s -= 100.0 * a * a + b * b;
+        }
+        return s;
+      },
+      "neg-rosenbrock");
+}
+
+FunctionObjective rastrigin_objective() {
+  return FunctionObjective(
+      [](const Configuration& c) {
+        double s = 10.0 * static_cast<double>(c.size());
+        for (double x : c) {
+          s += x * x - 10.0 * std::cos(2.0 * std::numbers::pi * x);
+        }
+        return -s;
+      },
+      "neg-rastrigin");
+}
+
+FunctionObjective staircase_objective(double optimum, double span,
+                                      int step_count) {
+  HARMONY_REQUIRE(span > 0.0, "span must be positive");
+  HARMONY_REQUIRE(step_count > 0, "need at least one step");
+  return FunctionObjective(
+      [optimum, span, step_count](const Configuration& c) {
+        double s = 0.0;
+        for (double x : c) {
+          const double closeness =
+              std::max(0.0, 1.0 - std::abs(x - optimum) / span);
+          s += std::floor(static_cast<double>(step_count) * closeness);
+        }
+        return s;
+      },
+      "staircase");
+}
+
+}  // namespace harmony::synth

@@ -1,0 +1,35 @@
+// Analytic discrete test landscapes with known optima, used by unit tests
+// and kernel ablation benches to validate the searchers independently of the
+// synthetic rule model. All are maximization problems (higher is better) on
+// gridded spaces built by the factory helpers.
+#pragma once
+
+#include <cstddef>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+
+namespace harmony::synth {
+
+/// n-dimensional grid [-bound, bound] with the given step per parameter.
+[[nodiscard]] ParameterSpace symmetric_space(std::size_t dims, double bound,
+                                             double step);
+
+/// Inverted sphere: f(x) = -Σ (x_i - o)², maximum at x = o (all dims).
+[[nodiscard]] FunctionObjective sphere_objective(double optimum);
+
+/// Inverted Rosenbrock: f(x) = -Σ [100 (x_{i+1} - x_i²)² + (1 - x_i)²];
+/// maximum at all-ones. Narrow curved valley — hard for axis-only search.
+[[nodiscard]] FunctionObjective rosenbrock_objective();
+
+/// Inverted Rastrigin: f(x) = -[10 n + Σ (x_i² - 10 cos(2π x_i))];
+/// many local optima, global maximum at the origin.
+[[nodiscard]] FunctionObjective rastrigin_objective();
+
+/// Axis-separable staircase: f(x) = Σ floor(step_count * (1 - |x_i - o| /
+/// span)); piecewise-constant like rule data, maximum plateau around o.
+[[nodiscard]] FunctionObjective staircase_objective(double optimum,
+                                                    double span,
+                                                    int step_count);
+
+}  // namespace harmony::synth

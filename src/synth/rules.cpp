@@ -1,0 +1,101 @@
+#include "synth/rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace harmony::synth {
+
+bool Rule::matches(const Configuration& config) const {
+  for (const Condition& c : conditions) {
+    HARMONY_REQUIRE(c.param < config.size(),
+                    "rule condition beyond configuration arity");
+    if (!c.contains(config[c.param])) return false;
+  }
+  return true;
+}
+
+double Rule::distance(const Configuration& config,
+                      const ParameterSpace& space) const {
+  double s = 0.0;
+  for (const Condition& c : conditions) {
+    const ParameterDef& p = space.param(c.param);
+    const double v = config[c.param];
+    double gap = 0.0;
+    if (v < c.lo) gap = c.lo - v;
+    else if (v > c.hi) gap = v - c.hi;
+    const double range = std::max(p.max_value - p.min_value, 1e-12);
+    const double u = gap / range;
+    s += u * u;
+  }
+  return std::sqrt(s);
+}
+
+std::string Rule::to_string(const ParameterSpace& space) const {
+  std::string out = format_double(performance) + " <-";
+  if (conditions.empty()) return out + " true";
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    const Condition& c = conditions[i];
+    out += (i == 0 ? " " : " & ");
+    out += "C(" + space.param(c.param).name + " in [" +
+           format_double(c.lo) + "," + format_double(c.hi) + "])";
+  }
+  return out;
+}
+
+RuleSet::RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {
+  HARMONY_REQUIRE(!rules_.empty(), "empty rule set");
+}
+
+const Rule& RuleSet::rule(std::size_t i) const {
+  HARMONY_REQUIRE(i < rules_.size(), "rule index out of range");
+  return rules_[i];
+}
+
+const Rule* RuleSet::match(const Configuration& config) const {
+  for (const Rule& r : rules_) {
+    if (r.matches(config)) return &r;
+  }
+  return nullptr;
+}
+
+double RuleSet::evaluate(const Configuration& config,
+                         const ParameterSpace& space) const {
+  if (const Rule* r = match(config)) return r->performance;
+  double best_d = std::numeric_limits<double>::infinity();
+  const Rule* best = &rules_.front();
+  for (const Rule& r : rules_) {
+    const double d = r.distance(config, space);
+    if (d < best_d) {
+      best_d = d;
+      best = &r;
+    }
+  }
+  return best->performance;
+}
+
+std::optional<Configuration> RuleSet::find_conflict(const ParameterSpace& space,
+                                                    Rng& rng,
+                                                    int samples) const {
+  for (int i = 0; i < samples; ++i) {
+    const Configuration c = space.random_configuration(rng);
+    int fired = 0;
+    for (const Rule& r : rules_) {
+      if (r.matches(c) && ++fired > 1) return c;
+    }
+  }
+  return std::nullopt;
+}
+
+RuleObjective::RuleObjective(const ParameterSpace& space, RuleSet rules)
+    : space_(space), rules_(std::move(rules)) {}
+
+double RuleObjective::measure(const Configuration& config) {
+  return rules_.evaluate(config, space_);
+}
+
+}  // namespace harmony::synth

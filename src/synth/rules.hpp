@@ -1,0 +1,90 @@
+// Conjunctive-rule performance model (paper §5.1).
+//
+// DataGen produces rules of the form
+//
+//     Pi  <-  Ca(vj) & Cb(vk) & Cc(vl) & ...
+//
+// where each condition tests one input variable against an interval. A rule
+// fires when all its conditions hold; the generated rule set is conflict-free
+// (no point satisfies two rules), and when no rule fires the performance of
+// the *closest* rule is returned. This header models rules explicitly; the
+// generator in datagen.hpp constructs conflict-free sets by recursive
+// axis-aligned partition (conflict-freedom by construction).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+
+namespace harmony::synth {
+
+/// Interval condition on one variable: lo <= v <= hi.
+struct Condition {
+  std::size_t param = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double v) const noexcept {
+    return v >= lo - 1e-12 && v <= hi + 1e-12;
+  }
+};
+
+/// One conjunctive rule: fires when every condition holds.
+struct Rule {
+  std::vector<Condition> conditions;
+  double performance = 0.0;
+
+  [[nodiscard]] bool matches(const Configuration& config) const;
+
+  /// Normalized Euclidean distance from the point to the rule's region
+  /// (0 when inside); drives the closest-rule fallback.
+  [[nodiscard]] double distance(const Configuration& config,
+                                const ParameterSpace& space) const;
+
+  /// "P <- C(v0 in [a,b]) & ..." rendering for diagnostics.
+  [[nodiscard]] std::string to_string(const ParameterSpace& space) const;
+};
+
+/// Immutable set of conjunctive rules with closest-rule fallback.
+class RuleSet {
+ public:
+  explicit RuleSet(std::vector<Rule> rules);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] const Rule& rule(std::size_t i) const;
+
+  /// The matching rule, or nullptr when none fires.
+  [[nodiscard]] const Rule* match(const Configuration& config) const;
+
+  /// Performance: the matching rule's value, else the closest rule's
+  /// (paper: "when no rule is satisfied, it will return the performance
+  /// result from the closest rule"). Throws on an empty set.
+  [[nodiscard]] double evaluate(const Configuration& config,
+                                const ParameterSpace& space) const;
+
+  /// Verifies at most one rule fires for `samples` random configurations
+  /// (spot-check of the no-conflict guarantee); returns the first
+  /// conflicting configuration found, if any.
+  [[nodiscard]] std::optional<Configuration> find_conflict(
+      const ParameterSpace& space, Rng& rng, int samples) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Objective adapter over a RuleSet for a fixed space.
+class RuleObjective final : public Objective {
+ public:
+  RuleObjective(const ParameterSpace& space, RuleSet rules);
+  double measure(const Configuration& config) override;
+  std::string metric_name() const override { return "synthetic"; }
+
+ private:
+  const ParameterSpace& space_;
+  RuleSet rules_;
+};
+
+}  // namespace harmony::synth

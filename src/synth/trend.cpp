@@ -1,0 +1,118 @@
+#include "synth/trend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace harmony::synth {
+
+double TrendModel::effective_optimum(std::size_t i,
+                                     const std::vector<double>& wl) const {
+  HARMONY_REQUIRE(i < tunable_dims, "tunable index out of range");
+  HARMONY_REQUIRE(wl.size() == workload_dims, "workload arity mismatch");
+  double o = optimum[i];
+  for (std::size_t k = 0; k < workload_dims; ++k) {
+    o += workload_shift[i][k] * (wl[k] - 0.5);
+  }
+  return std::clamp(o, 0.05, 0.95);
+}
+
+double TrendModel::raw(const std::vector<double>& u) const {
+  HARMONY_REQUIRE(u.size() == tunable_dims + workload_dims,
+                  "trend coordinate arity mismatch");
+  const std::vector<double> wl(u.begin() + static_cast<long>(tunable_dims),
+                               u.end());
+  double s = 0.0;
+  for (std::size_t i = 0; i < tunable_dims; ++i) {
+    if (weight[i] == 0.0) continue;
+    const double d = u[i] - effective_optimum(i, wl);
+    s -= weight[i] * d * d;
+  }
+  for (std::size_t k = 0; k < workload_dims; ++k) {
+    s += workload_direct[k] * wl[k];
+  }
+  for (const Interaction& x : interactions) {
+    s += x.w * (u[x.a] - optimum[x.a]) * (u[x.b] - optimum[x.b]);
+  }
+  return s;
+}
+
+TrendModel TrendModel::random(std::size_t tunable_dims,
+                              std::size_t workload_dims,
+                              const std::vector<std::size_t>& irrelevant,
+                              Rng& rng, int interaction_pairs,
+                              double workload_coupling) {
+  HARMONY_REQUIRE(tunable_dims > 0, "need at least one tunable dim");
+  TrendModel m;
+  m.tunable_dims = tunable_dims;
+  m.workload_dims = workload_dims;
+  m.weight.resize(tunable_dims);
+  m.optimum.resize(tunable_dims);
+  m.workload_shift.assign(tunable_dims,
+                          std::vector<double>(workload_dims, 0.0));
+  m.workload_direct.resize(workload_dims);
+
+  auto is_irrelevant = [&](std::size_t i) {
+    return std::find(irrelevant.begin(), irrelevant.end(), i) !=
+           irrelevant.end();
+  };
+
+  for (std::size_t i = 0; i < tunable_dims; ++i) {
+    m.weight[i] = is_irrelevant(i) ? 0.0 : rng.uniform(0.85, 1.8);
+    m.optimum[i] = rng.uniform(0.2, 0.8);
+    for (std::size_t k = 0; k < workload_dims; ++k) {
+      m.workload_shift[i][k] =
+          is_irrelevant(i) ? 0.0
+                           : rng.uniform(-workload_coupling,
+                                         workload_coupling);
+    }
+  }
+  for (std::size_t k = 0; k < workload_dims; ++k) {
+    m.workload_direct[k] = rng.uniform(-0.3, 0.3);
+  }
+  // Interactions only between relevant tunables, kept weak relative to the
+  // main effects (the prioritizing tool assumes small interactions, §3).
+  std::vector<std::size_t> relevant;
+  for (std::size_t i = 0; i < tunable_dims; ++i) {
+    if (!is_irrelevant(i)) relevant.push_back(i);
+  }
+  for (int p = 0; p < interaction_pairs && relevant.size() >= 2; ++p) {
+    Interaction x;
+    x.a = relevant[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(relevant.size()) - 1))];
+    do {
+      x.b = relevant[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(relevant.size()) - 1))];
+    } while (x.b == x.a);
+    x.w = rng.uniform(-0.15, 0.15);
+    m.interactions.push_back(x);
+  }
+  return m;
+}
+
+void TrendModel::calibrate(double perf_min, double perf_max, Rng& rng,
+                           int probes) {
+  HARMONY_REQUIRE(perf_max > perf_min, "calibration range inverted");
+  HARMONY_REQUIRE(probes >= 2, "need probes");
+  const std::size_t dims = tunable_dims + workload_dims;
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  std::vector<double> u(dims);
+  for (int p = 0; p < probes; ++p) {
+    for (double& v : u) v = rng.uniform01();
+    const double r = raw(u);
+    if (first) {
+      lo = hi = r;
+      first = false;
+    } else {
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+  }
+  const double span = std::max(hi - lo, 1e-9);
+  out_scale = (perf_max - perf_min) / span;
+  out_offset = perf_min - lo * out_scale;
+}
+
+}  // namespace harmony::synth

@@ -1,0 +1,76 @@
+// Latent performance-trend model behind the synthetic data.
+//
+// DataGen's rule sets were "carefully generated" to mimic a real e-commerce
+// system (paper §5.1): performance depends on both the tunable parameters
+// and the workload characteristics, some parameters are performance-
+// irrelevant, and desirable configurations sit in the interior of the space
+// (extreme values perform poorly — the premise of §4.1). This trend model
+// captures that structure over normalized coordinates:
+//
+//   raw(u) = Σ_i -w_i (u_i - o_i(u_wl))²              (tunable dims)
+//          + Σ_k d_k u_wl_k                            (workload dims)
+//          + Σ_(a,b) w_ab (u_a - o_a)(u_b - o_b)       (interactions)
+//
+// where each tunable's effective optimum o_i shifts with the workload
+// characteristics — different workloads prefer different configurations,
+// which is what makes historical-data reuse (§4.2) non-trivial. Irrelevant
+// parameters have w_i = 0. The raw value is affinely calibrated to the
+// paper's normalized performance range (1..50).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace harmony::synth {
+
+struct TrendModel {
+  std::size_t tunable_dims = 0;
+  std::size_t workload_dims = 0;
+
+  std::vector<double> weight;    ///< per tunable dim; 0 = irrelevant
+  std::vector<double> optimum;   ///< base optimum per tunable dim, in (0,1)
+  /// optimum shift of tunable i per workload dim k (tunable-major).
+  std::vector<std::vector<double>> workload_shift;
+  std::vector<double> workload_direct;  ///< direct effect of workload dim k
+
+  struct Interaction {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    double w = 0.0;
+  };
+  std::vector<Interaction> interactions;
+
+  double out_scale = 1.0;
+  double out_offset = 0.0;
+
+  /// Effective optimum of tunable `i` under workload coordinates `wl`
+  /// (normalized, length workload_dims), clamped to (0.05, 0.95) so optima
+  /// stay interior.
+  [[nodiscard]] double effective_optimum(std::size_t i,
+                                         const std::vector<double>& wl) const;
+
+  /// Unscaled trend at normalized coordinates (tunables ++ workload).
+  [[nodiscard]] double raw(const std::vector<double>& u) const;
+
+  /// Calibrated value: out_offset + out_scale * raw(u).
+  [[nodiscard]] double value(const std::vector<double>& u) const {
+    return out_offset + out_scale * raw(u);
+  }
+
+  /// Random model. `irrelevant` lists tunable dims with zero weight;
+  /// `workload_coupling` scales how strongly workloads move the optima.
+  [[nodiscard]] static TrendModel random(std::size_t tunable_dims,
+                                         std::size_t workload_dims,
+                                         const std::vector<std::size_t>& irrelevant,
+                                         Rng& rng,
+                                         int interaction_pairs = 3,
+                                         double workload_coupling = 0.35);
+
+  /// Chooses out_scale/out_offset so that `probes` random points map into
+  /// [perf_min, perf_max] (affine min/max fit over the probe sample).
+  void calibrate(double perf_min, double perf_max, Rng& rng, int probes = 4000);
+};
+
+}  // namespace harmony::synth

@@ -1,0 +1,37 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  HARMONY_REQUIRE(!cells.empty(), "empty CSV row");
+  if (first_) {
+    arity_ = cells.size();
+    first_ = false;
+  } else {
+    HARMONY_REQUIRE(cells.size() == arity_, "CSV row arity mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace harmony

@@ -1,0 +1,29 @@
+// Minimal CSV emission for bench outputs that downstream plotting can ingest.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+/// RFC-4180-style CSV writer: quotes fields containing commas, quotes or
+/// newlines and doubles embedded quotes.
+class CsvWriter {
+ public:
+  /// Writes to the given stream, which must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Emits one row. The first call fixes the arity; later rows must match.
+  void row(const std::vector<std::string>& cells);
+
+  /// Escapes one field per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+  std::size_t arity_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace harmony

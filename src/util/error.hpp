@@ -1,0 +1,46 @@
+// Error type shared across the Active Harmony reproduction libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace harmony {
+
+/// Exception thrown for all recoverable library errors (bad arguments,
+/// malformed input files, singular systems, ...). Carries a plain message;
+/// callers that need structured data should catch more specific subclasses.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by the RSL parser on malformed specification text. Carries the
+/// 1-based line number where parsing failed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error(what + " (line " + std::to_string(line) + ")"), line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw Error(std::string("requirement failed: ") + expr + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+/// Precondition check that throws harmony::Error (never disabled, unlike
+/// assert): use for argument validation on public API boundaries.
+#define HARMONY_REQUIRE(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::harmony::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)
+
+}  // namespace harmony

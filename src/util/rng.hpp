@@ -1,0 +1,79 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in the reproduction (synthetic-data generation,
+// measurement perturbation, the web-service simulator) takes an explicit
+// harmony::Rng so experiments are reproducible from a single seed. The
+// generator is xoshiro256** seeded through splitmix64, following the
+// reference implementations by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace harmony {
+
+/// splitmix64 step: used to expand a single 64-bit seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with convenience distributions. Satisfies
+/// UniformRandomBitGenerator so it can also be used with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Standard normal via the Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (sd >= 0).
+  [[nodiscard]] double normal(double mean, double sd);
+
+  /// Exponential with the given rate (rate > 0); mean is 1/rate.
+  [[nodiscard]] double exponential(double rate);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative and sum to a positive value.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-replica streams).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace harmony

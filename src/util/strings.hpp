@@ -1,0 +1,38 @@
+// Small string helpers shared by the RSL parser, CSV writer and persistence.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a single character; adjacent delimiters produce empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on runs of ASCII whitespace; never produces empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins with a delimiter.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view delim);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// Formats a double compactly ("%g" with enough digits to round-trip short
+/// values); used in tables and persistence files.
+[[nodiscard]] std::string format_double(double v);
+
+/// Parses a double, throwing harmony::Error when the whole string is not a
+/// valid number.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// Parses a long integer, throwing harmony::Error on any trailing garbage.
+[[nodiscard]] long parse_long(std::string_view s);
+
+}  // namespace harmony

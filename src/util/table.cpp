@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace harmony {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HARMONY_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HARMONY_REQUIRE(cells.size() == header_.size(),
+                  "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return std::string(buf);
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol);
+  std::vector<bool> numeric(ncol, true);
+  for (std::size_t c = 0; c < ncol; ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!looks_numeric(row[c])) numeric[c] = false;
+    }
+    if (rows_.empty()) numeric[c] = false;
+  }
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncol; ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells, bool align_num) {
+    os << '|';
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string& s = cells[c];
+      const std::size_t pad = width[c] - s.size();
+      os << ' ';
+      if (align_num && numeric[c]) {
+        for (std::size_t i = 0; i < pad; ++i) os << ' ';
+        os << s;
+      } else {
+        os << s;
+        for (std::size_t i = 0; i < pad; ++i) os << ' ';
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  emit(header_, false);
+  rule();
+  for (const auto& row : rows_) emit(row, true);
+  rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  CsvWriter csv(os);
+  csv.row(header_);
+  for (const auto& row : rows_) csv.row(row);
+}
+
+}  // namespace harmony

@@ -1,0 +1,37 @@
+// Console table renderer used by the benchmark harnesses to print the
+// paper's tables and figure series in a readable, aligned form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+/// Column-aligned ASCII table. Cells are strings; numeric columns are
+/// right-aligned automatically when every cell in the column parses as a
+/// number.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with box-drawing separators to the stream.
+  void print(std::ostream& os) const;
+
+  /// Emits header + rows as RFC-4180 CSV (for downstream plotting).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,49 @@
+#include "websim/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "websim/profile.hpp"
+
+namespace harmony::websim {
+
+namespace {
+/// CDF of the exponential request-size distribution.
+double size_cdf(double kb) noexcept {
+  if (kb <= 0.0) return 0.0;
+  return 1.0 - std::exp(-kb / profile::kStaticMeanObjectKb);
+}
+}  // namespace
+
+double CacheModel::cacheable_fraction() const noexcept {
+  const double lo = std::max(0.0, min_object_kb);
+  const double hi = std::max(lo, max_object_kb);
+  return std::max(0.0, size_cdf(hi) - size_cdf(lo));
+}
+
+double CacheModel::coverage() const noexcept {
+  // Working set inside the window scales with the byte-weighted share of
+  // the distribution. Byte weight of [lo, hi] under an exponential with
+  // mean m: integral of s f(s) ds, normalized by m.
+  const double m = profile::kStaticMeanObjectKb;
+  auto byte_mass = [m](double kb) {
+    if (kb <= 0.0) return 0.0;
+    // ∫_0^kb s (1/m) e^{-s/m} ds = m - e^{-kb/m} (kb + m)
+    return m - std::exp(-kb / m) * (kb + m);
+  };
+  const double lo = std::max(0.0, min_object_kb);
+  const double hi = std::max(lo, max_object_kb);
+  const double window_bytes_share =
+      std::max(1e-9, (byte_mass(hi) - byte_mass(lo)) / m);
+  const double window_set_kb =
+      profile::kStaticWorkingSetKb * window_bytes_share;
+  const double cache_kb = cache_mb * 1024.0;
+  if (window_set_kb <= 0.0) return 0.0;
+  return std::clamp(cache_kb / window_set_kb, 0.0, 1.0);
+}
+
+double CacheModel::hit_probability() const noexcept {
+  return profile::kCacheLocalityCeiling * cacheable_fraction() * coverage();
+}
+
+}  // namespace harmony::websim

@@ -1,0 +1,34 @@
+// Analytic proxy-cache model.
+//
+// Squid's behaviour is reduced to the quantities the tunables control:
+// which objects are cacheable (min/max object size window) and how much of
+// the cacheable working set fits in memory (cache_mem). Request sizes
+// follow an exponential distribution over object sizes, so most requests
+// target small objects; the hit probability for a static request is
+//
+//   P(hit) = locality * P(size in [min,max]) * coverage(cache_mb, window)
+//
+// where coverage is the fraction of the in-window working set that fits.
+// The model is deterministic; the simulator draws per-request Bernoulli
+// outcomes from it.
+#pragma once
+
+namespace harmony::websim {
+
+struct CacheModel {
+  double min_object_kb = 0.0;
+  double max_object_kb = 96.0;
+  double cache_mb = 128.0;
+
+  /// Probability a random static *request* targets an object inside the
+  /// cacheable size window.
+  [[nodiscard]] double cacheable_fraction() const noexcept;
+
+  /// Fraction of the in-window working set resident in cache memory.
+  [[nodiscard]] double coverage() const noexcept;
+
+  /// Overall hit probability for a static request.
+  [[nodiscard]] double hit_probability() const noexcept;
+};
+
+}  // namespace harmony::websim

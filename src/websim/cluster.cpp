@@ -1,0 +1,380 @@
+#include "websim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "websim/cache.hpp"
+#include "websim/des.hpp"
+#include "websim/pool.hpp"
+#include "websim/profile.hpp"
+#include "websim/station.hpp"
+
+namespace harmony::websim {
+
+namespace {
+
+constexpr double kMsToSec = 1e-3;
+
+/// Mutable state of one simulation run, shared by the browser callbacks.
+///
+/// Topology (Appendix A): proxy box (Squid) -> web/app box (Tomcat: HTTP
+/// connectors for static files, AJP processors for servlets) -> DB box
+/// (MySQL connection pool). Each box has a dual-CPU station; connector /
+/// processor / connection pools are admission limits whose slots are held
+/// across the nested work they trigger.
+struct World {
+  Simulation sim;
+  Rng rng;
+  ClusterConfig cfg;
+  SimOptions opts;
+  CacheModel cache;
+
+  std::unique_ptr<ServiceStation> proxy_cpu;
+  std::unique_ptr<ServiceStation> webapp_cpu;
+  std::unique_ptr<ResourcePool> http_pool;
+  std::unique_ptr<ResourcePool> ajp_pool;
+  std::unique_ptr<ResourcePool> db_conns;
+  std::unique_ptr<ServiceStation> db_engine;
+
+  // Delayed-insert queue: a fluid level draining at a constant rate.
+  double delayed_level = 0.0;
+  SimTime delayed_updated = 0.0;
+
+  // Measurement accumulators (inside the measurement window only).
+  std::uint64_t completed = 0;
+  std::uint64_t completed_browse = 0;
+  std::uint64_t completed_order = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t static_requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::vector<double> latencies_ms;
+
+  [[nodiscard]] bool measuring() const noexcept {
+    return sim.now() >= opts.warmup_s &&
+           sim.now() < opts.warmup_s + opts.measure_s;
+  }
+
+  /// Admits one write to the delayed queue; true when absorbed async.
+  bool delayed_write() {
+    const double elapsed = sim.now() - delayed_updated;
+    delayed_level = std::max(
+        0.0, delayed_level - elapsed * profile::kDbDelayedDrainPerSec);
+    delayed_updated = sim.now();
+    if (delayed_level + 1.0 <= static_cast<double>(cfg.mysql_delayed_queue)) {
+      delayed_level += 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  // --- configuration-dependent CPU / service times (seconds) -------------
+
+  /// Tomcat CPU to serve one static file on a proxy miss: disk+serve CPU
+  /// plus buffer-fill overhead (small buffers mean many fills) plus a mild
+  /// memory penalty for huge buffers.
+  [[nodiscard]] double static_serve_cpu(double object_kb) const {
+    const double buffer = std::max(1.0, double(cfg.http_buffer_kb));
+    const double ms = profile::kStaticServeCpuMs +
+                      profile::kHttpPerFillMs * (object_kb / buffer) +
+                      profile::kHttpBufferMemMs * buffer;
+    return ms * kMsToSec;
+  }
+
+  /// Servlet CPU burst; configured processor pools beyond the box's comfort
+  /// level pay a memory/context-switch thrashing tax on every burst.
+  [[nodiscard]] double servlet_cpu(double cpu_ms) const {
+    const double excess = std::max(
+        0.0, double(cfg.ajp_max_processors) - profile::kAppComfortProcessors);
+    const double thrash = 1.0 + profile::kAppThrashCoeff * excess * excess;
+    return (profile::kAppDispatchMs + cpu_ms * thrash) * kMsToSec;
+  }
+
+  /// One DB query held on a connection: CPU (inflated by lock contention
+  /// with concurrently active connections) + result transfer through the
+  /// net buffer + buffer/queue memory taxes + write handling.
+  [[nodiscard]] double db_query_time(double payload_kb, bool write) {
+    const double active = static_cast<double>(db_conns->in_use());
+    const double frac = active / profile::kDbComfortConnections;
+    const double contention =
+        1.0 + profile::kDbContentionCoeff * frac * frac;
+    const double buffer = std::max(1.0, double(cfg.mysql_net_buffer_kb));
+    const double throughput = profile::kDbThroughputMax * buffer /
+                              (buffer + profile::kDbBufferHalf);  // KB/ms
+    double ms = profile::kDbQueryCpuMs * contention +
+                payload_kb / throughput +
+                profile::kDbBufferMemMs * buffer +
+                profile::kDbDelayedMemMs * double(cfg.mysql_delayed_queue);
+    if (write) {
+      ms += delayed_write() ? profile::kDbAsyncWriteMs
+                            : profile::kDbSyncWriteMs;
+    }
+    return ms * kMsToSec;
+  }
+};
+
+/// One in-flight interaction attempt.
+struct Request {
+  Interaction interaction;
+  SimTime issued_at = 0.0;
+  int queries_left = 0;
+  bool write_pending = false;
+};
+
+class Browser;
+void issue(World& w, const std::shared_ptr<Request>& req,
+           const std::shared_ptr<Browser>& browser);
+
+/// Closed-loop emulated browser: think, issue, wait, repeat. Dropped
+/// attempts back off and retry the same interaction.
+class Browser : public std::enable_shared_from_this<Browser> {
+ public:
+  explicit Browser(World& w)
+      : w_(w),
+        rng_(w.rng.split()),
+        source_(w.opts.mix, w.opts.session_persistence) {}
+
+  void start(SimTime initial_delay) {
+    w_.sim.schedule(initial_delay,
+                    [self = shared_from_this()] { self->next(); });
+  }
+
+  void next() {
+    const double think = rng_.exponential(1.0 / profile::kThinkTimeMeanSec);
+    w_.sim.schedule(think, [self = shared_from_this()] { self->fire(); });
+  }
+
+  void fire() {
+    auto req = std::make_shared<Request>();
+    req->interaction = source_.next(rng_);
+    begin_attempt(req);
+  }
+
+  void begin_attempt(const std::shared_ptr<Request>& req) {
+    req->issued_at = w_.sim.now();
+    if (w_.measuring()) ++w_.attempts;
+    issue(w_, req, shared_from_this());
+  }
+
+  void complete(const std::shared_ptr<Request>& req) {
+    if (w_.measuring()) {
+      ++w_.completed;
+      if (is_order_interaction(req->interaction)) {
+        ++w_.completed_order;
+      } else {
+        ++w_.completed_browse;
+      }
+      w_.latencies_ms.push_back((w_.sim.now() - req->issued_at) / kMsToSec);
+    }
+    next();
+  }
+
+  void retry(const std::shared_ptr<Request>& req) {
+    if (w_.measuring()) ++w_.dropped;
+    w_.sim.schedule(profile::kRetryBackoffSec,
+                    [self = shared_from_this(), req] {
+                      self->begin_attempt(req);
+                    });
+  }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  World& w_;
+  Rng rng_;
+  SessionSource source_;
+};
+
+/// Sequential DB round trips; the caller's AJP slot stays held throughout.
+void db_stage(World& w, const std::shared_ptr<Request>& req,
+              const std::shared_ptr<Browser>& browser) {
+  if (req->queries_left == 0) {
+    // Render the response, release the processor, return to the client.
+    w.webapp_cpu->submit(
+        profile::kAppRenderMs * kMsToSec,
+        [&w, req, browser](bool) {
+          w.ajp_pool->release();
+          w.sim.schedule(profile::kNetworkRttMs * kMsToSec,
+                         [req, browser] { browser->complete(req); });
+        });
+    return;
+  }
+  --req->queries_left;
+  const auto& prof = interaction_profile(req->interaction);
+  const bool write = req->write_pending && req->queries_left == 0;
+  if (write) req->write_pending = false;
+  w.db_conns->acquire([&w, req, browser, &prof, write](bool granted) {
+    if (!granted) {
+      w.ajp_pool->release();
+      browser->retry(req);
+      return;
+    }
+    // The connection is held while the query waits for and uses one of the
+    // engine's I/O ways — slow transfers cap DB throughput.
+    w.db_engine->submit(w.db_query_time(prof.db_payload_kb, write),
+                        [&w, req, browser](bool) {
+                          w.db_conns->release();
+                          db_stage(w, req, browser);
+                        });
+  });
+}
+
+/// Dynamic path: AJP processor held across servlet CPU + all DB queries.
+void dynamic_stage(World& w, const std::shared_ptr<Request>& req,
+                   const std::shared_ptr<Browser>& browser) {
+  const auto& prof = interaction_profile(req->interaction);
+  w.ajp_pool->acquire([&w, req, browser, &prof](bool granted) {
+    if (!granted) {
+      browser->retry(req);
+      return;
+    }
+    w.webapp_cpu->submit(w.servlet_cpu(prof.app_cpu_ms),
+                         [&w, req, browser, &prof](bool) {
+                           req->queries_left = prof.db_queries;
+                           req->write_pending = prof.db_write;
+                           db_stage(w, req, browser);
+                         });
+  });
+}
+
+/// Static path on a proxy miss: HTTP connector held across the file serve.
+void static_stage(World& w, const std::shared_ptr<Request>& req,
+                  const std::shared_ptr<Browser>& browser) {
+  const auto& prof = interaction_profile(req->interaction);
+  w.http_pool->acquire([&w, req, browser, &prof](bool granted) {
+    if (!granted) {
+      browser->retry(req);
+      return;
+    }
+    w.webapp_cpu->submit(w.static_serve_cpu(prof.object_kb),
+                         [&w, req, browser](bool) {
+                           w.http_pool->release();
+                           w.sim.schedule(
+                               profile::kNetworkRttMs * kMsToSec,
+                               [req, browser] { browser->complete(req); });
+                         });
+  });
+}
+
+void issue(World& w, const std::shared_ptr<Request>& req,
+           const std::shared_ptr<Browser>& browser) {
+  const auto& prof = interaction_profile(req->interaction);
+  const bool is_static = browser->rng().bernoulli(prof.static_fraction);
+  if (is_static && w.measuring()) ++w.static_requests;
+
+  const bool cache_hit =
+      is_static && browser->rng().bernoulli(w.cache.hit_probability());
+  if (cache_hit && w.measuring()) ++w.cache_hits;
+
+  const double proxy_ms =
+      cache_hit ? profile::kProxyHitMs : profile::kProxyForwardMs;
+  w.proxy_cpu->submit(proxy_ms * kMsToSec,
+                      [&w, req, browser, is_static, cache_hit](bool) {
+                        if (cache_hit) {
+                          browser->complete(req);
+                        } else if (is_static) {
+                          static_stage(w, req, browser);
+                        } else {
+                          dynamic_stage(w, req, browser);
+                        }
+                      });
+}
+
+}  // namespace
+
+SimMetrics simulate_cluster(const ClusterConfig& config,
+                            const SimOptions& options) {
+  HARMONY_REQUIRE(options.emulated_browsers > 0, "need browsers");
+  HARMONY_REQUIRE(options.measure_s > 0.0, "need a measurement window");
+
+  World w{Simulation{}, Rng{options.seed}, config, options, CacheModel{}};
+  w.cache.min_object_kb = config.proxy_min_object_kb;
+  w.cache.max_object_kb = config.proxy_max_object_kb;
+  w.cache.cache_mb = config.proxy_cache_mb;
+
+  w.proxy_cpu = std::make_unique<ServiceStation>(
+      w.sim, "proxy-cpu", profile::kCpusPerBox, profile::kCpuQueue);
+  w.webapp_cpu = std::make_unique<ServiceStation>(
+      w.sim, "webapp-cpu", profile::kCpusPerBox, profile::kCpuQueue);
+  w.http_pool = std::make_unique<ResourcePool>(
+      w.sim, "http", profile::kHttpWorkers,
+      std::max(0, config.http_accept_count));
+  w.ajp_pool = std::make_unique<ResourcePool>(
+      w.sim, "ajp", std::max(1, config.ajp_max_processors),
+      std::max(0, config.ajp_accept_count));
+  w.db_conns = std::make_unique<ResourcePool>(
+      w.sim, "db", std::max(1, config.mysql_max_connections),
+      profile::kDbWaitQueue);
+  w.db_engine = std::make_unique<ServiceStation>(
+      w.sim, "db-engine", profile::kDbEngineWays, profile::kCpuQueue);
+
+  std::vector<std::shared_ptr<Browser>> browsers;
+  browsers.reserve(static_cast<std::size_t>(options.emulated_browsers));
+  for (int i = 0; i < options.emulated_browsers; ++i) {
+    auto b = std::make_shared<Browser>(w);
+    b->start(w.rng.uniform(0.0, 1.0));
+    browsers.push_back(std::move(b));
+  }
+
+  w.sim.run_until(options.warmup_s + options.measure_s);
+
+  SimMetrics m;
+  m.completed = w.completed;
+  m.dropped = w.dropped;
+  m.wips = static_cast<double>(w.completed) / options.measure_s;
+  m.wips_browse = static_cast<double>(w.completed_browse) / options.measure_s;
+  m.wips_order = static_cast<double>(w.completed_order) / options.measure_s;
+  if (!w.latencies_ms.empty()) {
+    m.mean_latency_ms = mean(w.latencies_ms);
+    m.p95_latency_ms = percentile(w.latencies_ms, 95.0);
+  }
+  if (w.attempts > 0) {
+    m.drop_rate =
+        static_cast<double>(w.dropped) / static_cast<double>(w.attempts);
+  }
+  if (w.static_requests > 0) {
+    m.cache_hit_rate = static_cast<double>(w.cache_hits) /
+                       static_cast<double>(w.static_requests);
+  }
+  m.events = w.sim.executed_events();
+
+  const double horizon = options.warmup_s + options.measure_s;
+  m.proxy_cpu_utilization =
+      w.proxy_cpu->stats().utilization(horizon, profile::kCpusPerBox);
+  m.webapp_cpu_utilization =
+      w.webapp_cpu->stats().utilization(horizon, profile::kCpusPerBox);
+  m.db_engine_utilization =
+      w.db_engine->stats().utilization(horizon, profile::kDbEngineWays);
+  const auto pool_mean_wait_ms = [](const ResourcePool& pool) {
+    const auto& s = pool.stats();
+    return s.grants == 0
+               ? 0.0
+               : 1e3 * s.total_wait / static_cast<double>(s.grants);
+  };
+  m.ajp_mean_wait_ms = pool_mean_wait_ms(*w.ajp_pool);
+  m.db_conn_mean_wait_ms = pool_mean_wait_ms(*w.db_conns);
+  m.http_rejects = w.http_pool->stats().rejects;
+  m.ajp_rejects = w.ajp_pool->stats().rejects;
+  return m;
+}
+
+ClusterObjective::ClusterObjective(SimOptions base)
+    : base_(base), seed_stream_(base.seed) {}
+
+void ClusterObjective::pin_seed(std::uint64_t seed) noexcept {
+  pinned_ = true;
+  base_.seed = seed;
+}
+
+double ClusterObjective::measure(const Configuration& config) {
+  SimOptions opts = base_;
+  if (!pinned_) opts.seed = seed_stream_();
+  last_ = simulate_cluster(ClusterConfig::from_configuration(config), opts);
+  return last_.wips;
+}
+
+}  // namespace harmony::websim

@@ -1,0 +1,85 @@
+// Cluster-based web-service simulator (paper §6, Appendix A).
+//
+// Stands in for the paper's 10-node Squid + Tomcat + MySQL testbed running
+// TPC-W: closed-loop emulated browsers issue interactions drawn from a
+// WorkloadMix; each request flows proxy -> web server -> application server
+// -> database as its profile demands; tier capacities, buffers, cache sizes
+// and queue depths come from the ten ClusterConfig tunables. The metric is
+// WIPS (web interactions per second) measured after warm-up, with WIPSb /
+// WIPSo browse/order breakdowns as in the TPC-W specification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+#include "util/rng.hpp"
+#include "websim/config.hpp"
+#include "websim/tpcw.hpp"
+
+namespace harmony::websim {
+
+struct SimOptions {
+  WorkloadMix mix = WorkloadMix::shopping();
+  int emulated_browsers = 150;
+  double warmup_s = 4.0;
+  double measure_s = 30.0;
+  std::uint64_t seed = 1;
+  /// Session burstiness: probability a browser's next interaction stays in
+  /// its current browse/order class (see SessionSource). 0 = i.i.d. draws.
+  double session_persistence = 0.55;
+};
+
+struct SimMetrics {
+  double wips = 0.0;         ///< completed interactions / measure_s
+  double wips_browse = 0.0;  ///< WIPSb
+  double wips_order = 0.0;   ///< WIPSo
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double drop_rate = 0.0;       ///< dropped attempts / total attempts
+  double cache_hit_rate = 0.0;  ///< hits / static requests
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t events = 0;  ///< DES events executed
+
+  /// Per-tier telemetry over the whole run (warm-up included): where the
+  /// bottleneck sits for a given configuration and mix.
+  double proxy_cpu_utilization = 0.0;
+  double webapp_cpu_utilization = 0.0;
+  double db_engine_utilization = 0.0;
+  double ajp_mean_wait_ms = 0.0;     ///< queueing delay for an AJP slot
+  double db_conn_mean_wait_ms = 0.0; ///< queueing delay for a DB connection
+  std::uint64_t http_rejects = 0;    ///< connector backlog overflows
+  std::uint64_t ajp_rejects = 0;
+};
+
+/// Runs one simulation of the cluster under `config`.
+[[nodiscard]] SimMetrics simulate_cluster(const ClusterConfig& config,
+                                          const SimOptions& options);
+
+/// Objective adapter: each measurement is one fresh simulation run with a
+/// new seed drawn from the internal stream, so repeated measurements show
+/// realistic run-to-run variation (the live-system behaviour §5.2 models
+/// with explicit perturbation).
+class ClusterObjective final : public Objective {
+ public:
+  explicit ClusterObjective(SimOptions base);
+  double measure(const Configuration& config) override;
+  std::string metric_name() const override { return "WIPS"; }
+
+  /// Full metrics of the most recent measurement.
+  [[nodiscard]] const SimMetrics& last_metrics() const noexcept {
+    return last_;
+  }
+  /// Fix the seed for every run (deterministic objective; used in tests).
+  void pin_seed(std::uint64_t seed) noexcept;
+
+ private:
+  SimOptions base_;
+  Rng seed_stream_;
+  bool pinned_ = false;
+  SimMetrics last_;
+};
+
+}  // namespace harmony::websim

@@ -1,0 +1,65 @@
+#include "websim/config.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace harmony::websim {
+
+ParameterSpace ClusterConfig::parameter_space() {
+  ParameterSpace space;
+  const ClusterConfig d{};  // defaults above double as the default column
+  space.add(ParameterDef("AJPAcceptCount", 0, 200, 10, d.ajp_accept_count));
+  space.add(
+      ParameterDef("AJPMaxProcessors", 1, 64, 1, d.ajp_max_processors));
+  space.add(ParameterDef("HTTPBufferSize", 4, 256, 12, d.http_buffer_kb));
+  space.add(ParameterDef("HTTPAcceptCount", 0, 200, 10, d.http_accept_count));
+  space.add(ParameterDef("MYSQLMaxConnections", 2, 100, 2,
+                         d.mysql_max_connections));
+  space.add(ParameterDef("MYSQLDelayedQueue", 0, 200, 8,
+                         d.mysql_delayed_queue));
+  space.add(
+      ParameterDef("MYSQLNetBuffer", 4, 128, 4, d.mysql_net_buffer_kb));
+  space.add(
+      ParameterDef("PROXYMaxObjectInMemory", 8, 512, 24, d.proxy_max_object_kb));
+  space.add(ParameterDef("PROXYMinObject", 0, 64, 4, d.proxy_min_object_kb));
+  space.add(ParameterDef("PROXYCacheMem", 8, 512, 24, d.proxy_cache_mb));
+  return space;
+}
+
+ClusterConfig ClusterConfig::from_configuration(const Configuration& config) {
+  HARMONY_REQUIRE(config.size() == kClusterParamCount,
+                  "cluster configuration needs 10 values");
+  auto as_int = [&](std::size_t i) {
+    return static_cast<int>(std::llround(config[i]));
+  };
+  ClusterConfig c;
+  c.ajp_accept_count = as_int(kAjpAcceptCount);
+  c.ajp_max_processors = as_int(kAjpMaxProcessors);
+  c.http_buffer_kb = as_int(kHttpBufferSize);
+  c.http_accept_count = as_int(kHttpAcceptCount);
+  c.mysql_max_connections = as_int(kMysqlMaxConnections);
+  c.mysql_delayed_queue = as_int(kMysqlDelayedQueue);
+  c.mysql_net_buffer_kb = as_int(kMysqlNetBuffer);
+  c.proxy_max_object_kb = as_int(kProxyMaxObject);
+  c.proxy_min_object_kb = as_int(kProxyMinObject);
+  c.proxy_cache_mb = as_int(kProxyCacheMem);
+  return c;
+}
+
+Configuration ClusterConfig::to_configuration() const {
+  return {
+      static_cast<double>(ajp_accept_count),
+      static_cast<double>(ajp_max_processors),
+      static_cast<double>(http_buffer_kb),
+      static_cast<double>(http_accept_count),
+      static_cast<double>(mysql_max_connections),
+      static_cast<double>(mysql_delayed_queue),
+      static_cast<double>(mysql_net_buffer_kb),
+      static_cast<double>(proxy_max_object_kb),
+      static_cast<double>(proxy_min_object_kb),
+      static_cast<double>(proxy_cache_mb),
+  };
+}
+
+}  // namespace harmony::websim

@@ -1,0 +1,50 @@
+// The ten cluster tunables (paper Fig. 8) and their ParameterSpace.
+//
+// Names follow the paper: AJP connector settings on the application server
+// (Tomcat), HTTP connector settings on the web server, MySQL settings on
+// the database server, and Squid proxy-cache settings.
+#pragma once
+
+#include "core/parameter.hpp"
+
+namespace harmony::websim {
+
+struct ClusterConfig {
+  int ajp_accept_count = 40;       ///< app-tier accept-queue capacity
+  int ajp_max_processors = 16;     ///< app-tier worker processes
+  int http_buffer_kb = 32;         ///< web-server I/O buffer
+  int http_accept_count = 60;      ///< web-tier accept-queue capacity
+  int mysql_max_connections = 24;  ///< DB connection-pool size
+  int mysql_delayed_queue = 48;    ///< delayed-insert queue depth
+  int mysql_net_buffer_kb = 16;    ///< DB result-transfer buffer
+  int proxy_max_object_kb = 96;    ///< largest cacheable object
+  int proxy_min_object_kb = 0;     ///< smallest cacheable object
+  int proxy_cache_mb = 128;        ///< proxy cache memory
+
+  /// The 10-parameter space with the paper's names, ranges and grids.
+  [[nodiscard]] static ParameterSpace parameter_space();
+
+  /// Decodes a Configuration from parameter_space() order.
+  [[nodiscard]] static ClusterConfig from_configuration(
+      const Configuration& config);
+
+  /// Encodes back into parameter_space() order.
+  [[nodiscard]] Configuration to_configuration() const;
+};
+
+/// Indices into parameter_space(), for readable bench code.
+enum ClusterParam : std::size_t {
+  kAjpAcceptCount = 0,
+  kAjpMaxProcessors,
+  kHttpBufferSize,
+  kHttpAcceptCount,
+  kMysqlMaxConnections,
+  kMysqlDelayedQueue,
+  kMysqlNetBuffer,
+  kProxyMaxObject,
+  kProxyMinObject,
+  kProxyCacheMem,
+  kClusterParamCount,
+};
+
+}  // namespace harmony::websim

@@ -1,0 +1,39 @@
+#include "websim/des.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace harmony::websim {
+
+void Simulation::schedule(SimTime delay, Action action) {
+  HARMONY_REQUIRE(delay >= 0.0, "cannot schedule in the past");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulation::schedule_at(SimTime when, Action action) {
+  HARMONY_REQUIRE(when >= now_, "cannot schedule before now");
+  HARMONY_REQUIRE(static_cast<bool>(action), "null event action");
+  queue_.push(Event{when, seq_++, std::move(action)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the action must be moved out via a copy
+  // of the handle. Events are small (one std::function), so copy then pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace harmony::websim

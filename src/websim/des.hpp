@@ -1,0 +1,68 @@
+// Discrete-event simulation engine.
+//
+// Minimal but complete: a time-ordered event queue with stable FIFO
+// ordering for simultaneous events, deadline-bounded execution, and event
+// accounting. All simulator components (stations, browsers, queues) are
+// built on `schedule`/`now`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace harmony::websim {
+
+using SimTime = double;  ///< seconds of simulated time
+
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time (0 at construction).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` `delay` seconds from now (delay >= 0; negative
+  /// delays throw). Events at equal times run in scheduling order.
+  void schedule(SimTime delay, Action action);
+
+  /// Schedules at an absolute time >= now().
+  void schedule_at(SimTime when, Action action);
+
+  /// Executes the next event; false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue empties or simulated time would exceed
+  /// `deadline`. Events scheduled exactly at the deadline still run.
+  void run_until(SimTime deadline);
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t executed_events() const noexcept {
+    return executed_;
+  }
+
+  /// Events still pending.
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace harmony::websim

@@ -1,0 +1,52 @@
+#include "websim/pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace harmony::websim {
+
+ResourcePool::ResourcePool(Simulation& sim, std::string name, int capacity,
+                           int max_waiters)
+    : sim_(sim),
+      name_(std::move(name)),
+      capacity_(capacity),
+      max_waiters_(max_waiters) {
+  HARMONY_REQUIRE(capacity_ >= 1, "pool needs at least one slot");
+  HARMONY_REQUIRE(max_waiters_ >= 0, "negative waiter limit");
+}
+
+void ResourcePool::acquire(Granted granted) {
+  HARMONY_REQUIRE(static_cast<bool>(granted), "null grant callback");
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    ++stats_.grants;
+    granted(true);
+    return;
+  }
+  if (static_cast<int>(queue_.size()) < max_waiters_) {
+    queue_.push_back({std::move(granted), sim_.now()});
+    return;
+  }
+  ++stats_.rejects;
+  // Reject asynchronously so callers never re-enter from inside acquire().
+  sim_.schedule(0.0, [cb = std::move(granted)] { cb(false); });
+}
+
+void ResourcePool::release() {
+  HARMONY_REQUIRE(in_use_ > 0, "release without acquire on pool " + name_);
+  if (!queue_.empty()) {
+    Waiter w = std::move(queue_.front());
+    queue_.pop_front();
+    const double wait = sim_.now() - w.enqueued_at;
+    stats_.total_wait += wait;
+    stats_.max_wait = std::max(stats_.max_wait, wait);
+    ++stats_.grants;
+    // Hand the slot over without dropping in_use_: the waiter takes it.
+    sim_.schedule(0.0, [cb = std::move(w.granted)] { cb(true); });
+    return;
+  }
+  --in_use_;
+}
+
+}  // namespace harmony::websim

@@ -1,0 +1,67 @@
+// Counting-semaphore resource pool with a bounded wait queue.
+//
+// Models connector/processor pools and DB connection pools: a request
+// acquires a slot, holds it across nested work (CPU bursts, DB round
+// trips), and releases it when done. Arrivals beyond capacity wait in a
+// FIFO queue of bounded depth; beyond that they are rejected (full listen
+// backlog). This is the piece a plain service station cannot express: slots
+// held across other resources is what lets DB slowness starve the app
+// tier's processors, the cascade the paper's ordering workload exhibits.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "websim/des.hpp"
+
+namespace harmony::websim {
+
+class ResourcePool {
+ public:
+  /// granted=false means the wait queue was full and the request rejected.
+  using Granted = std::function<void(bool granted)>;
+
+  ResourcePool(Simulation& sim, std::string name, int capacity,
+               int max_waiters);
+
+  /// Requests a slot; the callback fires immediately (same event) when a
+  /// slot is free, later when queued, or asynchronously with false when
+  /// rejected.
+  void acquire(Granted granted);
+
+  /// Returns a slot; grants the oldest waiter, if any. Calling release
+  /// without a matching acquire throws.
+  void release();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  [[nodiscard]] int in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t waiting() const noexcept { return queue_.size(); }
+
+  struct Stats {
+    std::uint64_t grants = 0;
+    std::uint64_t rejects = 0;
+    double total_wait = 0.0;
+    double max_wait = 0.0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+ private:
+  struct Waiter {
+    Granted granted;
+    SimTime enqueued_at;
+  };
+
+  Simulation& sim_;
+  std::string name_;
+  int capacity_;
+  int max_waiters_;
+  int in_use_ = 0;
+  std::deque<Waiter> queue_;
+  Stats stats_;
+};
+
+}  // namespace harmony::websim

@@ -1,0 +1,94 @@
+// Calibration constants of the simulated cluster.
+//
+// Centralized so the qualitative claims the reproduction depends on are
+// explicit and testable (DESIGN.md §5):
+//   * worker/connection pools have interior optima (queueing below,
+//     thrashing above),
+//   * the DB network buffer dominates under order-heavy mixes,
+//   * the proxy cache dominates under browse-heavy mixes,
+//   * HTTP buffer size and MySQL max connections are comparatively minor.
+//
+// Model shape: each tier runs on a dual-CPU box (Appendix A: dual Athlon
+// nodes). Connector/processor/connection pools are admission limits whose
+// slots are held across nested work — an AJP processor is held for the
+// whole servlet including its DB round trips, so database slowness starves
+// the application tier, the cascade the ordering workload exhibits.
+#pragma once
+
+namespace harmony::websim::profile {
+
+// --- boxes -------------------------------------------------------------
+/// CPUs per box (dual-processor nodes).
+inline constexpr int kCpusPerBox = 2;
+/// CPU run-queue depth before work is refused (effectively unbounded; the
+/// admission pools are what reject load).
+inline constexpr int kCpuQueue = 100000;
+
+// --- application/web tier (Tomcat) --------------------------------------
+/// Concurrent processors the box tolerates before context-switch/memory
+/// thrashing inflates CPU demand (quadratic in the excess).
+inline constexpr double kAppComfortProcessors = 20.0;
+inline constexpr double kAppThrashCoeff = 0.0012;
+/// Fixed per-request servlet dispatch CPU (ms).
+inline constexpr double kAppDispatchMs = 0.8;
+/// CPU to render/serialize the response after the DB phase (ms).
+inline constexpr double kAppRenderMs = 1.5;
+/// CPU to serve a static file on a proxy miss (ms), before transfer costs.
+inline constexpr double kStaticServeCpuMs = 14.0;
+/// HTTP connector pool size (not tunable in the paper's ten).
+inline constexpr int kHttpWorkers = 48;
+/// Buffer-dependent transfer CPU: object_kb / buffer_kb * this (ms); plus a
+/// mild memory penalty per buffer KB so the knob has an interior optimum
+/// without being important.
+inline constexpr double kHttpPerFillMs = 0.30;
+inline constexpr double kHttpBufferMemMs = 0.004;
+
+// --- database tier (MySQL) -----------------------------------------------
+/// CPU per query (ms) before contention.
+inline constexpr double kDbQueryCpuMs = 1.6;
+/// Result transfer: payload_kb / throughput(net_buffer). Throughput grows
+/// with the buffer then saturates: thr(kb) = max * kb / (kb + half), KB/ms.
+inline constexpr double kDbThroughputMax = 9.0;
+inline constexpr double kDbBufferHalf = 24.0;
+/// Memory cost of large buffers (ms per query per buffer KB).
+inline constexpr double kDbBufferMemMs = 0.012;
+/// Lock-contention inflation of the CPU part: 1 + c * (active/comfort)^2.
+inline constexpr double kDbComfortConnections = 32.0;
+inline constexpr double kDbContentionCoeff = 0.5;
+/// Synchronous write penalty when the delayed queue is full, and the
+/// absorbed (async) cost when it has room (ms).
+inline constexpr double kDbSyncWriteMs = 16.0;
+inline constexpr double kDbAsyncWriteMs = 0.8;
+/// Delayed-queue drain rate (entries/second) and per-slot memory cost (ms
+/// added to every query when the queue is configured huge).
+inline constexpr double kDbDelayedDrainPerSec = 60.0;
+inline constexpr double kDbDelayedMemMs = 0.006;
+/// Wait-queue depth behind the connection pool.
+inline constexpr int kDbWaitQueue = 512;
+/// Concurrent query streams the DB engine sustains (disk/IO channels): a
+/// held connection queues here for actual execution, so slow transfers
+/// (small net buffers) cap DB throughput at kDbEngineWays / query_time.
+inline constexpr int kDbEngineWays = 4;
+
+// --- proxy tier (Squid) ----------------------------------------------------
+/// Proxy CPU per request (ms): cache hits pay the full lookup+serve, misses
+/// only the forward.
+inline constexpr double kProxyHitMs = 1.2;
+inline constexpr double kProxyForwardMs = 0.5;
+/// Static-object request-size distribution: exponential over sizes; mean
+/// requested-object size (KB).
+inline constexpr double kStaticMeanObjectKb = 48.0;
+/// Total static working set (KB) competing for cache memory.
+inline constexpr double kStaticWorkingSetKb = 400.0 * 1024.0;
+/// Temporal-locality ceiling on the achievable hit rate.
+inline constexpr double kCacheLocalityCeiling = 0.88;
+
+// --- emulated browsers -----------------------------------------------------
+/// Mean think time between interactions (seconds, exponential).
+inline constexpr double kThinkTimeMeanSec = 1.0;
+/// Backoff before a browser retries a dropped request (seconds).
+inline constexpr double kRetryBackoffSec = 0.6;
+/// Network round trip added to every interaction (ms).
+inline constexpr double kNetworkRttMs = 1.0;
+
+}  // namespace harmony::websim::profile

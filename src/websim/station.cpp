@@ -1,0 +1,56 @@
+#include "websim/station.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace harmony::websim {
+
+ServiceStation::ServiceStation(Simulation& sim, std::string name, int servers,
+                               int queue_capacity)
+    : sim_(sim),
+      name_(std::move(name)),
+      servers_(servers),
+      queue_capacity_(queue_capacity) {
+  HARMONY_REQUIRE(servers_ >= 1, "station needs at least one server");
+  HARMONY_REQUIRE(queue_capacity_ >= 0, "negative queue capacity");
+}
+
+void ServiceStation::submit(double service_time, Done done) {
+  HARMONY_REQUIRE(service_time >= 0.0, "negative service time");
+  HARMONY_REQUIRE(static_cast<bool>(done), "null completion callback");
+  Pending p{service_time, std::move(done), sim_.now()};
+  if (busy_ < servers_) {
+    start(std::move(p));
+    return;
+  }
+  if (static_cast<int>(queue_.size()) < queue_capacity_) {
+    queue_.push_back(std::move(p));
+    return;
+  }
+  // Backlog full: drop. Deliver the rejection asynchronously so callers
+  // never re-enter the station from inside submit().
+  auto cb = std::move(p.done);
+  sim_.schedule(0.0, [cb = std::move(cb)] { cb(false); });
+  ++stats_.dropped;
+}
+
+void ServiceStation::start(Pending p) {
+  ++busy_;
+  const double wait = sim_.now() - p.enqueued_at;
+  stats_.total_wait += wait;
+  stats_.max_wait = std::max(stats_.max_wait, wait);
+  stats_.busy_time += p.service_time;
+  sim_.schedule(p.service_time, [this, cb = std::move(p.done)] {
+    --busy_;
+    ++stats_.served;
+    cb(true);
+    if (!queue_.empty() && busy_ < servers_) {
+      Pending next = std::move(queue_.front());
+      queue_.pop_front();
+      start(std::move(next));
+    }
+  });
+}
+
+}  // namespace harmony::websim

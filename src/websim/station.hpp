@@ -1,0 +1,76 @@
+// Multi-server queueing station with a finite accept queue.
+//
+// Models one tier's request handling: `servers` concurrent handlers
+// (connector processes, worker threads, DB connections) and an accept queue
+// of bounded capacity. Arrivals beyond both are dropped — the behaviour of
+// a full listen backlog. Service times are supplied per request so tiers
+// can encode configuration-dependent costs (thrashing, transfer time, ...).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "websim/des.hpp"
+
+namespace harmony::websim {
+
+class ServiceStation {
+ public:
+  /// Completion callback: accepted=false means the request was dropped on
+  /// arrival (queue full) and never serviced.
+  using Done = std::function<void(bool accepted)>;
+
+  /// The simulation must outlive the station.
+  ServiceStation(Simulation& sim, std::string name, int servers,
+                 int queue_capacity);
+
+  /// Submits a request needing `service_time` seconds of a server.
+  void submit(double service_time, Done done);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int servers() const noexcept { return servers_; }
+  [[nodiscard]] int queue_capacity() const noexcept { return queue_capacity_; }
+  [[nodiscard]] int busy() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+  struct Stats {
+    std::uint64_t served = 0;
+    std::uint64_t dropped = 0;
+    double busy_time = 0.0;      ///< aggregate server-seconds of service
+    double total_wait = 0.0;     ///< aggregate queueing delay (seconds)
+    double max_wait = 0.0;
+    /// Mean queueing delay per served request.
+    [[nodiscard]] double mean_wait() const noexcept {
+      return served == 0 ? 0.0 : total_wait / static_cast<double>(served);
+    }
+    /// Utilization given the measurement interval and server count.
+    [[nodiscard]] double utilization(double interval,
+                                     int servers) const noexcept {
+      const double cap = interval * servers;
+      return cap <= 0.0 ? 0.0 : busy_time / cap;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+ private:
+  struct Pending {
+    double service_time;
+    Done done;
+    SimTime enqueued_at;
+  };
+
+  void start(Pending p);
+
+  Simulation& sim_;
+  std::string name_;
+  int servers_;
+  int queue_capacity_;
+  int busy_ = 0;
+  std::deque<Pending> queue_;
+  Stats stats_;
+};
+
+}  // namespace harmony::websim

@@ -1,0 +1,156 @@
+#include "websim/tpcw.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace harmony::websim {
+
+namespace {
+
+constexpr std::array<const char*, kInteractionCount> kNames = {
+    "Home",          "NewProducts",          "BestSellers",
+    "ProductDetail", "SearchRequest",        "SearchResults",
+    "ShoppingCart",  "CustomerRegistration", "BuyRequest",
+    "BuyConfirm",    "OrderInquiry",         "OrderDisplay",
+    "AdminRequest",  "AdminConfirm",
+};
+
+// Resource demands per interaction. Browse-class pages are dominated by
+// static/cacheable content and light queries; Order-class pages are
+// dynamic, query-heavy and (for the buy/admin confirmations) write to the
+// database. Values are calibrated for the simulated cluster, not measured
+// from the paper's testbed; the qualitative split is what matters.
+constexpr std::array<InteractionProfile, kInteractionCount> kProfiles = {{
+    // static  cpu_ms  q   kb/query  write  object_kb
+    {0.85, 18.0, 1, 4.0, false, 60.0},    // Home
+    {0.70, 30.0, 2, 8.0, false, 80.0},   // NewProducts
+    {0.30, 54.0, 3, 16.0, false, 70.0},   // BestSellers (heavy query)
+    {0.80, 24.0, 1, 6.0, false, 90.0},   // ProductDetail
+    {0.75, 18.0, 0, 0.0, false, 30.0},    // SearchRequest (form page)
+    {0.25, 48.0, 2, 12.0, false, 75.0},   // SearchResults
+    {0.10, 20.0, 3, 48.0, true, 50.0},    // ShoppingCart (cart update)
+    {0.15, 16.0, 2, 32.0, true, 40.0},    // CustomerRegistration
+    {0.05, 24.0, 4, 64.0, false, 45.0},   // BuyRequest
+    {0.02, 30.0, 6, 72.0, true, 40.0},    // BuyConfirm (order insert)
+    {0.10, 18.0, 3, 64.0, false, 45.0},   // OrderInquiry
+    {0.05, 20.0, 4, 80.0, false, 55.0},   // OrderDisplay
+    {0.05, 18.0, 3, 56.0, false, 40.0},   // AdminRequest
+    {0.02, 26.0, 5, 64.0, true, 40.0},    // AdminConfirm (catalog update)
+}};
+
+constexpr std::array<bool, kInteractionCount> kIsOrder = {
+    false, false, false, false, false, false,  // browse class
+    true,  true,  true,  true,  true,  true,  true, true,  // order class
+};
+
+}  // namespace
+
+const char* interaction_name(Interaction i) {
+  const auto idx = static_cast<std::size_t>(i);
+  HARMONY_REQUIRE(idx < kInteractionCount, "interaction out of range");
+  return kNames[idx];
+}
+
+bool is_order_interaction(Interaction i) noexcept {
+  return kIsOrder[static_cast<std::size_t>(i)];
+}
+
+const InteractionProfile& interaction_profile(Interaction i) {
+  const auto idx = static_cast<std::size_t>(i);
+  HARMONY_REQUIRE(idx < kInteractionCount, "interaction out of range");
+  return kProfiles[idx];
+}
+
+WorkloadMix::WorkloadMix(std::array<double, kInteractionCount> weights)
+    : weights_(weights) {
+  double total = 0.0;
+  for (double w : weights_) {
+    HARMONY_REQUIRE(w >= 0.0, "negative mix weight");
+    total += w;
+  }
+  HARMONY_REQUIRE(total > 0.0, "mix weights sum to zero");
+  for (double& w : weights_) w /= total;
+}
+
+WorkloadMix WorkloadMix::browsing() {
+  // ~95 % browse / 5 % order, following the TPC-W browsing mix shape.
+  return WorkloadMix({29.0, 11.0, 11.0, 21.0, 12.0, 11.0,  // browse: 95
+                      2.0, 0.8, 0.7, 0.7, 0.3, 0.25, 0.1, 0.15});
+}
+
+WorkloadMix WorkloadMix::shopping() {
+  // ~80 % browse / 20 % order — the TPC-W primary (WIPS) mix.
+  return WorkloadMix({16.0, 5.0, 5.0, 17.0, 20.0, 17.0,  // browse: 80
+                      13.41, 1.6, 2.6, 1.2, 0.75, 0.25, 0.1, 0.09});
+}
+
+WorkloadMix WorkloadMix::ordering() {
+  // ~50 % browse / 50 % order.
+  return WorkloadMix({9.12, 0.46, 0.46, 12.35, 14.53, 13.08,  // browse: 50
+                      13.53, 12.86, 12.73, 10.18, 0.25, 0.22, 0.12, 0.11});
+}
+
+WorkloadMix WorkloadMix::blend(const WorkloadMix& a, const WorkloadMix& b,
+                               double t) {
+  HARMONY_REQUIRE(t >= 0.0 && t <= 1.0, "blend factor outside [0,1]");
+  std::array<double, kInteractionCount> w{};
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    w[i] = (1.0 - t) * a.weights_[i] + t * b.weights_[i];
+  }
+  return WorkloadMix(w);
+}
+
+Interaction WorkloadMix::sample(Rng& rng) const {
+  const std::vector<double> w(weights_.begin(), weights_.end());
+  return static_cast<Interaction>(rng.weighted_index(w));
+}
+
+double WorkloadMix::weight(Interaction i) const {
+  const auto idx = static_cast<std::size_t>(i);
+  HARMONY_REQUIRE(idx < kInteractionCount, "interaction out of range");
+  return weights_[idx];
+}
+
+double WorkloadMix::order_fraction() const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    if (kIsOrder[i]) s += weights_[i];
+  }
+  return s;
+}
+
+WorkloadSignature WorkloadMix::signature() const {
+  return WorkloadSignature(weights_.begin(), weights_.end());
+}
+
+Interaction WorkloadMix::sample_class(Rng& rng, bool order_class) const {
+  std::vector<double> w(kInteractionCount, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    if (kIsOrder[i] == order_class) {
+      w[i] = weights_[i];
+      total += w[i];
+    }
+  }
+  if (total <= 0.0) return sample(rng);  // class absent from the mix
+  return static_cast<Interaction>(rng.weighted_index(w));
+}
+
+SessionSource::SessionSource(WorkloadMix mix, double persistence)
+    : mix_(std::move(mix)), persistence_(persistence) {
+  HARMONY_REQUIRE(persistence >= 0.0 && persistence < 1.0,
+                  "persistence must be in [0, 1)");
+}
+
+Interaction SessionSource::next(Rng& rng) {
+  if (started_ && persistence_ > 0.0 && rng.bernoulli(persistence_)) {
+    return mix_.sample_class(rng, in_order_class_);
+  }
+  const Interaction i = mix_.sample(rng);
+  in_order_class_ = is_order_interaction(i);
+  started_ = true;
+  return i;
+}
+
+}  // namespace harmony::websim

@@ -1,0 +1,112 @@
+// TPC-W workload model (paper §6.1 and Appendix A).
+//
+// TPC-W emulates an e-commerce site with 14 web interactions, classified
+// Browse or Order. A workload mix assigns relative weights to the
+// interactions; the specification's three standard mixes differ in their
+// Browse/Order split: Browsing 95/5, Shopping 80/20, Ordering 50/50. The
+// per-interaction service profiles (static-content fraction, application
+// CPU, database round trips, payload sizes, writes) drive the simulator's
+// resource demands; the interaction-frequency vector doubles as the
+// workload-characteristics signature the data analyzer observes (§6.4).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "core/history.hpp"
+#include "util/rng.hpp"
+
+namespace harmony::websim {
+
+enum class Interaction : std::size_t {
+  kHome = 0,
+  kNewProducts,
+  kBestSellers,
+  kProductDetail,
+  kSearchRequest,
+  kSearchResults,
+  kShoppingCart,
+  kCustomerRegistration,
+  kBuyRequest,
+  kBuyConfirm,
+  kOrderInquiry,
+  kOrderDisplay,
+  kAdminRequest,
+  kAdminConfirm,
+};
+inline constexpr std::size_t kInteractionCount = 14;
+
+[[nodiscard]] const char* interaction_name(Interaction i);
+
+/// TPC-W classification: does the interaction play a role in ordering?
+[[nodiscard]] bool is_order_interaction(Interaction i) noexcept;
+
+/// Static resource demands of one interaction.
+struct InteractionProfile {
+  double static_fraction;  ///< probability the response is proxy-cacheable
+  double app_cpu_ms;       ///< application-tier CPU per request
+  int db_queries;          ///< database round trips
+  double db_payload_kb;    ///< result bytes per query (net-buffer bound)
+  bool db_write;           ///< performs inserts/updates (delayed-queue path)
+  double object_kb;        ///< response size through the web server
+};
+
+[[nodiscard]] const InteractionProfile& interaction_profile(Interaction i);
+
+/// Relative interaction weights; normalized on construction.
+class WorkloadMix {
+ public:
+  explicit WorkloadMix(std::array<double, kInteractionCount> weights);
+
+  /// Specification mixes.
+  [[nodiscard]] static WorkloadMix browsing();
+  [[nodiscard]] static WorkloadMix shopping();
+  [[nodiscard]] static WorkloadMix ordering();
+
+  /// Linear blend (1-t)*a + t*b of two mixes — used to build workloads at
+  /// controlled signature distances.
+  [[nodiscard]] static WorkloadMix blend(const WorkloadMix& a,
+                                         const WorkloadMix& b, double t);
+
+  [[nodiscard]] Interaction sample(Rng& rng) const;
+  [[nodiscard]] double weight(Interaction i) const;
+  /// Conditional draw within one class (browse or order) of the mix.
+  [[nodiscard]] Interaction sample_class(Rng& rng, bool order_class) const;
+  /// Fraction of interactions that are Order-class.
+  [[nodiscard]] double order_fraction() const noexcept;
+
+  /// The interaction-frequency vector as a workload signature (14 dims,
+  /// sums to 1) — what the data analyzer counts on live traffic.
+  [[nodiscard]] WorkloadSignature signature() const;
+
+ private:
+  std::array<double, kInteractionCount> weights_{};
+};
+
+/// Session-structured interaction source. Real TPC-W emulated browsers do
+/// not draw interactions i.i.d.: a user who is browsing tends to keep
+/// browsing and a user in the ordering funnel tends to stay in it. This
+/// source models that with class persistence: with probability
+/// `persistence` the next interaction stays in the current class
+/// (browse/order), otherwise it is redrawn from the full mix. The marginal
+/// interaction frequencies remain the mix's (the class chain's stationary
+/// distribution matches the mix's class split), so WIPS comparisons and the
+/// analyzer's frequency signature are unaffected — only temporal
+/// correlation (burstiness) is added.
+class SessionSource {
+ public:
+  /// persistence in [0, 1); 0 degenerates to i.i.d. sampling.
+  SessionSource(WorkloadMix mix, double persistence);
+
+  [[nodiscard]] Interaction next(Rng& rng);
+  [[nodiscard]] const WorkloadMix& mix() const noexcept { return mix_; }
+
+ private:
+  WorkloadMix mix_;
+  double persistence_;
+  bool in_order_class_ = false;
+  bool started_ = false;
+};
+
+}  // namespace harmony::websim

@@ -1,0 +1,94 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/landscapes.hpp"
+#include "util/error.hpp"
+
+namespace harmony {
+namespace {
+
+using synth::sphere_objective;
+using synth::symmetric_space;
+
+TEST(Powell, FindsSeparableOptimum) {
+  const ParameterSpace space = symmetric_space(3, 10.0, 1.0);
+  auto objective = sphere_objective(4.0);
+  const TuningResult r =
+      powell_search(space, objective, space.defaults());
+  EXPECT_EQ(r.best_config, (Configuration{4.0, 4.0, 4.0}));
+  EXPECT_DOUBLE_EQ(r.best_performance, 0.0);
+  EXPECT_EQ(static_cast<int>(r.trace.size()), r.evaluations);
+}
+
+TEST(Powell, NavigatesCorrelatedValley) {
+  // f = -(x0-x1)^2 - 0.1 (x0-3)^2: optimum at (3,3); the valley is diagonal
+  // so the direction-update step matters.
+  const ParameterSpace space = symmetric_space(2, 10.0, 1.0);
+  FunctionObjective objective([](const Configuration& c) {
+    return -(c[0] - c[1]) * (c[0] - c[1]) -
+           0.1 * (c[0] - 3.0) * (c[0] - 3.0);
+  });
+  const TuningResult r = powell_search(space, objective, {-8.0, 8.0});
+  // Start value is -268; anything within a few units of optimal shows the
+  // direction update navigated the diagonal valley on the integer grid.
+  EXPECT_GE(r.best_performance, -3.0);
+}
+
+TEST(Powell, RespectsBudget) {
+  const ParameterSpace space = symmetric_space(4, 100.0, 1.0);
+  auto objective = sphere_objective(77.0);
+  PowellOptions opts;
+  opts.max_evaluations = 12;
+  const TuningResult r =
+      powell_search(space, objective, space.defaults(), opts);
+  EXPECT_LE(r.evaluations, 12);
+  EXPECT_EQ(r.stop_reason, "budget");
+}
+
+TEST(Powell, Validation) {
+  ParameterSpace empty;
+  auto objective = sphere_objective(0.0);
+  EXPECT_THROW((void)powell_search(empty, objective, {}), Error);
+  const ParameterSpace space = symmetric_space(1, 1.0, 1.0);
+  PowellOptions opts;
+  opts.max_evaluations = 0;
+  EXPECT_THROW((void)powell_search(space, objective, {0.0}, opts), Error);
+}
+
+TEST(RandomSearch, SamplesExactlyBudget) {
+  const ParameterSpace space = symmetric_space(2, 10.0, 1.0);
+  auto objective = sphere_objective(0.0);
+  const TuningResult r = random_search(space, objective, 50, Rng(3));
+  EXPECT_EQ(r.evaluations, 50);
+  EXPECT_EQ(r.trace.size(), 50u);
+  EXPECT_TRUE(space.feasible(r.best_config));
+  EXPECT_THROW((void)random_search(space, objective, 0, Rng(3)), Error);
+}
+
+TEST(ExhaustiveSearch, FindsGroundTruthOptimum) {
+  const ParameterSpace space = symmetric_space(2, 5.0, 1.0);
+  auto objective = sphere_objective(-3.0);
+  const TuningResult r = exhaustive_search(space, objective);
+  EXPECT_EQ(r.best_config, (Configuration{-3.0, -3.0}));
+  EXPECT_EQ(r.evaluations, 11 * 11);
+}
+
+TEST(ExhaustiveSearch, RefusesHugeSpaces) {
+  const ParameterSpace space = symmetric_space(12, 50.0, 1.0);
+  auto objective = sphere_objective(0.0);
+  EXPECT_THROW((void)exhaustive_search(space, objective, 1000), Error);
+}
+
+TEST(Baselines, SimplexBeatsRandomOnSmoothLandscape) {
+  // Sanity cross-check between searchers under the same budget.
+  const ParameterSpace space = symmetric_space(4, 20.0, 1.0);
+  auto objective = sphere_objective(7.0);
+  const TuningResult rand = random_search(space, objective, 60, Rng(9));
+  const TuningResult pow = powell_search(space, objective, space.defaults(),
+                                         {.max_evaluations = 60});
+  EXPECT_GE(pow.best_performance, rand.best_performance);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,166 @@
+#include "core/estimator.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+namespace {
+
+ParameterSpace grid_space(std::size_t dims) {
+  ParameterSpace s;
+  for (std::size_t i = 0; i < dims; ++i) {
+    s.add(ParameterDef("p" + std::to_string(i), 0, 10, 1, 5));
+  }
+  return s;
+}
+
+double linear_fn(const Configuration& c) {
+  double v = 7.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    v += (static_cast<double>(i) + 1.0) * c[i];
+  }
+  return v;
+}
+
+TEST(Estimator, RecoversLinearFunctionExactly) {
+  const ParameterSpace space = grid_space(2);
+  PerformanceEstimator est(space);
+  // Three non-collinear points define the plane (paper Fig. 3).
+  for (const Configuration& c :
+       {Configuration{0.0, 0.0}, {4.0, 0.0}, {0.0, 6.0}}) {
+    est.add(c, linear_fn(c));
+  }
+  const Configuration target = {2.0, 3.0};
+  const auto r = est.estimate(target, 3);
+  EXPECT_NEAR(r.value, linear_fn(target), 1e-9);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-9);
+  EXPECT_EQ(r.points_used, 3u);
+  EXPECT_FALSE(r.extrapolated);
+}
+
+TEST(Estimator, ExtrapolatesOutsidePointCloud) {
+  const ParameterSpace space = grid_space(2);
+  PerformanceEstimator est(space);
+  for (const Configuration& c :
+       {Configuration{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}}) {
+    est.add(c, linear_fn(c));
+  }
+  const Configuration target = {8.0, 8.0};
+  const auto r = est.estimate(target, 3);
+  EXPECT_TRUE(r.extrapolated);
+  EXPECT_NEAR(r.value, linear_fn(target), 1e-9);  // linear extends exactly
+}
+
+TEST(Estimator, DefaultsToNPlusOnePoints) {
+  const ParameterSpace space = grid_space(3);
+  PerformanceEstimator est(space);
+  Rng rng(5);
+  for (int i = 0; i < 12; ++i) {
+    const Configuration c = space.random_configuration(rng);
+    est.add(c, linear_fn(c));
+  }
+  const auto r = est.estimate(space.defaults());
+  EXPECT_EQ(r.points_used, 4u);  // N+1 for N=3
+}
+
+TEST(Estimator, UsesNearestPoints) {
+  const ParameterSpace space = grid_space(1);
+  PerformanceEstimator est(space);
+  // Local cluster near target with slope 1; far cluster with slope -20.
+  est.add({1.0}, 1.0);
+  est.add({2.0}, 2.0);
+  est.add({9.0}, -180.0);
+  est.add({10.0}, -200.0);
+  const auto r = est.estimate({3.0}, 2);
+  EXPECT_NEAR(r.value, 3.0, 1e-9);  // fit through the near pair only
+}
+
+TEST(Estimator, LatestSelectionTracksChangingEnvironments) {
+  // The environment drifted: old measurements follow y = x, recent ones
+  // y = x + 100. Latest-vertex selection must fit the recent regime; the
+  // nearest policy mixes stale points in (the paper's footnote trade-off).
+  const ParameterSpace space = grid_space(1);
+  PerformanceEstimator est(space);
+  for (double x : {0.0, 2.0, 4.0, 6.0}) est.add({x}, x);          // stale
+  for (double x : {1.0, 3.0, 5.0, 7.0}) est.add({x}, x + 100.0);  // fresh
+  const Configuration target = {4.0};
+  const double truth_now = 104.0;
+  const auto latest = est.estimate(target, 4, VertexSelection::kLatest);
+  const auto nearest = est.estimate(target, 4, VertexSelection::kNearest);
+  EXPECT_NEAR(latest.value, truth_now, 1e-9);
+  EXPECT_LT(std::abs(latest.value - truth_now),
+            std::abs(nearest.value - truth_now));
+}
+
+TEST(Estimator, ExactLookupReturnsLatestValue) {
+  const ParameterSpace space = grid_space(1);
+  PerformanceEstimator est(space);
+  est.add({4.0}, 10.0);
+  est.add({4.0}, 12.0);  // re-measured later
+  ASSERT_TRUE(est.exact({4.0}).has_value());
+  EXPECT_DOUBLE_EQ(*est.exact({4.0}), 12.0);
+  EXPECT_FALSE(est.exact({5.0}).has_value());
+}
+
+TEST(Estimator, AddAllFromTrace) {
+  const ParameterSpace space = grid_space(2);
+  PerformanceEstimator est(space);
+  std::vector<Measurement> trace = {{{1.0, 1.0}, 3.0, false},
+                                    {{2.0, 2.0}, 5.0, false}};
+  est.add_all(trace);
+  EXPECT_EQ(est.size(), 2u);
+}
+
+TEST(Estimator, DegeneratePointsFallBackGracefully) {
+  const ParameterSpace space = grid_space(2);
+  PerformanceEstimator est(space);
+  // All points on a line: plane is under-determined; ridge fallback keeps
+  // the estimate finite and near the data.
+  est.add({0.0, 0.0}, 1.0);
+  est.add({1.0, 1.0}, 2.0);
+  est.add({2.0, 2.0}, 3.0);
+  const auto r = est.estimate({1.0, 1.0}, 3);
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_NEAR(r.value, 2.0, 0.5);
+}
+
+TEST(Estimator, Validation) {
+  const ParameterSpace space = grid_space(1);
+  PerformanceEstimator est(space);
+  EXPECT_THROW((void)est.estimate({0.0}), Error);
+  est.add({1.0}, 1.0);
+  EXPECT_THROW((void)est.estimate({0.0}), Error);  // still < 2 points
+  est.add({2.0}, 2.0);
+  EXPECT_NO_THROW((void)est.estimate({0.0}));
+}
+
+/// Property: with >= N+1 samples of a noisy linear function, estimates stay
+/// within the noise envelope of the truth.
+class EstimatorNoise : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EstimatorNoise, TracksNoisyLinearTrend) {
+  const std::size_t dims = GetParam();
+  const ParameterSpace space = grid_space(dims);
+  PerformanceEstimator est(space);
+  Rng rng(7 + dims);
+  for (int i = 0; i < 40; ++i) {
+    const Configuration c = space.random_configuration(rng);
+    est.add(c, linear_fn(c) + rng.uniform(-0.5, 0.5));
+  }
+  double worst = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const Configuration t = space.random_configuration(rng);
+    const auto r = est.estimate(t, 2 * dims + 2);
+    worst = std::max(worst, std::abs(r.value - linear_fn(t)));
+  }
+  EXPECT_LT(worst, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EstimatorNoise, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,129 @@
+#include "core/factorial.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+namespace {
+
+ParameterSpace unit_space(std::size_t dims) {
+  ParameterSpace s;
+  for (std::size_t i = 0; i < dims; ++i) {
+    s.add(ParameterDef("p" + std::to_string(i), -1, 1, 1, 0));
+  }
+  return s;
+}
+
+TEST(FullFactorial, RecoversLinearMainEffects) {
+  // y = 3 p0 - 2 p1 + 0 p2: main effect over [-1,1] is 2 * coefficient.
+  const ParameterSpace space = unit_space(3);
+  FunctionObjective objective([](const Configuration& c) {
+    return 3.0 * c[0] - 2.0 * c[1] + 7.0;
+  });
+  const auto r = full_factorial(space, objective);
+  EXPECT_EQ(r.runs, 8);
+  EXPECT_NEAR(r.grand_mean, 7.0, 1e-12);
+  EXPECT_NEAR(r.main_effects[0].value, 6.0, 1e-12);
+  EXPECT_NEAR(r.main_effects[1].value, -4.0, 1e-12);
+  EXPECT_NEAR(r.main_effects[2].value, 0.0, 1e-12);
+  for (const auto& e : r.interaction_effects) {
+    EXPECT_NEAR(e.value, 0.0, 1e-12);  // purely additive model
+  }
+  EXPECT_DOUBLE_EQ(r.interaction_ratio(), 0.0);
+}
+
+TEST(FullFactorial, DetectsPairwiseInteraction) {
+  // y = p0 + p1 + 5 p0 p1: the interaction dominates the main effects.
+  const ParameterSpace space = unit_space(2);
+  FunctionObjective objective([](const Configuration& c) {
+    return c[0] + c[1] + 5.0 * c[0] * c[1];
+  });
+  const auto r = full_factorial(space, objective);
+  ASSERT_EQ(r.interaction_effects.size(), 1u);
+  EXPECT_EQ(r.interaction_effects[0].a, 0u);
+  EXPECT_EQ(r.interaction_effects[0].b, 1u);
+  EXPECT_NEAR(r.interaction_effects[0].value, 10.0, 1e-12);
+  EXPECT_TRUE(r.interaction_effects[0].is_interaction());
+  EXPECT_GT(r.interaction_ratio(), 1.0);  // assumption of §3 violated
+}
+
+TEST(FullFactorial, Validation) {
+  FunctionObjective objective([](const Configuration&) { return 0.0; });
+  EXPECT_THROW((void)full_factorial(ParameterSpace{}, objective), Error);
+  EXPECT_THROW((void)full_factorial(unit_space(21), objective), Error);
+  EXPECT_THROW((void)full_factorial(unit_space(1), objective, 0), Error);
+}
+
+/// Property over all supported design sizes: Plackett-Burman columns are
+/// pairwise orthogonal and balanced — the defining property.
+class PbMatrix : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PbMatrix, ColumnsAreOrthogonalAndBalanced) {
+  const std::size_t runs = GetParam();
+  const auto m = plackett_burman_matrix(runs);
+  ASSERT_EQ(m.size(), runs);
+  const std::size_t cols = runs - 1;
+  for (const auto& row : m) {
+    ASSERT_EQ(row.size(), cols);
+    for (int v : row) EXPECT_TRUE(v == 1 || v == -1);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    int sum = 0;
+    for (std::size_t r = 0; r < runs; ++r) sum += m[r][c];
+    EXPECT_EQ(std::abs(sum), 0) << "column " << c << " unbalanced";
+    for (std::size_t c2 = c + 1; c2 < cols; ++c2) {
+      int dot = 0;
+      for (std::size_t r = 0; r < runs; ++r) dot += m[r][c] * m[r][c2];
+      EXPECT_EQ(dot, 0) << "columns " << c << "," << c2 << " not orthogonal";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PbMatrix,
+                         ::testing::Values(4, 8, 12, 16, 20, 24));
+
+TEST(PlackettBurman, EstimatesMainEffectsWithFewRuns) {
+  const ParameterSpace space = unit_space(7);  // fits in an 8-run design
+  FunctionObjective objective([](const Configuration& c) {
+    return 4.0 * c[0] - 1.0 * c[3] + 0.5 * c[6] + 10.0;
+  });
+  const auto r = plackett_burman(space, objective);
+  EXPECT_EQ(r.runs, 8);  // vs 128 for the full design
+  EXPECT_NEAR(r.main_effects[0].value, 8.0, 1e-12);
+  EXPECT_NEAR(r.main_effects[3].value, -2.0, 1e-12);
+  EXPECT_NEAR(r.main_effects[6].value, 1.0, 1e-12);
+  EXPECT_NEAR(r.main_effects[1].value, 0.0, 1e-12);
+  EXPECT_TRUE(r.interaction_effects.empty());
+}
+
+TEST(PlackettBurman, TwelveRunDesignScreensElevenParameters) {
+  const ParameterSpace space = unit_space(11);
+  Rng noise(5);
+  FunctionObjective objective([&](const Configuration& c) {
+    return 6.0 * c[2] - 3.0 * c[8] + noise.uniform(-0.05, 0.05);
+  });
+  const auto r = plackett_burman(space, objective, /*repeats=*/3);
+  // The two active parameters must dominate the screen.
+  double third_largest = 0.0;
+  for (const auto& e : r.main_effects) {
+    if (e.a != 2 && e.a != 8) {
+      third_largest = std::max(third_largest, std::abs(e.value));
+    }
+  }
+  EXPECT_GT(std::abs(r.main_effects[2].value), 4.0 * third_largest);
+  EXPECT_GT(std::abs(r.main_effects[8].value), 2.0 * third_largest);
+}
+
+TEST(PlackettBurman, Validation) {
+  FunctionObjective objective([](const Configuration&) { return 0.0; });
+  EXPECT_THROW((void)plackett_burman(unit_space(24), objective), Error);
+  EXPECT_THROW((void)plackett_burman_matrix(10), Error);
+  EXPECT_THROW((void)plackett_burman_matrix(28), Error);
+}
+
+}  // namespace
+}  // namespace harmony

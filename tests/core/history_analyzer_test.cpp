@@ -1,0 +1,233 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/history.hpp"
+#include "core/server.hpp"
+#include "synth/landscapes.hpp"
+#include "util/error.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(Signatures, Distances) {
+  EXPECT_DOUBLE_EQ(signature_distance_sq({1.0, 2.0}, {4.0, 6.0}), 25.0);
+  EXPECT_DOUBLE_EQ(signature_distance({1.0, 2.0}, {4.0, 6.0}), 5.0);
+  EXPECT_THROW((void)signature_distance({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(ExperienceRecord, BestDedupsAndSorts) {
+  ExperienceRecord r;
+  r.measurements = {{{1.0}, 5.0, false},
+                    {{2.0}, 9.0, false},
+                    {{2.0}, 8.0, false},  // duplicate config, lower perf
+                    {{3.0}, 7.0, false}};
+  const auto best = r.best(2);
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_DOUBLE_EQ(best[0].performance, 9.0);
+  EXPECT_DOUBLE_EQ(best[1].performance, 7.0);
+}
+
+HistoryDatabase sample_db() {
+  HistoryDatabase db;
+  ExperienceRecord shopping;
+  shopping.label = "shopping mix";
+  shopping.signature = {0.8, 0.2};
+  shopping.measurements = {{{1.0, 2.0}, 50.0, false},
+                           {{3.0, 4.0}, 70.0, true}};
+  db.add(shopping);
+  ExperienceRecord ordering;
+  ordering.label = "ordering";
+  ordering.signature = {0.5, 0.5};
+  ordering.measurements = {{{5.0, 6.0}, 60.0, false}};
+  db.add(ordering);
+  return db;
+}
+
+TEST(HistoryDatabase, SaveLoadRoundTrip) {
+  const HistoryDatabase db = sample_db();
+  std::stringstream ss;
+  db.save(ss);
+  HistoryDatabase loaded;
+  loaded.load(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.record(0).label, "shopping mix");
+  EXPECT_EQ(loaded.record(0).signature, (WorkloadSignature{0.8, 0.2}));
+  ASSERT_EQ(loaded.record(0).measurements.size(), 2u);
+  EXPECT_TRUE(loaded.record(0).measurements[1].estimated);
+  EXPECT_EQ(loaded.record(0).measurements[1].config,
+            (Configuration{3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(loaded.record(1).measurements[0].performance, 60.0);
+}
+
+TEST(HistoryDatabase, LoadRejectsCorruptInput) {
+  HistoryDatabase db;
+  std::stringstream bad1("not a history file\n");
+  EXPECT_THROW(db.load(bad1), Error);
+  std::stringstream bad2("harmony-history v99\nrecords 0\n");
+  EXPECT_THROW(db.load(bad2), Error);
+  std::stringstream bad3("harmony-history v1\nrecords 1\n");  // truncated
+  EXPECT_THROW(db.load(bad3), Error);
+}
+
+TEST(HistoryDatabase, LoadReplacesContents) {
+  HistoryDatabase db = sample_db();
+  std::stringstream ss("harmony-history v1\nrecords 0\n");
+  db.load(ss);
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(HistoryDatabase, FileRoundTripAndMissingFile) {
+  const HistoryDatabase db = sample_db();
+  const std::string path = ::testing::TempDir() + "/harmony_history.txt";
+  db.save_file(path);
+  HistoryDatabase loaded;
+  loaded.load_file(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_THROW(loaded.load_file("/nonexistent/dir/x.txt"), Error);
+}
+
+TEST(LeastSquareClassifier, PicksNearestSignature) {
+  LeastSquareClassifier c;
+  const std::vector<WorkloadSignature> known = {
+      {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  EXPECT_EQ(c.classify({0.9, 1.05}, known), 1u);
+  EXPECT_EQ(c.classify({-5.0, 0.0}, known), 0u);
+  EXPECT_THROW((void)c.classify({0.0}, {}), Error);
+}
+
+TEST(KMeansClassifier, AgreesWithNearestNeighbourOnSeparatedClusters) {
+  KMeansClassifier km(2, /*seed=*/7);
+  LeastSquareClassifier nn;
+  std::vector<WorkloadSignature> known;
+  for (double d : {0.0, 0.1, 0.2}) known.push_back({d, d});
+  for (double d : {5.0, 5.1, 5.2}) known.push_back({d, d});
+  for (const WorkloadSignature obs :
+       {WorkloadSignature{0.15, 0.1}, {5.05, 5.2}, {2.0, 2.0}}) {
+    const auto got = km.classify(obs, known);
+    // Same cluster as nearest neighbour (exact index may differ inside a
+    // cluster only if distances tie; these do not).
+    EXPECT_EQ(got, nn.classify(obs, known));
+  }
+}
+
+TEST(KMeansClassifier, KLargerThanDataFallsBackSanely) {
+  KMeansClassifier km(10);
+  const std::vector<WorkloadSignature> known = {{0.0}, {4.0}};
+  EXPECT_EQ(km.classify({3.5}, known), 1u);
+  EXPECT_THROW(KMeansClassifier(0), Error);
+}
+
+TEST(DecisionTreeClassifier, AgreesWithExactNearestNeighbour) {
+  // The k-d tree with plane backtracking is exact: on random data it must
+  // return the same index as brute-force least squares.
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<WorkloadSignature> known;
+    const std::size_t n = 3 + static_cast<std::size_t>(trial) * 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      known.push_back({rng.uniform01(), rng.uniform01(), rng.uniform01()});
+    }
+    DecisionTreeClassifier tree(2);
+    LeastSquareClassifier nn;
+    for (int q = 0; q < 10; ++q) {
+      const WorkloadSignature obs = {rng.uniform01(), rng.uniform01(),
+                                     rng.uniform01()};
+      const auto got = tree.classify(obs, known);
+      const auto want = nn.classify(obs, known);
+      EXPECT_DOUBLE_EQ(signature_distance_sq(obs, known[got]),
+                       signature_distance_sq(obs, known[want]));
+    }
+  }
+}
+
+TEST(DecisionTreeClassifier, HandlesDegenerateData) {
+  DecisionTreeClassifier tree(1);
+  // All signatures identical: no split possible.
+  const std::vector<WorkloadSignature> same = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_LT(tree.classify({0.9, 1.1}, same), 2u);
+  // Single member.
+  EXPECT_EQ(tree.classify({5.0}, {{0.0}}), 0u);
+  EXPECT_THROW((void)tree.classify({0.0}, {}), Error);
+  EXPECT_THROW((void)tree.classify({0.0, 1.0}, {{0.0}}), Error);
+  EXPECT_THROW(DecisionTreeClassifier(0), Error);
+}
+
+TEST(DecisionTreeClassifier, WorksAsAnalyzerPlugin) {
+  const HistoryDatabase db = sample_db();
+  DataAnalyzer analyzer(std::make_shared<DecisionTreeClassifier>());
+  const ExperienceRecord* rec = analyzer.retrieve(db, {0.78, 0.22});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->label, "shopping mix");
+}
+
+TEST(DataAnalyzer, CharacterizeAveragesSamples) {
+  int i = 0;
+  const auto sig = DataAnalyzer::characterize(
+      [&]() -> WorkloadSignature {
+        ++i;
+        return {static_cast<double>(i), 10.0};
+      },
+      4);
+  EXPECT_DOUBLE_EQ(sig[0], 2.5);
+  EXPECT_DOUBLE_EQ(sig[1], 10.0);
+  EXPECT_THROW(
+      (void)DataAnalyzer::characterize([] { return WorkloadSignature{}; }, 0),
+      Error);
+}
+
+TEST(DataAnalyzer, RetrievesClosestExperience) {
+  const HistoryDatabase db = sample_db();
+  DataAnalyzer analyzer;
+  const ExperienceRecord* rec = analyzer.retrieve(db, {0.78, 0.22});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->label, "shopping mix");
+  EXPECT_EQ(analyzer.classify(db, {0.52, 0.48}).value(), 1u);
+}
+
+TEST(DataAnalyzer, EmptyDatabaseMeansNoExperience) {
+  HistoryDatabase db;
+  DataAnalyzer analyzer;
+  EXPECT_EQ(analyzer.retrieve(db, {0.5}), nullptr);
+  EXPECT_FALSE(analyzer.classify(db, {0.5}).has_value());
+}
+
+TEST(HarmonyServer, RecordsAndReusesExperience) {
+  const ParameterSpace space = synth::symmetric_space(2, 10.0, 1.0);
+  auto objective = synth::sphere_objective(2.0);
+  ServerOptions opts;
+  opts.tuning.simplex.max_evaluations = 120;
+  HarmonyServer server(space, opts);
+
+  const WorkloadSignature sig = {1.0, 0.0};
+  auto first = server.tune(objective, sig, "w1");
+  EXPECT_FALSE(first.experience_label.has_value());
+  EXPECT_EQ(server.database().size(), 1u);
+
+  auto second = server.tune(objective, {0.95, 0.02}, "w2");
+  ASSERT_TRUE(second.experience_label.has_value());
+  EXPECT_EQ(*second.experience_label, "w1");
+  EXPECT_GT(second.experience_distance, 0.0);
+  EXPECT_EQ(server.database().size(), 2u);
+  // Warm start must begin at a good configuration: the first live
+  // measurement is the best historical vertex's neighbourhood, so the first
+  // trace entry cannot be terrible.
+  const auto cold = analyze_trace(first.tuning.trace);
+  const auto warm = analyze_trace(second.tuning.trace);
+  EXPECT_LE(warm.bad_iterations, cold.bad_iterations);
+}
+
+TEST(HarmonyServer, CanDisableRecording) {
+  const ParameterSpace space = synth::symmetric_space(1, 5.0, 1.0);
+  auto objective = synth::sphere_objective(0.0);
+  ServerOptions opts;
+  opts.record_experience = false;
+  opts.tuning.simplex.max_evaluations = 30;
+  HarmonyServer server(space, opts);
+  (void)server.tune(objective, {1.0}, "x");
+  EXPECT_TRUE(server.database().empty());
+}
+
+}  // namespace
+}  // namespace harmony

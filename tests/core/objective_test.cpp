@@ -1,0 +1,79 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(FunctionObjective, WrapsCallable) {
+  FunctionObjective f([](const Configuration& c) { return c[0] * 2; },
+                      "double");
+  EXPECT_DOUBLE_EQ(f.measure({3.0}), 6.0);
+  EXPECT_EQ(f.metric_name(), "double");
+  EXPECT_THROW(FunctionObjective(nullptr), Error);
+}
+
+TEST(PerturbedObjective, StaysWithinBand) {
+  FunctionObjective base([](const Configuration&) { return 100.0; });
+  PerturbedObjective noisy(base, 0.25, Rng(1));
+  for (int i = 0; i < 2000; ++i) {
+    const double v = noisy.measure({});
+    EXPECT_GE(v, 75.0);
+    EXPECT_LE(v, 125.0);
+  }
+}
+
+TEST(PerturbedObjective, ZeroPerturbationIsIdentity) {
+  FunctionObjective base([](const Configuration&) { return 42.0; });
+  PerturbedObjective noisy(base, 0.0, Rng(1));
+  EXPECT_DOUBLE_EQ(noisy.measure({}), 42.0);
+}
+
+TEST(PerturbedObjective, ValidatesRange) {
+  FunctionObjective base([](const Configuration&) { return 1.0; });
+  EXPECT_THROW(PerturbedObjective(base, 1.0, Rng(1)), Error);
+  EXPECT_THROW(PerturbedObjective(base, -0.1, Rng(1)), Error);
+}
+
+TEST(RecordingObjective, TracksTraceInOrder) {
+  FunctionObjective base([](const Configuration& c) { return c[0]; });
+  RecordingObjective rec(base);
+  (void)rec.measure({1.0});
+  (void)rec.measure({2.0});
+  ASSERT_EQ(rec.count(), 2u);
+  EXPECT_DOUBLE_EQ(rec.trace()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(rec.trace()[1].config[0], 2.0);
+  rec.clear();
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(CachingObjective, MemoizesExactConfigs) {
+  int calls = 0;
+  FunctionObjective base([&](const Configuration& c) {
+    ++calls;
+    return c[0];
+  });
+  CachingObjective cached(base);
+  EXPECT_DOUBLE_EQ(cached.measure({1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(cached.measure({1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(cached.measure({2.0}), 2.0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.misses(), 2u);
+}
+
+TEST(SubspaceObjective, ExpandsIntoBase) {
+  FunctionObjective base(
+      [](const Configuration& c) { return c[0] + 10 * c[1] + 100 * c[2]; });
+  SubspaceObjective sub(base, {1.0, 2.0, 3.0}, {2, 0});
+  // sub config (c2, c0) = (9, 7) -> full (7, 2, 9).
+  EXPECT_EQ(sub.expand({9.0, 7.0}), (Configuration{7.0, 2.0, 9.0}));
+  EXPECT_DOUBLE_EQ(sub.measure({9.0, 7.0}), 7.0 + 20.0 + 900.0);
+  EXPECT_THROW((void)sub.measure({1.0}), Error);
+  EXPECT_THROW(SubspaceObjective(base, {1.0}, {3}), Error);
+}
+
+}  // namespace
+}  // namespace harmony

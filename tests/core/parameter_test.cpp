@@ -1,0 +1,195 @@
+#include "core/parameter.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+namespace {
+
+ParameterSpace two_param_space() {
+  ParameterSpace s;
+  s.add(ParameterDef("a", 0, 10, 2, 4));
+  s.add(ParameterDef("b", -5, 5, 1, 0));
+  return s;
+}
+
+TEST(ParameterDef, SnapClampsAndGrids) {
+  const ParameterDef p("x", 0, 10, 2, 4);
+  EXPECT_DOUBLE_EQ(p.snap(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.snap(15.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.snap(4.9), 4.0);
+  EXPECT_DOUBLE_EQ(p.snap(5.1), 6.0);
+  EXPECT_EQ(p.grid_size(), 6u);
+  EXPECT_DOUBLE_EQ(p.value_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.value_at(5), 10.0);
+  EXPECT_DOUBLE_EQ(p.value_at(99), 10.0);  // clamped
+}
+
+TEST(ParameterDef, NormalizeDenormalize) {
+  const ParameterDef p("x", 10, 30, 5, 10);
+  EXPECT_DOUBLE_EQ(p.normalize(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.normalize(30.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.normalize(20.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.denormalize(0.25), 15.0);
+  const ParameterDef degenerate("d", 5, 5, 1, 5);
+  EXPECT_DOUBLE_EQ(degenerate.normalize(5.0), 0.0);
+}
+
+TEST(ParameterDef, DefaultSnappedOnConstruction) {
+  const ParameterDef p("x", 0, 10, 2, 5.0);
+  EXPECT_TRUE(p.default_value == 4.0 || p.default_value == 6.0);
+}
+
+TEST(ParameterDef, Validation) {
+  EXPECT_THROW(ParameterDef("", 0, 1, 1), Error);
+  EXPECT_THROW(ParameterDef("x", 2, 1, 1), Error);
+  EXPECT_THROW(ParameterDef("x", 0, 1, 0), Error);
+}
+
+TEST(ParameterSpace, BasicsAndLookup) {
+  const ParameterSpace s = two_param_space();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.index_of("b"), 1u);
+  EXPECT_TRUE(s.contains("a"));
+  EXPECT_FALSE(s.contains("c"));
+  EXPECT_THROW((void)s.index_of("c"), Error);
+  EXPECT_THROW((void)s.param(2), Error);
+}
+
+TEST(ParameterSpace, RejectsDuplicateNames) {
+  ParameterSpace s;
+  s.add(ParameterDef("a", 0, 1, 1));
+  EXPECT_THROW(s.add(ParameterDef("a", 0, 1, 1)), Error);
+}
+
+TEST(ParameterSpace, DefaultsAreSnappedAndFeasible) {
+  const ParameterSpace s = two_param_space();
+  const Configuration d = s.defaults();
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_TRUE(s.feasible(d));
+}
+
+TEST(ParameterSpace, SnapArityValidation) {
+  const ParameterSpace s = two_param_space();
+  EXPECT_THROW((void)s.snap({1.0}), Error);
+}
+
+TEST(ParameterSpace, NormalizedDistance) {
+  const ParameterSpace s = two_param_space();
+  const double d = s.normalized_distance({0.0, -5.0}, {10.0, 5.0});
+  EXPECT_NEAR(d, std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.normalized_distance({2.0, 0.0}, {2.0, 0.0}), 0.0);
+}
+
+TEST(ParameterSpace, GridCardinality) {
+  const ParameterSpace s = two_param_space();
+  EXPECT_EQ(s.grid_cardinality(), 6u * 11u);
+  EXPECT_EQ(s.feasible_cardinality(), 66u);
+}
+
+TEST(ParameterSpace, EnumerationVisitsEveryPointOnce) {
+  const ParameterSpace s = two_param_space();
+  std::size_t count = 0;
+  s.for_each_configuration([&](const Configuration& c) {
+    EXPECT_TRUE(s.feasible(c));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 66u);
+}
+
+TEST(ParameterSpace, EnumerationEarlyStop) {
+  const ParameterSpace s = two_param_space();
+  std::size_t count = 0;
+  s.for_each_configuration([&](const Configuration&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+// --- dependent bounds (Appendix B) ---------------------------------------
+
+ParameterSpace constrained_space() {
+  // B in [1,8]; C in [1, 9-B]  (the paper's process-split example, A=10).
+  ParameterSpace s;
+  s.add(ParameterDef("B", 1, 8, 1, 4));
+  ParameterDef c("C", 1, 8, 1, 2);
+  c.upper = make_binary('-', make_const(9.0), make_param_ref(0, "B"));
+  s.add(std::move(c));
+  return s;
+}
+
+TEST(Constraints, EffectiveBoundsFollowEarlierValues) {
+  const ParameterSpace s = constrained_space();
+  const auto [lo1, hi1] = s.effective_bounds(1, {3.0, 0.0});
+  EXPECT_DOUBLE_EQ(lo1, 1.0);
+  EXPECT_DOUBLE_EQ(hi1, 6.0);
+  const auto [lo2, hi2] = s.effective_bounds(1, {8.0, 0.0});
+  EXPECT_DOUBLE_EQ(hi2, 1.0);
+  EXPECT_DOUBLE_EQ(lo2, 1.0);
+}
+
+TEST(Constraints, SnapProjectsIntoFeasibleRegion) {
+  const ParameterSpace s = constrained_space();
+  const Configuration c = s.snap({8.0, 7.0});
+  EXPECT_DOUBLE_EQ(c[0], 8.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_TRUE(s.feasible(c));
+}
+
+TEST(Constraints, FeasibleCardinalityCountsTriangle) {
+  const ParameterSpace s = constrained_space();
+  // sum over B=1..8 of (9-B) = 8+7+...+1 = 36.
+  EXPECT_EQ(s.feasible_cardinality(), 36u);
+  EXPECT_EQ(s.grid_cardinality(), 64u);  // static hull ignores constraint
+}
+
+TEST(Constraints, RejectsForwardReference) {
+  ParameterSpace s;
+  ParameterDef a("a", 0, 10, 1, 5);
+  a.upper = make_param_ref(1, "later");
+  EXPECT_THROW(s.add(std::move(a)), Error);
+}
+
+TEST(Constraints, RandomConfigurationsAreFeasible) {
+  const ParameterSpace s = constrained_space();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Configuration c = s.random_configuration(rng);
+    EXPECT_TRUE(s.feasible(c)) << "B=" << c[0] << " C=" << c[1];
+    EXPECT_LE(c[1], 9.0 - c[0] + 1e-12);
+  }
+}
+
+TEST(ParameterSpace, ProjectKeepsSelectedParams) {
+  const ParameterSpace s = constrained_space();
+  const ParameterSpace sub = s.project({1});
+  EXPECT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.param(0).name, "C");
+  EXPECT_FALSE(sub.param(0).constrained());  // hull fallback
+}
+
+TEST(Expr, ArithmeticAndPrinting) {
+  const ExprPtr e = make_binary(
+      '-', make_const(10.0),
+      make_binary('*', make_param_ref(0, "B"), make_const(2.0)));
+  EXPECT_DOUBLE_EQ(e->eval({3.0}), 4.0);
+  EXPECT_EQ(e->max_param_index(), 0);
+  EXPECT_EQ(e->to_string(), "(10-($B*2))");
+  const ExprPtr n = make_negate(make_const(5.0));
+  EXPECT_DOUBLE_EQ(n->eval({}), -5.0);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  const ExprPtr e =
+      make_binary('/', make_const(1.0), make_param_ref(0, "B"));
+  EXPECT_THROW((void)e->eval({0.0}), Error);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,193 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rsl.hpp"
+#include "util/error.hpp"
+
+namespace harmony::proto {
+namespace {
+
+TEST(Wire, SerializeParseRoundTrip) {
+  const Message m{"CONFIG", {"2", "3.5", "-1"}};
+  const Message back = parse_message(serialize(m));
+  EXPECT_EQ(back.verb, "CONFIG");
+  EXPECT_EQ(back.args, m.args);
+}
+
+TEST(Wire, RestOfLineVerbsKeepWhitespace) {
+  const Message m{"BUNDLES", {"{ harmonyBundle B { int {1 10 1} } }"}};
+  const Message back = parse_message(serialize(m));
+  ASSERT_EQ(back.args.size(), 1u);
+  EXPECT_EQ(back.args[0], m.args[0]);
+}
+
+TEST(Wire, ParseHandlesExtraWhitespace) {
+  const Message m = parse_message("  REPORT   42.5  ");
+  EXPECT_EQ(m.verb, "REPORT");
+  EXPECT_EQ(m.args, (std::vector<std::string>{"42.5"}));
+}
+
+TEST(Wire, Validation) {
+  EXPECT_THROW((void)parse_message(""), Error);
+  EXPECT_THROW((void)serialize(Message{"", {}}), Error);
+  EXPECT_THROW((void)serialize(Message{"REPORT", {"1 2"}}), Error);
+  EXPECT_NO_THROW((void)serialize(Message{"HELLO", {"my client"}}));
+}
+
+constexpr const char* kRsl =
+    "{ harmonyBundle x { int {-10 10 1 0} } }"
+    "{ harmonyBundle y { int {-10 10 1 0} } }";
+
+/// Measures -(x-3)^2 - (y+2)^2; optimum (3, -2).
+double measure(const Configuration& c) {
+  return -(c[0] - 3.0) * (c[0] - 3.0) - (c[1] + 2.0) * (c[1] + 2.0);
+}
+
+TEST(ServerSession, HappyPathTunesToOptimum) {
+  ServerSession session;
+  EXPECT_EQ(session.handle({"HELLO", {"app"}}).verb, "OK");
+  const Message bundles = session.handle({"BUNDLES", {kRsl}});
+  ASSERT_EQ(bundles.verb, "OK");
+  EXPECT_EQ(bundles.args, (std::vector<std::string>{"2"}));
+
+  int fetches = 0;
+  while (true) {
+    const Message r = session.handle({"FETCH", {}});
+    if (r.is("DONE")) {
+      ASSERT_GE(r.args.size(), 4u);
+      EXPECT_EQ(r.args[0], "2");
+      const double best = std::stod(r.args[3]);
+      EXPECT_GE(best, -4.0);  // near the optimum value 0
+      break;
+    }
+    ASSERT_EQ(r.verb, "CONFIG");
+    Configuration c = {std::stod(r.args[1]), std::stod(r.args[2])};
+    const Message okr =
+        session.handle({"REPORT", {std::to_string(measure(c))}});
+    EXPECT_EQ(okr.verb, "OK");
+    ++fetches;
+    ASSERT_LT(fetches, 500);
+  }
+  EXPECT_TRUE(session.finished());
+  EXPECT_EQ(static_cast<int>(session.trace().size()), fetches);
+}
+
+TEST(ServerSession, ProtocolViolationsReturnErrors) {
+  ServerSession session;
+  EXPECT_EQ(session.handle({"FETCH", {}}).verb, "ERROR");
+  EXPECT_EQ(session.handle({"HELLO", {}}).verb, "ERROR");
+  (void)session.handle({"HELLO", {"app"}});
+  EXPECT_EQ(session.handle({"HELLO", {"again"}}).verb, "ERROR");
+  EXPECT_EQ(session.handle({"BUNDLES", {"not rsl"}}).verb, "ERROR");
+  (void)session.handle({"BUNDLES", {kRsl}});
+  // REPORT before FETCH.
+  EXPECT_EQ(session.handle({"REPORT", {"1.0"}}).verb, "ERROR");
+  // Double FETCH.
+  EXPECT_EQ(session.handle({"FETCH", {}}).verb, "CONFIG");
+  EXPECT_EQ(session.handle({"FETCH", {}}).verb, "ERROR");
+  // Bad report payloads.
+  EXPECT_EQ(session.handle({"REPORT", {"abc"}}).verb, "ERROR");
+  EXPECT_EQ(session.handle({"REPORT", {"1", "2"}}).verb, "ERROR");
+  // Still recoverable.
+  EXPECT_EQ(session.handle({"REPORT", {"1.5"}}).verb, "OK");
+  // BYE closes.
+  EXPECT_EQ(session.handle({"BYE", {}}).verb, "OK");
+  EXPECT_EQ(session.handle({"FETCH", {}}).verb, "ERROR");
+  EXPECT_TRUE(session.finished());
+}
+
+TEST(ServerSession, DoneIsIdempotent) {
+  SessionOptions opts;
+  opts.tuning.simplex.max_evaluations = 30;
+  ServerSession session(opts);
+  (void)session.handle({"HELLO", {"app"}});
+  (void)session.handle({"BUNDLES", {kRsl}});
+  while (true) {
+    const Message r = session.handle({"FETCH", {}});
+    if (r.is("DONE")) break;
+    Configuration c = {std::stod(r.args[1]), std::stod(r.args[2])};
+    (void)session.handle({"REPORT", {std::to_string(measure(c))}});
+  }
+  const Message again = session.handle({"FETCH", {}});
+  EXPECT_EQ(again.verb, "DONE");  // repeated FETCH keeps answering DONE
+}
+
+TEST(ServerSession, SignatureMustPrecedeFetch) {
+  ServerSession session;
+  (void)session.handle({"HELLO", {"app"}});
+  (void)session.handle({"BUNDLES", {kRsl}});
+  (void)session.handle({"FETCH", {}});
+  EXPECT_EQ(session.handle({"SIGNATURE", {"1", "0.5"}}).verb, "ERROR");
+}
+
+TEST(ServerSession, ExperienceIsStoredAndRetrieved) {
+  HistoryDatabase db;
+  SessionOptions opts;
+  opts.tuning.simplex.max_evaluations = 120;
+
+  // First client tunes cold and stores experience under its signature.
+  {
+    ServerSession s1(opts, &db);
+    (void)s1.handle({"HELLO", {"day1"}});
+    (void)s1.handle({"BUNDLES", {kRsl}});
+    const Message sig = s1.handle({"SIGNATURE", {"2", "0.8", "0.2"}});
+    EXPECT_EQ(sig.verb, "OK");
+    EXPECT_TRUE(sig.args.empty());  // no experience yet
+    while (true) {
+      const Message r = s1.handle({"FETCH", {}});
+      if (r.is("DONE")) break;
+      Configuration c = {std::stod(r.args[1]), std::stod(r.args[2])};
+      (void)s1.handle({"REPORT", {std::to_string(measure(c))}});
+    }
+  }
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.record(0).label, "day1");
+
+  // Second client with a nearby signature gets a warm start.
+  ServerSession s2(opts, &db);
+  (void)s2.handle({"HELLO", {"day2"}});
+  (void)s2.handle({"BUNDLES", {kRsl}});
+  const Message sig = s2.handle({"SIGNATURE", {"2", "0.78", "0.22"}});
+  ASSERT_EQ(sig.args.size(), 2u);
+  EXPECT_EQ(sig.args[0], "experience");
+  EXPECT_EQ(sig.args[1], "day1");
+  // With recorded values the first FETCH already reflects training: the
+  // proposed configuration must be near the optimum region.
+  const Message r = s2.handle({"FETCH", {}});
+  ASSERT_EQ(r.verb, "CONFIG");
+  Configuration c = {std::stod(r.args[1]), std::stod(r.args[2])};
+  EXPECT_GE(measure(c), -60.0);  // far better than corner configs (-200+)
+}
+
+TEST(HarmonyClient, EndToEndOverLoopback) {
+  HistoryDatabase db;
+  SessionOptions opts;
+  opts.tuning.simplex.max_evaluations = 150;
+  ServerSession session(opts, &db);
+  HarmonyClient client(
+      [&](const Message& m) { return session.handle(m); });
+
+  client.open("loopback-app", kRsl);
+  EXPECT_FALSE(client.send_signature({0.5, 0.5}).has_value());
+  int iterations = 0;
+  while (auto c = client.fetch()) {
+    client.report(measure(*c));
+    ++iterations;
+    ASSERT_LT(iterations, 500);
+  }
+  EXPECT_GE(client.best_performance(), -4.0);
+  EXPECT_EQ(client.best_configuration().size(), 2u);
+  client.close();
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(HarmonyClient, ServerErrorsBecomeExceptions) {
+  ServerSession session;
+  HarmonyClient client(
+      [&](const Message& m) { return session.handle(m); });
+  EXPECT_THROW(client.report(1.0), Error);  // no session opened
+}
+
+}  // namespace
+}  // namespace harmony::proto

@@ -1,0 +1,143 @@
+#include "core/rsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(Rsl, ParsesBasicBundle) {
+  const ParameterSpace s = parse_rsl("{ harmonyBundle B { int {1 10 1} } }");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.param(0).name, "B");
+  EXPECT_DOUBLE_EQ(s.param(0).min_value, 1.0);
+  EXPECT_DOUBLE_EQ(s.param(0).max_value, 10.0);
+  EXPECT_DOUBLE_EQ(s.param(0).step, 1.0);
+  EXPECT_DOUBLE_EQ(s.param(0).default_value, 6.0);  // midpoint snapped
+}
+
+TEST(Rsl, ParsesDefaultValueAndReal) {
+  const ParameterSpace s =
+      parse_rsl("{ harmonyBundle P { real {0.5 2.5 0.25 1.0} } }");
+  EXPECT_DOUBLE_EQ(s.param(0).default_value, 1.0);
+  EXPECT_DOUBLE_EQ(s.param(0).step, 0.25);
+}
+
+TEST(Rsl, ParsesMultipleBundlesAndComments) {
+  const ParameterSpace s = parse_rsl(R"(
+    # processors
+    { harmonyBundle B { int {1 8 1} } }
+    { harmonyBundle C { int {2 4 2} } }
+  )");
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.param(1).name, "C");
+}
+
+TEST(Rsl, PaperAppendixBExample) {
+  // { harmonyBundle C { int {1 9-$B 1} }}
+  const ParameterSpace s = parse_rsl(R"(
+    { harmonyBundle B { int {1 8 1} } }
+    { harmonyBundle C { int {1 9-$B 1} } }
+  )");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.param(1).constrained());
+  // Static hull: max of 9-B over B in [1,8] is 8.
+  EXPECT_DOUBLE_EQ(s.param(1).max_value, 8.0);
+  const auto [lo, hi] = s.effective_bounds(1, {5.0, 0.0});
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 4.0);
+}
+
+TEST(Rsl, ChainedReferences) {
+  const ParameterSpace s = parse_rsl(R"(
+    { harmonyBundle P1 { int {1 21 1} } }
+    { harmonyBundle P2 { int {1 22-$P1 1} } }
+    { harmonyBundle P3 { int {1 23-$P1-$P2 1} } }
+  )");
+  const auto [lo, hi] = s.effective_bounds(2, {10.0, 5.0, 0.0});
+  EXPECT_DOUBLE_EQ(hi, 8.0);
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+}
+
+TEST(Rsl, ExpressionPrecedenceAndParens) {
+  const ParameterSpace s = parse_rsl(R"(
+    { harmonyBundle A { int {1 4 1} } }
+    { harmonyBundle B { int {1 2+$A*3 1} } }
+    { harmonyBundle C { int {1 (2+$A)*3 1} } }
+  )");
+  EXPECT_DOUBLE_EQ(s.effective_bounds(1, {2.0, 0.0, 0.0}).second, 8.0);
+  EXPECT_DOUBLE_EQ(s.effective_bounds(2, {2.0, 0.0, 0.0}).second, 12.0);
+}
+
+TEST(Rsl, UnaryMinusAndDivision) {
+  const ParameterSpace s = parse_rsl(R"(
+    { harmonyBundle A { int {2 8 2} } }
+    { harmonyBundle B { int {-4 $A/2 1} } }
+  )");
+  EXPECT_DOUBLE_EQ(s.param(1).min_value, -4.0);
+  EXPECT_DOUBLE_EQ(s.effective_bounds(1, {8.0, 0.0}).second, 4.0);
+}
+
+TEST(Rsl, RoundTripsThroughToRsl) {
+  const std::string src = R"(
+    { harmonyBundle B { int {1 8 1 4} } }
+    { harmonyBundle C { int {1 9-$B 1 2} } }
+  )";
+  const ParameterSpace s1 = parse_rsl(src);
+  const ParameterSpace s2 = parse_rsl(to_rsl(s1));
+  ASSERT_EQ(s2.size(), s1.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s2.param(i).name, s1.param(i).name);
+    EXPECT_DOUBLE_EQ(s2.param(i).min_value, s1.param(i).min_value);
+    EXPECT_DOUBLE_EQ(s2.param(i).max_value, s1.param(i).max_value);
+    EXPECT_DOUBLE_EQ(s2.param(i).default_value, s1.param(i).default_value);
+  }
+  // Dependent bound survives the round trip.
+  EXPECT_DOUBLE_EQ(s2.effective_bounds(1, {8.0, 0.0}).second, 1.0);
+}
+
+TEST(Rsl, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_rsl("\n\n{ harmonyBundle X { bogus {1 2 1} } }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(Rsl, RejectsUndeclaredReference) {
+  EXPECT_THROW((void)parse_rsl("{ harmonyBundle B { int {1 $C 1} } }"),
+               ParseError);
+}
+
+TEST(Rsl, RejectsSelfReference) {
+  EXPECT_THROW((void)parse_rsl("{ harmonyBundle B { int {1 $B 1} } }"),
+               ParseError);
+}
+
+TEST(Rsl, RejectsMalformedSyntax) {
+  EXPECT_THROW((void)parse_rsl("{ harmonyBundle }"), ParseError);
+  EXPECT_THROW((void)parse_rsl("{ bundle B { int {1 2 1} } }"), ParseError);
+  EXPECT_THROW((void)parse_rsl("{ harmonyBundle B { int {1 2} } }"),
+               ParseError);
+  EXPECT_THROW((void)parse_rsl("{ harmonyBundle B { int {1 2 1} }"),
+               ParseError);
+  EXPECT_THROW((void)parse_rsl("@"), ParseError);
+}
+
+TEST(Rsl, RejectsNonConstantStep) {
+  EXPECT_THROW((void)parse_rsl(R"(
+    { harmonyBundle A { int {1 4 1} } }
+    { harmonyBundle B { int {1 8 $A} } }
+  )"),
+               Error);
+}
+
+TEST(Rsl, EmptyInputYieldsEmptySpace) {
+  EXPECT_TRUE(parse_rsl("").empty());
+  EXPECT_TRUE(parse_rsl("  # only a comment\n").empty());
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,151 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+namespace {
+
+/// Three parameters with known importance: heavy, light, irrelevant.
+ParameterSpace known_space() {
+  ParameterSpace s;
+  s.add(ParameterDef("heavy", 0, 10, 1, 5));
+  s.add(ParameterDef("light", 0, 10, 1, 5));
+  s.add(ParameterDef("irrelevant", 0, 10, 1, 5));
+  return s;
+}
+
+FunctionObjective known_objective() {
+  return FunctionObjective([](const Configuration& c) {
+    return 100.0 - 5.0 * (c[0] - 3.0) * (c[0] - 3.0) -
+           0.5 * (c[1] - 7.0) * (c[1] - 7.0);
+  });
+}
+
+TEST(Sensitivity, RanksByTrueImportance) {
+  const ParameterSpace space = known_space();
+  auto objective = known_objective();
+  const auto sens = analyze_sensitivity(space, objective, space.defaults());
+  ASSERT_EQ(sens.size(), 3u);
+  EXPECT_GT(sens[0].sensitivity, sens[1].sensitivity);
+  EXPECT_GT(sens[1].sensitivity, sens[2].sensitivity);
+  EXPECT_DOUBLE_EQ(sens[2].sensitivity, 0.0);  // irrelevant: flat sweep
+  const auto ranking = sensitivity_ranking(sens);
+  EXPECT_EQ(ranking, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Sensitivity, TopNClampsAndOrders) {
+  const ParameterSpace space = known_space();
+  auto objective = known_objective();
+  const auto sens = analyze_sensitivity(space, objective, space.defaults());
+  EXPECT_EQ(top_n_parameters(sens, 1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(top_n_parameters(sens, 99).size(), 3u);
+}
+
+TEST(Sensitivity, SweepsHoldOthersAtBase) {
+  ParameterSpace space;
+  space.add(ParameterDef("a", 0, 4, 1, 2));
+  space.add(ParameterDef("b", 0, 4, 1, 3));
+  std::vector<Configuration> seen;
+  FunctionObjective spy([&](const Configuration& c) {
+    seen.push_back(c);
+    return 0.0;
+  });
+  (void)analyze_sensitivity(space, spy, space.defaults());
+  for (std::size_t i = 0; i < 5; ++i) {  // parameter a sweep first
+    EXPECT_DOUBLE_EQ(seen[i][1], 3.0);
+  }
+  for (std::size_t i = 5; i < 10; ++i) {  // then parameter b
+    EXPECT_DOUBLE_EQ(seen[i][0], 2.0);
+  }
+}
+
+TEST(Sensitivity, NormalizationRemovesRangeBias) {
+  // Same response shape over [0,10] and [0,1000]: normalized sensitivity
+  // must be (nearly) equal even though the raw slopes differ 100x.
+  ParameterSpace space;
+  space.add(ParameterDef("narrow", 0, 10, 1, 5));
+  space.add(ParameterDef("wide", 0, 1000, 100, 500));
+  FunctionObjective objective([](const Configuration& c) {
+    return -(c[0] - 5.0) * (c[0] - 5.0) -
+           (c[1] / 100.0 - 5.0) * (c[1] / 100.0 - 5.0);
+  });
+  const auto sens = analyze_sensitivity(space, objective, space.defaults());
+  EXPECT_NEAR(sens[0].sensitivity, sens[1].sensitivity,
+              0.05 * sens[0].sensitivity);
+}
+
+TEST(Sensitivity, SubsamplingLimitsEvaluations) {
+  ParameterSpace space;
+  space.add(ParameterDef("big", 0, 1000, 1, 500));
+  int calls = 0;
+  FunctionObjective counting([&](const Configuration&) {
+    ++calls;
+    return 0.0;
+  });
+  SensitivityOptions opts;
+  opts.max_points_per_parameter = 9;
+  const auto sens = analyze_sensitivity(space, counting, space.defaults(),
+                                        opts);
+  EXPECT_LE(calls, 9);
+  EXPECT_EQ(sens[0].evaluations, calls);
+}
+
+TEST(Sensitivity, RepeatsAverageOutNoise) {
+  ParameterSpace space;
+  space.add(ParameterDef("relevant", 0, 10, 1, 5));
+  space.add(ParameterDef("irrelevant", 0, 10, 1, 5));
+  FunctionObjective truth([](const Configuration& c) {
+    return 50.0 - 2.0 * (c[0] - 5.0) * (c[0] - 5.0);
+  });
+  PerturbedObjective noisy(truth, 0.10, Rng(3));
+  SensitivityOptions opts;
+  opts.repeats = 25;
+  const auto sens = analyze_sensitivity(space, noisy, space.defaults(), opts);
+  // With averaging, the relevant parameter must still dominate clearly.
+  EXPECT_GT(sens[0].sensitivity, 3.0 * sens[1].sensitivity);
+}
+
+/// Property sweep over perturbation levels (the paper's §5.2 robustness
+/// claim): the two designed-irrelevant parameters never outrank a truly
+/// relevant one at moderate noise.
+class SensitivityNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(SensitivityNoise, IrrelevantParametersStayLow) {
+  ParameterSpace space;
+  space.add(ParameterDef("r1", 0, 10, 1, 5));
+  space.add(ParameterDef("r2", 0, 10, 1, 5));
+  space.add(ParameterDef("x", 0, 10, 1, 5));
+  FunctionObjective truth([](const Configuration& c) {
+    return 100.0 - 3.0 * (c[0] - 4.0) * (c[0] - 4.0) -
+           2.0 * (c[1] - 6.0) * (c[1] - 6.0);
+  });
+  PerturbedObjective noisy(truth, GetParam(), Rng(11));
+  SensitivityOptions opts;
+  opts.repeats = GetParam() > 0.0 ? 15 : 1;
+  const auto sens = analyze_sensitivity(space, noisy, space.defaults(), opts);
+  const auto ranking = sensitivity_ranking(sens);
+  EXPECT_EQ(ranking.back(), 2u) << "perturbation " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Perturbations, SensitivityNoise,
+                         ::testing::Values(0.0, 0.05, 0.10));
+
+TEST(Sensitivity, Validation) {
+  const ParameterSpace space = known_space();
+  auto objective = known_objective();
+  EXPECT_THROW(
+      (void)analyze_sensitivity(space, objective, Configuration{1.0}), Error);
+  SensitivityOptions opts;
+  opts.repeats = 0;
+  EXPECT_THROW((void)analyze_sensitivity(space, objective, space.defaults(),
+                                         opts),
+               Error);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,171 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/landscapes.hpp"
+#include "util/error.hpp"
+
+namespace harmony {
+namespace {
+
+using synth::sphere_objective;
+using synth::symmetric_space;
+
+TEST(TuningSession, TunesAndRecordsTrace) {
+  const ParameterSpace space = symmetric_space(3, 10.0, 1.0);
+  auto objective = sphere_objective(-2.0);
+  TuningOptions opts;
+  opts.simplex.max_evaluations = 300;
+  TuningSession session(space, objective, opts);
+  const TuningResult r = session.run();
+  EXPECT_EQ(static_cast<int>(r.trace.size()), r.evaluations);
+  EXPECT_GE(r.best_performance, -6.0);
+  // Best must appear in the trace.
+  bool found = false;
+  for (const auto& m : r.trace) {
+    if (m.config == r.best_config) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TuningSession, SetStartControlsOrigin) {
+  const ParameterSpace space = symmetric_space(2, 10.0, 1.0);
+  auto objective = sphere_objective(0.0);
+  TuningSession session(space, objective, {});
+  session.set_start({9.0, 9.0});
+  const TuningResult r = session.run();
+  EXPECT_EQ(r.trace.front().config, (Configuration{9.0, 9.0}));
+}
+
+TEST(TuningSession, SeedWithRecordedValuesSavesMeasurements) {
+  const ParameterSpace space = symmetric_space(2, 10.0, 1.0);
+  int calls = 0;
+  FunctionObjective objective([&](const Configuration& c) {
+    ++calls;
+    double s = 0.0;
+    for (double x : c) s -= (x - 1.0) * (x - 1.0);
+    return s;
+  });
+
+  // Non-collinear history points (collinear seeds would degenerate the
+  // simplex to a line).
+  std::vector<Measurement> history;
+  for (const Configuration& c :
+       {Configuration{0.0, 0.0}, {3.0, 0.0}, {0.0, 3.0}}) {
+    const double v =
+        -(c[0] - 1.0) * (c[0] - 1.0) - (c[1] - 1.0) * (c[1] - 1.0);
+    history.push_back({c, v, false});
+  }
+
+  TuningOptions opts;
+  opts.simplex.max_evaluations = 100;
+  TuningSession seeded(space, objective, opts);
+  seeded.seed(history, /*use_recorded_values=*/true);
+  const TuningResult r = seeded.run();
+  // The three seeded vertices did not consume live measurements, so the
+  // trace must be shorter than evaluations+3 would imply.
+  EXPECT_EQ(static_cast<int>(r.trace.size()), r.evaluations);
+  EXPECT_GE(r.best_performance, -1.0);
+}
+
+TEST(TuningSession, SeedReMeasuresWhenAsked) {
+  const ParameterSpace space = symmetric_space(1, 5.0, 1.0);
+  int calls = 0;
+  FunctionObjective objective([&](const Configuration& c) {
+    ++calls;
+    return -c[0] * c[0];
+  });
+  std::vector<Measurement> history = {{{2.0}, -4.0, false},
+                                      {{1.0}, -1.0, false}};
+  TuningSession session(space, objective, {});
+  session.seed(history, /*use_recorded_values=*/false);
+  (void)session.run();
+  EXPECT_GT(calls, 0);
+}
+
+TEST(TuningSession, EstimatorFillsMissingTrainingVertices) {
+  // A 3-parameter space needs 4 initial vertices, but history covers only
+  // two configurations. With estimate_missing the filler vertices get
+  // triangulation values instead of live measurements, so the live trace
+  // must start strictly later than without it.
+  const ParameterSpace space = symmetric_space(3, 10.0, 1.0);
+  auto quality = [](const Configuration& c) {
+    double s = 0.0;
+    for (double x : c) s -= (x - 2.0) * (x - 2.0);
+    return s;
+  };
+  std::vector<Measurement> history;
+  for (const Configuration& c :
+       {Configuration{0.0, 0.0, 0.0}, {4.0, 0.0, 0.0}, {0.0, 4.0, 2.0}}) {
+    history.push_back({c, quality(c), false});
+  }
+  auto first_live = [&](bool estimate_missing) {
+    FunctionObjective objective(quality);
+    TuningOptions opts;
+    opts.simplex.max_evaluations = 1;  // capture only the first live call
+    TuningSession session(space, objective, opts);
+    session.seed(history, /*use_recorded_values=*/true, estimate_missing);
+    const TuningResult r = session.run();
+    return r.trace.empty() ? Configuration{} : r.trace.front().config;
+  };
+  // The filler vertex set SeededStrategy would add around the best seed.
+  const Configuration best_seed = space.snap({0.0, 4.0, 2.0});  // value -8
+  EvenSpreadStrategy fill;
+  const auto fillers = fill.vertices(space, best_seed);
+
+  const Configuration without = first_live(false);
+  const Configuration with = first_live(true);
+  auto is_filler = [&](const Configuration& c) {
+    return std::find(fillers.begin(), fillers.end(), c) != fillers.end();
+  };
+  // Without estimation the first live measurement completes the initial
+  // simplex (a filler vertex); with estimation the kernel starts moving
+  // immediately.
+  EXPECT_TRUE(is_filler(without));
+  EXPECT_FALSE(is_filler(with));
+}
+
+TEST(TuningSession, ValidatesInputs) {
+  ParameterSpace empty;
+  FunctionObjective obj([](const Configuration&) { return 0.0; });
+  EXPECT_THROW(TuningSession(empty, obj, {}), Error);
+  const ParameterSpace space = symmetric_space(1, 1.0, 1.0);
+  TuningOptions opts;
+  opts.strategy = nullptr;
+  EXPECT_THROW(TuningSession(space, obj, opts), Error);
+}
+
+TEST(AnalyzeTrace, EmptyTrace) {
+  const TraceMetrics m = analyze_trace({});
+  EXPECT_EQ(m.convergence_iteration, 0);
+  EXPECT_EQ(m.bad_iterations, 0);
+}
+
+TEST(AnalyzeTrace, ComputesPaperColumns) {
+  std::vector<Measurement> trace;
+  for (double p : {10.0, 40.0, 95.0, 60.0, 100.0, 98.0}) {
+    trace.push_back({{}, p, false});
+  }
+  TraceMetricsOptions opts;
+  opts.convergence_fraction = 0.95;
+  opts.bad_fraction = 0.80;
+  opts.initial_window = 3;
+  const TraceMetrics m = analyze_trace(trace, opts);
+  EXPECT_DOUBLE_EQ(m.best, 100.0);
+  EXPECT_DOUBLE_EQ(m.worst, 10.0);
+  EXPECT_EQ(m.convergence_iteration, 3);  // 95 >= 0.95*100
+  EXPECT_EQ(m.bad_iterations, 3);         // 10, 40, 60 below 80
+  EXPECT_DOUBLE_EQ(m.initial_mean, (10.0 + 40.0 + 95.0) / 3.0);
+  EXPECT_GT(m.initial_stddev, 0.0);
+}
+
+TEST(AnalyzeTrace, ConvergenceDefaultsToTraceLength) {
+  std::vector<Measurement> trace = {{{}, 50.0, false}, {{}, 60.0, false}};
+  TraceMetricsOptions opts;
+  opts.convergence_fraction = 2.0;  // unreachable
+  const TraceMetrics m = analyze_trace(trace, opts);
+  EXPECT_EQ(m.convergence_iteration, 2);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,97 @@
+#include "linalg/matrix.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace harmony::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_THROW((void)m.at(2, 0), Error);
+  EXPECT_THROW(Matrix(0, 1), Error);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), Error);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a * i, a), 0.0);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(i * a, a), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownResult) {
+  const Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b = {{7.0}, {8.0}, {9.0}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 50.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 122.0);
+  EXPECT_THROW((void)(b * a * b), Error);  // (3x1)*(2x3) mismatch
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(t.transpose(), a), 0.0);
+}
+
+TEST(Matrix, AddSubScale) {
+  const Matrix a = {{1.0, 2.0}};
+  const Matrix b = {{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.scaled(3.0)(0, 1), 6.0);
+  const Matrix c(2, 2);
+  EXPECT_THROW((void)(a + c), Error);
+}
+
+TEST(Matrix, ApplyAndVectors) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = a.apply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_THROW((void)a.apply({1.0}), Error);
+
+  const Matrix col = Matrix::column({1.0, 2.0});
+  EXPECT_EQ(col.to_vector(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_THROW((void)a.to_vector(), Error);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a = {{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, StreamOutput) {
+  const Matrix a = {{1.0, 2.0}};
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+TEST(VectorOps, NormAndDot) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_THROW((void)dot({1.0}, {1.0, 2.0}), Error);
+}
+
+}  // namespace
+}  // namespace harmony::linalg

@@ -1,0 +1,190 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/lstsq.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  const auto x = solve(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a = {{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 6.0, 1e-12);
+  const Matrix p = {{0.0, 1.0}, {1.0, 0.0}};  // permutation: det -1
+  EXPECT_NEAR(LuDecomposition(p).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW((void)lu.solve({1.0, 1.0}), Error);
+}
+
+TEST(Lu, RejectsNonSquareAndBadRhs) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), Error);
+  const Matrix a = Matrix::identity(2);
+  EXPECT_THROW((void)solve(a, {1.0}), Error);
+}
+
+/// Property: for random well-conditioned systems, A * solve(A, b) == b.
+class LuRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRoundTrip, SolveThenMultiply) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix a = random_matrix(n, n, rng);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // diag dominance
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+    const auto x = solve(a, b);
+    const auto ax = a.apply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(Qr, FactorsAreOrthonormalAndTriangular) {
+  Rng rng(7);
+  const Matrix a = random_matrix(6, 3, rng);
+  QrDecomposition qr(a);
+  ASSERT_FALSE(qr.rank_deficient());
+  const Matrix q = qr.q();
+  const Matrix r = qr.r();
+  // Q^T Q = I
+  EXPECT_LT(Matrix::max_abs_diff(q.transpose() * q, Matrix::identity(3)),
+            1e-10);
+  // R upper triangular
+  for (std::size_t i = 1; i < 3; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+  // Q R = A
+  EXPECT_LT(Matrix::max_abs_diff(q * r, a), 1e-10);
+}
+
+TEST(Qr, SolvesConsistentSystemExactly) {
+  Rng rng(8);
+  const Matrix a = random_matrix(8, 4, rng);
+  std::vector<double> x_true(4);
+  for (auto& v : x_true) v = rng.uniform(-3.0, 3.0);
+  const auto b = a.apply(x_true);
+  const auto x = QrDecomposition(a).solve(b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = 2.0 * static_cast<double>(r + 1);  // dependent column
+  }
+  QrDecomposition qr(a);
+  EXPECT_TRUE(qr.rank_deficient());
+  EXPECT_THROW((void)qr.solve({1.0, 2.0, 3.0, 4.0}), Error);
+}
+
+TEST(Qr, RejectsWideMatrix) { EXPECT_THROW(QrDecomposition(Matrix(2, 3)), Error); }
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+  // Fit y = 2x + 1 with one outlier; residual must be no worse than the
+  // true line's.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  const double xs[] = {0.0, 1.0, 2.0, 3.0};
+  const double ys[] = {1.0, 3.0, 5.0, 8.0};  // last point off the line
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = xs[i];
+    a(i, 1) = 1.0;
+    b[i] = ys[i];
+  }
+  const auto fit = least_squares(a, b);
+  EXPECT_FALSE(fit.regularized);
+  // Compare against the exact line 2x+1.
+  double exact_res = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double r = 2.0 * xs[i] + 1.0 - ys[i];
+    exact_res += r * r;
+  }
+  EXPECT_LE(fit.residual_norm, std::sqrt(exact_res) + 1e-12);
+}
+
+TEST(LeastSquares, UnderdeterminedReturnsConsistentMinimumNorm) {
+  const Matrix a = {{1.0, 1.0, 0.0}};
+  const auto fit = least_squares(a, {2.0});
+  EXPECT_NEAR(fit.residual_norm, 0.0, 1e-10);
+  // Minimum-norm solution of x1+x2=2 is (1,1,0).
+  EXPECT_NEAR(fit.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(fit.x[1], 1.0, 1e-10);
+  EXPECT_NEAR(fit.x[2], 0.0, 1e-10);
+}
+
+TEST(LeastSquares, RankDeficientFallsBackToRidge) {
+  Matrix a(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    a(r, 0) = 1.0;
+    a(r, 1) = 1.0;  // identical columns
+  }
+  const auto fit = least_squares(a, {1.0, 1.0, 1.0});
+  EXPECT_TRUE(fit.regularized);
+  // Ridge splits the weight between the two identical columns.
+  EXPECT_NEAR(fit.x[0], fit.x[1], 1e-7);
+  EXPECT_NEAR(fit.x[0] + fit.x[1], 1.0, 1e-4);
+}
+
+TEST(LeastSquares, ShapeValidation) {
+  const Matrix a = Matrix::identity(2);
+  EXPECT_THROW((void)least_squares(a, {1.0}), Error);
+}
+
+/// Property sweep: random over-determined systems — the LS solution's
+/// residual never exceeds the residual of a perturbed candidate.
+class LstsqProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LstsqProperty, ResidualIsMinimal) {
+  Rng rng(33 + GetParam());
+  const std::size_t n = GetParam();
+  const std::size_t m = n + 4;
+  const Matrix a = random_matrix(m, n, rng);
+  std::vector<double> b(m);
+  for (auto& v : b) v = rng.uniform(-2.0, 2.0);
+  const auto fit = least_squares(a, b);
+  auto residual_of = [&](const std::vector<double>& x) {
+    const auto ax = a.apply(x);
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += (ax[i] - b[i]) * (ax[i] - b[i]);
+    return std::sqrt(s);
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    auto x = fit.x;
+    for (auto& v : x) v += rng.uniform(-0.1, 0.1);
+    EXPECT_GE(residual_of(x) + 1e-12, fit.residual_norm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LstsqProperty, ::testing::Values(1, 2, 4, 7));
+
+}  // namespace
+}  // namespace harmony::linalg

@@ -1,0 +1,176 @@
+#include "synth/ecommerce.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hpp"
+#include "synth/trend.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony::synth {
+namespace {
+
+TEST(Trend, EffectiveOptimumShiftsWithWorkloadAndClamps) {
+  Rng rng(1);
+  TrendModel m = TrendModel::random(2, 1, {}, rng, 0, 0.4);
+  const double base = m.effective_optimum(0, {0.5});
+  const double shifted = m.effective_optimum(0, {1.0});
+  if (m.workload_shift[0][0] != 0.0) {
+    EXPECT_NE(base, shifted);
+  }
+  EXPECT_GE(shifted, 0.05);
+  EXPECT_LE(shifted, 0.95);
+}
+
+TEST(Trend, IrrelevantDimsHaveZeroWeight) {
+  Rng rng(2);
+  const TrendModel m = TrendModel::random(4, 0, {1, 3}, rng);
+  EXPECT_EQ(m.weight[1], 0.0);
+  EXPECT_EQ(m.weight[3], 0.0);
+  EXPECT_GT(m.weight[0], 0.0);
+  for (const auto& x : m.interactions) {
+    EXPECT_NE(x.a, 1u);
+    EXPECT_NE(x.b, 3u);
+  }
+}
+
+TEST(Trend, CalibrationMapsProbesIntoRange) {
+  Rng rng(3);
+  TrendModel m = TrendModel::random(3, 1, {}, rng);
+  m.calibrate(1.0, 50.0, rng, 2000);
+  Rng probe(4);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> u(4);
+    for (double& v : u) v = probe.uniform01();
+    const double val = m.value(u);
+    EXPECT_GE(val, 0.0);    // slight undershoot possible off-probe
+    EXPECT_LE(val, 52.0);
+  }
+}
+
+TEST(Ecommerce, SpaceMatchesPaperLayout) {
+  SyntheticSystem sys;
+  EXPECT_EQ(sys.space().size(), 15u);
+  EXPECT_EQ(sys.space().param(0).name, "D");
+  EXPECT_EQ(sys.space().param(14).name, "R");
+  EXPECT_EQ(sys.irrelevant(), (std::vector<std::size_t>{4, 9}));
+  EXPECT_EQ(sys.space().param(4).name, "H");
+  EXPECT_EQ(sys.space().param(9).name, "M");
+}
+
+TEST(Ecommerce, MeasureIsDeterministic) {
+  SyntheticSystem sys;
+  const Configuration c = sys.space().defaults();
+  const auto w = sys.shopping_workload();
+  EXPECT_DOUBLE_EQ(sys.measure(c, w), sys.measure(c, w));
+}
+
+TEST(Ecommerce, PerformanceWithinNormalizedRange) {
+  SyntheticSystem sys;
+  Rng rng(9);
+  const auto w = sys.ordering_workload();
+  for (int i = 0; i < 300; ++i) {
+    const Configuration c = sys.space().random_configuration(rng);
+    const double p = sys.measure(c, w);
+    EXPECT_GE(p, 1.0);
+    EXPECT_LE(p, 50.0);
+  }
+}
+
+TEST(Ecommerce, IrrelevantParametersDoNotChangePerformance) {
+  SyntheticSystem sys;
+  Rng rng(11);
+  const auto w = sys.shopping_workload();
+  for (int trial = 0; trial < 50; ++trial) {
+    Configuration c = sys.space().random_configuration(rng);
+    const double base = sys.measure(c, w);
+    for (std::size_t idx : sys.irrelevant()) {
+      Configuration altered = c;
+      altered[idx] = sys.space().param(idx).min_value;
+      EXPECT_DOUBLE_EQ(sys.measure(altered, w), base);
+      altered[idx] = sys.space().param(idx).max_value;
+      EXPECT_DOUBLE_EQ(sys.measure(altered, w), base);
+    }
+  }
+}
+
+TEST(Ecommerce, RelevantParametersDoChangePerformance) {
+  SyntheticSystem sys;
+  const auto w = sys.shopping_workload();
+  const Configuration base = sys.space().defaults();
+  int changed = 0;
+  for (std::size_t i = 0; i < sys.space().size(); ++i) {
+    if (i == 4 || i == 9) continue;
+    Configuration lo = base, hi = base;
+    lo[i] = sys.space().param(i).min_value;
+    hi[i] = sys.space().param(i).max_value;
+    if (sys.measure(lo, w) != sys.measure(hi, w)) ++changed;
+  }
+  EXPECT_GE(changed, 10);  // at least 10 of 13 relevant dims show an effect
+}
+
+TEST(Ecommerce, WorkloadChangesTheLandscape) {
+  SyntheticSystem sys;
+  Rng rng(13);
+  int differs = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Configuration c = sys.space().random_configuration(rng);
+    if (sys.measure(c, sys.shopping_workload()) !=
+        sys.measure(c, sys.ordering_workload())) {
+      ++differs;
+    }
+  }
+  EXPECT_GE(differs, 15);
+}
+
+TEST(Ecommerce, SensitivityToolFindsDesignedIrrelevantParams) {
+  SyntheticSystem sys;
+  SyntheticObjective obj(sys, sys.shopping_workload());
+  SensitivityOptions opts;
+  opts.max_points_per_parameter = 12;
+  const auto sens =
+      analyze_sensitivity(sys.space(), obj, sys.space().defaults(), opts);
+  const auto ranking = sensitivity_ranking(sens);
+  // H (4) and M (9) must rank in the bottom two (paper Fig. 5).
+  const std::size_t last = ranking[ranking.size() - 1];
+  const std::size_t second_last = ranking[ranking.size() - 2];
+  EXPECT_TRUE((last == 4 && second_last == 9) ||
+              (last == 9 && second_last == 4))
+      << "bottom two were " << last << ", " << second_last;
+  EXPECT_DOUBLE_EQ(sens[4].sensitivity, 0.0);
+  EXPECT_DOUBLE_EQ(sens[9].sensitivity, 0.0);
+}
+
+TEST(Ecommerce, WorkloadPresetsAreDistinct) {
+  SyntheticSystem sys;
+  const auto b = sys.browsing_workload();
+  const auto s = sys.shopping_workload();
+  const auto o = sys.ordering_workload();
+  EXPECT_NE(b, s);
+  EXPECT_NE(s, o);
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(Ecommerce, WorkloadAtDistanceHitsRequestedDistance) {
+  SyntheticSystem sys;
+  const auto base = sys.shopping_workload();
+  for (double d : {0.0, 0.05, 0.1, 0.2}) {
+    const auto moved = sys.workload_at_distance(base, d);
+    double got = 0.0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      got += (moved[i] - base[i]) * (moved[i] - base[i]);
+    }
+    EXPECT_NEAR(std::sqrt(got), d, 1e-9) << "requested distance " << d;
+  }
+  EXPECT_THROW((void)sys.workload_at_distance(base, -1.0), Error);
+}
+
+TEST(Ecommerce, MeasureValidatesWorkloadArity) {
+  SyntheticSystem sys;
+  EXPECT_THROW((void)sys.measure(sys.space().defaults(), {0.5}), Error);
+}
+
+}  // namespace
+}  // namespace harmony::synth

@@ -1,0 +1,149 @@
+#include "synth/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/datagen.hpp"
+#include "synth/trend.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony::synth {
+namespace {
+
+ParameterSpace grid(std::size_t dims, double hi = 9.0) {
+  ParameterSpace s;
+  for (std::size_t i = 0; i < dims; ++i) {
+    s.add(ParameterDef("v" + std::to_string(i), 0, hi, 1, 0));
+  }
+  return s;
+}
+
+TEST(Rule, MatchesConjunction) {
+  Rule r;
+  r.conditions = {{0, 2.0, 5.0}, {1, 0.0, 1.0}};
+  r.performance = 42.0;
+  EXPECT_TRUE(r.matches({3.0, 0.5}));
+  EXPECT_FALSE(r.matches({6.0, 0.5}));
+  EXPECT_FALSE(r.matches({3.0, 2.0}));
+  Rule unconditional;
+  EXPECT_TRUE(unconditional.matches({1.0, 2.0}));
+}
+
+TEST(Rule, DistanceIsZeroInsideAndNormalizedOutside) {
+  const ParameterSpace space = grid(2);
+  Rule r;
+  r.conditions = {{0, 2.0, 5.0}};
+  EXPECT_DOUBLE_EQ(r.distance({3.0, 0.0}, space), 0.0);
+  // One unit outside a 9-unit range: 1/9 normalized.
+  EXPECT_NEAR(r.distance({6.0, 0.0}, space), 1.0 / 9.0, 1e-12);
+}
+
+TEST(Rule, ToStringShowsCnfForm) {
+  const ParameterSpace space = grid(2);
+  Rule r;
+  r.conditions = {{0, 1.0, 3.0}};
+  r.performance = 7.0;
+  EXPECT_EQ(r.to_string(space), "7 <- C(v0 in [1,3])");
+}
+
+TEST(RuleSet, EvaluateUsesClosestRuleAsFallback) {
+  const ParameterSpace space = grid(1);
+  Rule lo;
+  lo.conditions = {{0, 0.0, 2.0}};
+  lo.performance = 10.0;
+  Rule hi;
+  hi.conditions = {{0, 7.0, 9.0}};
+  hi.performance = 20.0;
+  RuleSet rs({lo, hi});
+  EXPECT_DOUBLE_EQ(rs.evaluate({1.0}, space), 10.0);   // matches lo
+  EXPECT_DOUBLE_EQ(rs.evaluate({8.0}, space), 20.0);   // matches hi
+  EXPECT_DOUBLE_EQ(rs.evaluate({3.0}, space), 10.0);   // closer to lo
+  EXPECT_DOUBLE_EQ(rs.evaluate({6.0}, space), 20.0);   // closer to hi
+  EXPECT_EQ(rs.match({5.0}), nullptr);
+  EXPECT_THROW(RuleSet({}), Error);
+}
+
+TEST(DataGen, GeneratesRequestedRuleCount) {
+  const ParameterSpace space = grid(3);
+  Rng rng(1);
+  TrendModel trend = TrendModel::random(3, 0, {}, rng);
+  trend.calibrate(1.0, 50.0, rng);
+  DataGenOptions opts;
+  opts.target_rules = 64;
+  const RuleSet rs = generate_rules(space, trend, opts);
+  EXPECT_GE(rs.size(), 64u);
+}
+
+TEST(DataGen, RulesAreConflictFreeAndTotal) {
+  const ParameterSpace space = grid(3);
+  Rng rng(2);
+  TrendModel trend = TrendModel::random(3, 0, {1}, rng);
+  trend.calibrate(1.0, 50.0, rng);
+  DataGenOptions opts;
+  opts.target_rules = 100;
+  opts.seed = 7;
+  const RuleSet rs = generate_rules(space, trend, opts);
+
+  Rng sampler(3);
+  EXPECT_FALSE(rs.find_conflict(space, sampler, 2000).has_value());
+  // Every grid point matches exactly one rule (the partition tiles the
+  // space).
+  space.for_each_configuration([&](const Configuration& c) {
+    int fired = 0;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rs.rule(i).matches(c)) ++fired;
+    }
+    EXPECT_EQ(fired, 1) << "at (" << c[0] << "," << c[1] << "," << c[2] << ")";
+    return fired == 1;
+  });
+}
+
+TEST(DataGen, IrrelevantDimensionsAreNeverTested) {
+  const ParameterSpace space = grid(3);
+  Rng rng(4);
+  TrendModel trend = TrendModel::random(3, 0, {1}, rng);
+  trend.calibrate(1.0, 50.0, rng);
+  DataGenOptions opts;
+  opts.target_rules = 80;
+  const RuleSet rs = generate_rules(space, trend, opts);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    for (const Condition& c : rs.rule(i).conditions) {
+      EXPECT_NE(c.param, 1u) << "rule conditions on an irrelevant parameter";
+    }
+  }
+}
+
+TEST(DataGen, PerformancesWithinCalibratedRange) {
+  const ParameterSpace space = grid(2);
+  Rng rng(5);
+  TrendModel trend = TrendModel::random(2, 0, {}, rng);
+  trend.calibrate(1.0, 50.0, rng);
+  DataGenOptions opts;
+  opts.target_rules = 50;
+  const RuleSet rs = generate_rules(space, trend, opts);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_GE(rs.rule(i).performance, 1.0);
+    EXPECT_LE(rs.rule(i).performance, 50.0);
+  }
+}
+
+TEST(DataGen, RejectsWorkloadTrendsAndAllIrrelevant) {
+  const ParameterSpace space = grid(2);
+  Rng rng(6);
+  TrendModel with_wl = TrendModel::random(2, 1, {}, rng);
+  EXPECT_THROW((void)generate_rules(space, with_wl, {}), Error);
+  TrendModel all_irrelevant = TrendModel::random(2, 0, {0, 1}, rng);
+  EXPECT_THROW((void)generate_rules(space, all_irrelevant, {}), Error);
+}
+
+TEST(RuleObjective, EvaluatesThroughObjectiveInterface) {
+  const ParameterSpace space = grid(1);
+  Rule r;
+  r.performance = 33.0;
+  RuleObjective obj(space, RuleSet({r}));
+  EXPECT_DOUBLE_EQ(obj.measure({4.0}), 33.0);
+  EXPECT_EQ(obj.metric_name(), "synthetic");
+}
+
+}  // namespace
+}  // namespace harmony::synth

@@ -1,0 +1,153 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanApproximatelyHalf) {
+  Rng rng(11);
+  double s = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += rng.uniform01();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all six values observed
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParamsAndValidation) {
+  Rng rng(5);
+  const double x = rng.normal(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(x, 10.0);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  const int n = 100000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += rng.exponential(4.0);
+  EXPECT_NEAR(s / n, 0.25, 0.01);
+  EXPECT_THROW((void)rng.exponential(0.0), Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW((void)rng.bernoulli(1.5), Error);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(17);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexValidation) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.weighted_index({}), Error);
+  EXPECT_THROW((void)rng.weighted_index({0.0, 0.0}), Error);
+  EXPECT_THROW((void)rng.weighted_index({1.0, -1.0}), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng a2(42);
+  (void)a2();  // parent consumed one draw for the split
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child() == a2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Splitmix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(3);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to first bucket
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Rng rng(5);
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform01());
+  double sum = 0.0;
+  for (double f : h.fractions()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, BucketLabels) {
+  Histogram h(1.0, 51.0, 10);
+  EXPECT_EQ(h.bucket_label(0), "1-6");
+  EXPECT_EQ(h.bucket_label(9), "46-51");
+}
+
+TEST(Histogram, TotalVariation) {
+  Histogram a(0.0, 1.0, 2), b(0.0, 1.0, 2);
+  a.add(0.1);
+  b.add(0.9);
+  EXPECT_DOUBLE_EQ(Histogram::total_variation(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::total_variation(a, a), 0.0);
+  Histogram c(0.0, 1.0, 3);
+  EXPECT_THROW((void)Histogram::total_variation(a, c), Error);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), Error);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(BatchStats, Percentile) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_THROW((void)percentile({}, 50.0), Error);
+  EXPECT_THROW((void)percentile(xs, 101.0), Error);
+}
+
+TEST(BatchStats, Pearson) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = b;
+  for (double& x : c) x = -x;
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+  const std::vector<double> flat = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(a, flat), 0.0);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,65 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitOnDelimiter) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitWhitespace) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("harmony", "har"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("ha", "harm"));
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.5, -3.25, 1e10, 1.0 / 3.0}) {
+    EXPECT_DOUBLE_EQ(parse_double(format_double(v)), v);
+  }
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("  2.5 "), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3"), -1e-3);
+  EXPECT_THROW((void)parse_double(""), Error);
+  EXPECT_THROW((void)parse_double("abc"), Error);
+  EXPECT_THROW((void)parse_double("1.5x"), Error);
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(parse_long(" 42 "), 42);
+  EXPECT_EQ(parse_long("-7"), -7);
+  EXPECT_THROW((void)parse_long("4.2"), Error);
+  EXPECT_THROW((void)parse_long(""), Error);
+}
+
+}  // namespace
+}  // namespace harmony

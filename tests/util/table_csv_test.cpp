@@ -1,0 +1,62 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace harmony {
+namespace {
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "20"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |   1.5 |"), std::string::npos);  // right-align
+  EXPECT_NE(out.find("| b     |    20 |"), std::string::npos);
+}
+
+TEST(Table, NonNumericColumnsLeftAligned) {
+  Table t({"k"});
+  t.add_row({"abc"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| x   |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Csv, EscapesSpecialFields) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRowsAndChecksArity) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"h1", "h2"});
+  w.row({"1", "a,b"});
+  EXPECT_EQ(os.str(), "h1,h2\n1,\"a,b\"\n");
+  EXPECT_THROW(w.row({"too", "many", "cells"}), Error);
+  EXPECT_THROW(w.row({}), Error);
+}
+
+}  // namespace
+}  // namespace harmony

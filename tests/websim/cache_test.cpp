@@ -1,0 +1,75 @@
+#include "websim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harmony::websim {
+namespace {
+
+TEST(CacheModel, ProbabilitiesAreWellFormed) {
+  for (double cache : {8.0, 64.0, 512.0}) {
+    for (double max_obj : {8.0, 96.0, 512.0}) {
+      for (double min_obj : {0.0, 16.0, 64.0}) {
+        CacheModel m{min_obj, max_obj, cache};
+        EXPECT_GE(m.cacheable_fraction(), 0.0);
+        EXPECT_LE(m.cacheable_fraction(), 1.0);
+        EXPECT_GE(m.coverage(), 0.0);
+        EXPECT_LE(m.coverage(), 1.0);
+        EXPECT_GE(m.hit_probability(), 0.0);
+        EXPECT_LE(m.hit_probability(), 1.0);
+      }
+    }
+  }
+}
+
+TEST(CacheModel, MoreMemoryNeverHurtsHitRate) {
+  double prev = -1.0;
+  for (double cache : {8.0, 32.0, 128.0, 256.0, 512.0}) {
+    CacheModel m{0.0, 96.0, cache};
+    EXPECT_GE(m.hit_probability(), prev);
+    prev = m.hit_probability();
+  }
+}
+
+TEST(CacheModel, WiderWindowAdmitsMoreRequests) {
+  double prev = -1.0;
+  for (double max_obj : {8.0, 32.0, 128.0, 512.0}) {
+    CacheModel m{0.0, max_obj, 128.0};
+    EXPECT_GE(m.cacheable_fraction(), prev);
+    prev = m.cacheable_fraction();
+  }
+}
+
+TEST(CacheModel, RaisingMinObjectExcludesSmallRequests) {
+  CacheModel lo{0.0, 96.0, 128.0};
+  CacheModel hi{32.0, 96.0, 128.0};
+  EXPECT_GT(lo.cacheable_fraction(), hi.cacheable_fraction());
+}
+
+TEST(CacheModel, WideningWindowDilutesCoverage) {
+  CacheModel narrow{0.0, 64.0, 64.0};
+  CacheModel wide{0.0, 512.0, 64.0};
+  EXPECT_GT(narrow.coverage(), wide.coverage());
+}
+
+TEST(CacheModel, InteriorOptimumInMaxObjectForSmallCache) {
+  // With modest memory, admitting everything dilutes the cache: some
+  // mid-sized window must beat the widest one (the paper's premise that
+  // desirable values are interior).
+  const double cache = 64.0;
+  const double wide_hit = CacheModel{0.0, 512.0, cache}.hit_probability();
+  double best_mid = 0.0;
+  for (double max_obj : {32.0, 64.0, 96.0, 128.0}) {
+    best_mid = std::max(best_mid,
+                        CacheModel{0.0, max_obj, cache}.hit_probability());
+  }
+  EXPECT_GT(best_mid, wide_hit);
+}
+
+TEST(CacheModel, DegenerateWindowIsHarmless) {
+  CacheModel inverted{96.0, 8.0, 128.0};  // min > max
+  EXPECT_DOUBLE_EQ(inverted.cacheable_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(inverted.hit_probability(), 0.0);
+}
+
+}  // namespace
+}  // namespace harmony::websim

@@ -1,0 +1,267 @@
+#include "websim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace harmony::websim {
+namespace {
+
+SimOptions fast_options(WorkloadMix mix = WorkloadMix::shopping()) {
+  SimOptions o;
+  o.mix = mix;
+  o.warmup_s = 2.0;
+  o.measure_s = 10.0;
+  o.seed = 42;
+  return o;
+}
+
+TEST(ClusterConfig, RoundTripsThroughConfiguration) {
+  ClusterConfig c;
+  c.ajp_max_processors = 24;
+  c.proxy_cache_mb = 256;
+  const Configuration v = c.to_configuration();
+  const ClusterConfig back = ClusterConfig::from_configuration(v);
+  EXPECT_EQ(back.ajp_max_processors, 24);
+  EXPECT_EQ(back.proxy_cache_mb, 256);
+  EXPECT_EQ(v.size(), kClusterParamCount);
+  EXPECT_THROW((void)ClusterConfig::from_configuration({1.0}), Error);
+}
+
+TEST(ClusterConfig, ParameterSpaceMatchesPaperNames) {
+  const ParameterSpace s = ClusterConfig::parameter_space();
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.param(kAjpMaxProcessors).name, "AJPMaxProcessors");
+  EXPECT_EQ(s.param(kMysqlNetBuffer).name, "MYSQLNetBuffer");
+  EXPECT_EQ(s.param(kProxyCacheMem).name, "PROXYCacheMem");
+  // Defaults encode/decode consistently.
+  const Configuration d = s.defaults();
+  EXPECT_TRUE(s.feasible(d));
+  const ClusterConfig cfg = ClusterConfig::from_configuration(d);
+  EXPECT_EQ(cfg.ajp_max_processors, ClusterConfig{}.ajp_max_processors);
+}
+
+TEST(Cluster, DeterministicForSameSeed) {
+  const ClusterConfig cfg{};
+  const SimOptions o = fast_options();
+  const SimMetrics a = simulate_cluster(cfg, o);
+  const SimMetrics b = simulate_cluster(cfg, o);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.wips, b.wips);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Cluster, DifferentSeedsVaryModestly) {
+  const ClusterConfig cfg{};
+  SimOptions o = fast_options();
+  const double w1 = simulate_cluster(cfg, o).wips;
+  o.seed = 43;
+  const double w2 = simulate_cluster(cfg, o).wips;
+  EXPECT_NE(w1, w2);
+  EXPECT_NEAR(w1, w2, 0.25 * w1);  // run-to-run noise, not chaos
+}
+
+TEST(Cluster, MetricsAreConsistent) {
+  const SimMetrics m = simulate_cluster(ClusterConfig{}, fast_options());
+  EXPECT_GT(m.wips, 0.0);
+  EXPECT_NEAR(m.wips, m.wips_browse + m.wips_order, 1e-9);
+  EXPECT_NEAR(m.wips, static_cast<double>(m.completed) / 10.0, 1e-9);
+  EXPECT_GT(m.mean_latency_ms, 0.0);
+  EXPECT_GE(m.p95_latency_ms, m.mean_latency_ms);
+  EXPECT_GE(m.cache_hit_rate, 0.0);
+  EXPECT_LE(m.cache_hit_rate, 1.0);
+  EXPECT_GT(m.events, 1000u);
+}
+
+TEST(Cluster, BrowseOrderSplitTracksMix) {
+  const SimMetrics m =
+      simulate_cluster(ClusterConfig{}, fast_options(WorkloadMix::ordering()));
+  const double order_share = m.wips_order / m.wips;
+  EXPECT_NEAR(order_share, 0.50, 0.08);
+}
+
+// --- qualitative response-surface properties (DESIGN.md §5) ---------------
+
+TEST(Cluster, ProcessorCountHasInteriorOptimum) {
+  const SimOptions o = fast_options();
+  ClusterConfig few{}, def{}, many{};
+  few.ajp_max_processors = 1;
+  many.ajp_max_processors = 64;
+  const double w_few = simulate_cluster(few, o).wips;
+  const double w_def = simulate_cluster(def, o).wips;
+  const double w_many = simulate_cluster(many, o).wips;
+  EXPECT_GT(w_def, 1.2 * w_few) << "no queueing collapse at 1 processor";
+  EXPECT_GT(w_def, 1.2 * w_many) << "no thrashing collapse at 64 processors";
+}
+
+TEST(Cluster, NetBufferDominatesOrderingMix) {
+  const SimOptions o = fast_options(WorkloadMix::ordering());
+  ClusterConfig small{}, large{};
+  small.mysql_net_buffer_kb = 4;
+  large.mysql_net_buffer_kb = 64;
+  const double w_small = simulate_cluster(small, o).wips;
+  const double w_large = simulate_cluster(large, o).wips;
+  EXPECT_GT(w_large, 1.35 * w_small);
+}
+
+TEST(Cluster, NetBufferMattersLessForShopping) {
+  ClusterConfig small{}, large{};
+  small.mysql_net_buffer_kb = 4;
+  large.mysql_net_buffer_kb = 64;
+  const SimOptions shop = fast_options(WorkloadMix::shopping());
+  const SimOptions order = fast_options(WorkloadMix::ordering());
+  const double shop_ratio = simulate_cluster(large, shop).wips /
+                            simulate_cluster(small, shop).wips;
+  const double order_ratio = simulate_cluster(large, order).wips /
+                             simulate_cluster(small, order).wips;
+  EXPECT_GT(order_ratio, shop_ratio);
+}
+
+TEST(Cluster, CacheMemoryHelpsBrowseHeavyMixes) {
+  const SimOptions o = fast_options(WorkloadMix::shopping());
+  ClusterConfig small{}, large{};
+  small.proxy_cache_mb = 8;
+  large.proxy_cache_mb = 512;
+  const SimMetrics m_small = simulate_cluster(small, o);
+  const SimMetrics m_large = simulate_cluster(large, o);
+  EXPECT_GT(m_large.cache_hit_rate, m_small.cache_hit_rate + 0.2);
+  EXPECT_GT(m_large.wips, 1.1 * m_small.wips);
+}
+
+TEST(Cluster, CacheMattersMoreForShoppingThanOrdering) {
+  ClusterConfig small{}, large{};
+  small.proxy_cache_mb = 8;
+  large.proxy_cache_mb = 512;
+  const SimOptions shop = fast_options(WorkloadMix::shopping());
+  const SimOptions order = fast_options(WorkloadMix::ordering());
+  const double shop_gain = simulate_cluster(large, shop).wips -
+                           simulate_cluster(small, shop).wips;
+  const double order_gain = simulate_cluster(large, order).wips -
+                            simulate_cluster(small, order).wips;
+  EXPECT_GT(shop_gain, order_gain);
+}
+
+TEST(Cluster, TierTelemetryIsWellFormed) {
+  const SimMetrics m = simulate_cluster(ClusterConfig{}, fast_options());
+  for (double u : {m.proxy_cpu_utilization, m.webapp_cpu_utilization,
+                   m.db_engine_utilization}) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GE(m.ajp_mean_wait_ms, 0.0);
+  EXPECT_GE(m.db_conn_mean_wait_ms, 0.0);
+  // The web/app box is the busiest tier at the default configuration.
+  EXPECT_GT(m.webapp_cpu_utilization, m.proxy_cpu_utilization);
+}
+
+TEST(Cluster, BottleneckShiftsToDbUnderTinyNetBuffer) {
+  const SimOptions o = fast_options(WorkloadMix::ordering());
+  ClusterConfig tiny{};
+  tiny.mysql_net_buffer_kb = 4;
+  const SimMetrics strangled = simulate_cluster(tiny, o);
+  const SimMetrics normal = simulate_cluster(ClusterConfig{}, o);
+  EXPECT_GT(strangled.db_engine_utilization, 0.9);
+  // Back-pressure surfaces at the AJP pool: processors are held across the
+  // (now slow) DB round trips.
+  EXPECT_GT(strangled.ajp_mean_wait_ms, normal.ajp_mean_wait_ms);
+}
+
+TEST(Cluster, UndersizedConnectionPoolQueuesQueries) {
+  // DB connections only queue when the pool is smaller than the concurrent
+  // query demand the AJP processors can generate.
+  const SimOptions o = fast_options(WorkloadMix::ordering());
+  ClusterConfig small{};
+  small.mysql_max_connections = 2;
+  small.mysql_net_buffer_kb = 8;  // slow queries -> long holds
+  const SimMetrics m_small = simulate_cluster(small, o);
+  const SimMetrics m_def = simulate_cluster(ClusterConfig{}, o);
+  EXPECT_GT(m_small.db_conn_mean_wait_ms, m_def.db_conn_mean_wait_ms);
+  EXPECT_GT(m_small.db_conn_mean_wait_ms, 0.1);
+}
+
+TEST(Cluster, UndersizedPoolShowsUpInWaitTimes) {
+  const SimOptions o = fast_options();
+  ClusterConfig starved{};
+  starved.ajp_max_processors = 2;
+  const SimMetrics m_starved = simulate_cluster(starved, o);
+  const SimMetrics m_def = simulate_cluster(ClusterConfig{}, o);
+  EXPECT_GT(m_starved.ajp_mean_wait_ms,
+            1.5 * (m_def.ajp_mean_wait_ms + 0.1));
+}
+
+TEST(Cluster, ZeroAcceptQueuesCauseDrops) {
+  SimOptions o = fast_options(WorkloadMix::ordering());
+  ClusterConfig cfg{};
+  cfg.ajp_accept_count = 0;
+  cfg.ajp_max_processors = 4;  // force pressure
+  const SimMetrics m = simulate_cluster(cfg, o);
+  EXPECT_GT(m.drop_rate, 0.0);
+}
+
+/// Property sweep across all three specification mixes: core invariants of
+/// the simulator must hold regardless of workload.
+class ClusterMixes : public ::testing::TestWithParam<int> {
+ protected:
+  WorkloadMix mix() const {
+    switch (GetParam()) {
+      case 0: return WorkloadMix::browsing();
+      case 1: return WorkloadMix::shopping();
+      default: return WorkloadMix::ordering();
+    }
+  }
+};
+
+TEST_P(ClusterMixes, InvariantsHold) {
+  const SimMetrics m = simulate_cluster(ClusterConfig{}, fast_options(mix()));
+  EXPECT_GT(m.wips, 10.0);
+  EXPECT_NEAR(m.wips, m.wips_browse + m.wips_order, 1e-9);
+  EXPECT_GE(m.drop_rate, 0.0);
+  EXPECT_LE(m.drop_rate, 1.0);
+  EXPECT_GT(m.mean_latency_ms, 0.0);
+  EXPECT_LE(m.webapp_cpu_utilization, 1.0 + 1e-9);
+  // Order share of completions tracks the mix's order fraction.
+  EXPECT_NEAR(m.wips_order / m.wips, mix().order_fraction(), 0.10);
+}
+
+TEST_P(ClusterMixes, DegradedExtremesNeverBeatDefaults) {
+  const SimOptions o = fast_options(mix());
+  const double def = simulate_cluster(ClusterConfig{}, o).wips;
+  ClusterConfig bad{};
+  bad.ajp_max_processors = 1;
+  bad.mysql_max_connections = 2;
+  bad.mysql_net_buffer_kb = 4;
+  bad.proxy_cache_mb = 8;
+  EXPECT_GT(def, simulate_cluster(bad, o).wips);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, ClusterMixes, ::testing::Values(0, 1, 2));
+
+TEST(ClusterObjective, MeasuresAndExposesMetrics) {
+  ClusterObjective obj(fast_options());
+  const double w = obj.measure(ClusterConfig{}.to_configuration());
+  EXPECT_GT(w, 0.0);
+  EXPECT_DOUBLE_EQ(obj.last_metrics().wips, w);
+  EXPECT_EQ(obj.metric_name(), "WIPS");
+  // Unpinned: fresh seed per measurement -> values differ.
+  const double w2 = obj.measure(ClusterConfig{}.to_configuration());
+  EXPECT_NE(w, w2);
+}
+
+TEST(ClusterObjective, PinnedSeedIsDeterministic) {
+  ClusterObjective obj(fast_options());
+  obj.pin_seed(99);
+  const Configuration c = ClusterConfig{}.to_configuration();
+  EXPECT_DOUBLE_EQ(obj.measure(c), obj.measure(c));
+}
+
+TEST(Cluster, Validation) {
+  SimOptions o = fast_options();
+  o.emulated_browsers = 0;
+  EXPECT_THROW((void)simulate_cluster(ClusterConfig{}, o), Error);
+  o = fast_options();
+  o.measure_s = 0.0;
+  EXPECT_THROW((void)simulate_cluster(ClusterConfig{}, o), Error);
+}
+
+}  // namespace
+}  // namespace harmony::websim

@@ -1,0 +1,82 @@
+#include "websim/des.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace harmony::websim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulation, SimultaneousEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, NowAdvancesWithEvents) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule(2.5, [&] { seen = sim.now(); });
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // advances to the deadline
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run_until(100.0);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(5.0);  // event exactly at deadline still runs
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule(0.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RejectsPastAndNullEvents) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), Error);
+  EXPECT_THROW(sim.schedule_at(-0.5, [] {}), Error);
+  EXPECT_THROW(sim.schedule(1.0, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace harmony::websim

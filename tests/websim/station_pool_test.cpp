@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "websim/des.hpp"
+#include "websim/pool.hpp"
+#include "websim/station.hpp"
+
+namespace harmony::websim {
+namespace {
+
+TEST(ServiceStation, ServesUpToServerCountConcurrently) {
+  Simulation sim;
+  ServiceStation st(sim, "s", 2, 10);
+  int done = 0;
+  for (int i = 0; i < 2; ++i) st.submit(1.0, [&](bool ok) { done += ok; });
+  EXPECT_EQ(st.busy(), 2);
+  sim.run_until(1.0);
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(st.stats().served, 2u);
+}
+
+TEST(ServiceStation, QueuesBeyondServers) {
+  Simulation sim;
+  ServiceStation st(sim, "s", 1, 10);
+  std::vector<double> completion_times;
+  for (int i = 0; i < 3; ++i) {
+    st.submit(1.0, [&](bool) { completion_times.push_back(sim.now()); });
+  }
+  EXPECT_EQ(st.queued(), 2u);
+  sim.run_until(10.0);
+  ASSERT_EQ(completion_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(completion_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(completion_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(completion_times[2], 3.0);
+  EXPECT_DOUBLE_EQ(st.stats().total_wait, 0.0 + 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(st.stats().max_wait, 2.0);
+}
+
+TEST(ServiceStation, DropsWhenQueueFull) {
+  Simulation sim;
+  ServiceStation st(sim, "s", 1, 1);
+  int accepted = 0, dropped = 0;
+  auto cb = [&](bool ok) { ok ? ++accepted : ++dropped; };
+  st.submit(1.0, cb);  // in service
+  st.submit(1.0, cb);  // queued
+  st.submit(1.0, cb);  // dropped
+  sim.run_until(5.0);
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(st.stats().dropped, 1u);
+}
+
+TEST(ServiceStation, UtilizationAccounting) {
+  Simulation sim;
+  ServiceStation st(sim, "s", 2, 0);
+  st.submit(3.0, [](bool) {});
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(st.stats().busy_time, 3.0);
+  EXPECT_DOUBLE_EQ(st.stats().utilization(10.0, 2), 0.15);
+}
+
+TEST(ServiceStation, Validation) {
+  Simulation sim;
+  EXPECT_THROW(ServiceStation(sim, "s", 0, 1), Error);
+  EXPECT_THROW(ServiceStation(sim, "s", 1, -1), Error);
+  ServiceStation st(sim, "s", 1, 1);
+  EXPECT_THROW(st.submit(-1.0, [](bool) {}), Error);
+  EXPECT_THROW(st.submit(1.0, nullptr), Error);
+}
+
+TEST(ResourcePool, GrantsImmediatelyWhenFree) {
+  Simulation sim;
+  ResourcePool pool(sim, "p", 2, 4);
+  bool granted = false;
+  pool.acquire([&](bool ok) { granted = ok; });
+  EXPECT_TRUE(granted);  // synchronous grant
+  EXPECT_EQ(pool.in_use(), 1);
+}
+
+TEST(ResourcePool, WaitersGetSlotOnRelease) {
+  Simulation sim;
+  ResourcePool pool(sim, "p", 1, 4);
+  std::vector<int> order;
+  pool.acquire([&](bool ok) { order.push_back(ok ? 1 : -1); });
+  pool.acquire([&](bool ok) { order.push_back(ok ? 2 : -2); });
+  pool.acquire([&](bool ok) { order.push_back(ok ? 3 : -3); });
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(pool.waiting(), 2u);
+  pool.release();
+  sim.run_until(0.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(pool.in_use(), 1);  // slot handed over, not freed
+  pool.release();
+  sim.run_until(0.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 0);
+}
+
+TEST(ResourcePool, RejectsBeyondWaiterLimit) {
+  Simulation sim;
+  ResourcePool pool(sim, "p", 1, 1);
+  int rejects = 0;
+  pool.acquire([](bool) {});
+  pool.acquire([](bool) {});                      // waits
+  pool.acquire([&](bool ok) { rejects += !ok; }); // rejected (async)
+  EXPECT_EQ(rejects, 0);  // not yet delivered
+  sim.run_until(0.0);
+  EXPECT_EQ(rejects, 1);
+  EXPECT_EQ(pool.stats().rejects, 1u);
+}
+
+TEST(ResourcePool, WaitTimeAccounting) {
+  Simulation sim;
+  ResourcePool pool(sim, "p", 1, 2);
+  pool.acquire([](bool) {});
+  pool.acquire([](bool) {});
+  sim.schedule(2.5, [&] { pool.release(); });
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(pool.stats().total_wait, 2.5);
+  EXPECT_DOUBLE_EQ(pool.stats().max_wait, 2.5);
+}
+
+TEST(ResourcePool, ReleaseWithoutAcquireThrows) {
+  Simulation sim;
+  ResourcePool pool(sim, "p", 1, 1);
+  EXPECT_THROW(pool.release(), Error);
+  EXPECT_THROW(ResourcePool(sim, "p", 0, 1), Error);
+  EXPECT_THROW(pool.acquire(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace harmony::websim

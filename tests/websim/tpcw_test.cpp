@@ -1,0 +1,163 @@
+#include "websim/tpcw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony::websim {
+namespace {
+
+TEST(Interactions, NamesAndClassification) {
+  EXPECT_STREQ(interaction_name(Interaction::kHome), "Home");
+  EXPECT_STREQ(interaction_name(Interaction::kBuyConfirm), "BuyConfirm");
+  EXPECT_FALSE(is_order_interaction(Interaction::kHome));
+  EXPECT_FALSE(is_order_interaction(Interaction::kSearchResults));
+  EXPECT_TRUE(is_order_interaction(Interaction::kShoppingCart));
+  EXPECT_TRUE(is_order_interaction(Interaction::kAdminConfirm));
+}
+
+TEST(Interactions, ProfilesAreSane) {
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    const auto& p = interaction_profile(static_cast<Interaction>(i));
+    EXPECT_GE(p.static_fraction, 0.0);
+    EXPECT_LE(p.static_fraction, 1.0);
+    EXPECT_GT(p.app_cpu_ms, 0.0);
+    EXPECT_GE(p.db_queries, 0);
+    EXPECT_GE(p.db_payload_kb, 0.0);
+    EXPECT_GT(p.object_kb, 0.0);
+  }
+}
+
+TEST(Interactions, BrowsePagesAreMoreStaticThanOrderPages) {
+  double browse_static = 0.0, order_static = 0.0;
+  int nb = 0, no = 0;
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    const auto in = static_cast<Interaction>(i);
+    const auto& p = interaction_profile(in);
+    if (is_order_interaction(in)) {
+      order_static += p.static_fraction;
+      ++no;
+    } else {
+      browse_static += p.static_fraction;
+      ++nb;
+    }
+  }
+  EXPECT_GT(browse_static / nb, 2.0 * (order_static / no));
+}
+
+TEST(WorkloadMix, SpecificationOrderFractions) {
+  EXPECT_NEAR(WorkloadMix::browsing().order_fraction(), 0.05, 0.01);
+  EXPECT_NEAR(WorkloadMix::shopping().order_fraction(), 0.20, 0.01);
+  EXPECT_NEAR(WorkloadMix::ordering().order_fraction(), 0.50, 0.01);
+}
+
+TEST(WorkloadMix, WeightsAreNormalized) {
+  const WorkloadMix m = WorkloadMix::shopping();
+  double total = 0.0;
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    total += m.weight(static_cast<Interaction>(i));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(WorkloadMix, SignatureMatchesWeights) {
+  const WorkloadMix m = WorkloadMix::ordering();
+  const auto sig = m.signature();
+  ASSERT_EQ(sig.size(), kInteractionCount);
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    EXPECT_DOUBLE_EQ(sig[i], m.weight(static_cast<Interaction>(i)));
+  }
+}
+
+TEST(WorkloadMix, SampleFollowsWeights) {
+  const WorkloadMix m = WorkloadMix::shopping();
+  Rng rng(5);
+  std::vector<int> counts(kInteractionCount, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(m.sample(rng))];
+  }
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    const double expected = m.weight(static_cast<Interaction>(i));
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected,
+                0.01 + 0.1 * expected);
+  }
+}
+
+TEST(WorkloadMix, BlendInterpolatesOrderFraction) {
+  const WorkloadMix a = WorkloadMix::browsing();
+  const WorkloadMix b = WorkloadMix::ordering();
+  const WorkloadMix mid = WorkloadMix::blend(a, b, 0.5);
+  EXPECT_NEAR(mid.order_fraction(),
+              (a.order_fraction() + b.order_fraction()) / 2.0, 1e-12);
+  EXPECT_THROW((void)WorkloadMix::blend(a, b, 1.5), Error);
+}
+
+TEST(SessionSource, MarginalsMatchTheMix) {
+  // Class persistence must not change the long-run interaction frequencies.
+  const WorkloadMix mix = WorkloadMix::shopping();
+  SessionSource source(mix, 0.7);
+  Rng rng(11);
+  std::vector<double> counts(kInteractionCount, 0.0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<std::size_t>(source.next(rng))] += 1.0;
+  }
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    const double expected = mix.weight(static_cast<Interaction>(i));
+    EXPECT_NEAR(counts[i] / n, expected, 0.005 + 0.08 * expected)
+        << interaction_name(static_cast<Interaction>(i));
+  }
+}
+
+TEST(SessionSource, PersistenceCreatesBurstiness) {
+  const WorkloadMix mix = WorkloadMix::ordering();
+  auto class_agreement = [&](double persistence) {
+    SessionSource source(mix, persistence);
+    Rng rng(13);
+    int agree = 0;
+    bool prev = is_order_interaction(source.next(rng));
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const bool cur = is_order_interaction(source.next(rng));
+      agree += (cur == prev) ? 1 : 0;
+      prev = cur;
+    }
+    return static_cast<double>(agree) / n;
+  };
+  EXPECT_GT(class_agreement(0.8), class_agreement(0.0) + 0.1);
+}
+
+TEST(SessionSource, ZeroPersistenceEqualsIidSampling) {
+  const WorkloadMix mix = WorkloadMix::browsing();
+  SessionSource a(mix, 0.0);
+  Rng r1(5), r2(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next(r1), mix.sample(r2));
+  }
+}
+
+TEST(SessionSource, Validation) {
+  EXPECT_THROW(SessionSource(WorkloadMix::shopping(), 1.0), Error);
+  EXPECT_THROW(SessionSource(WorkloadMix::shopping(), -0.1), Error);
+}
+
+TEST(WorkloadMix, SampleClassStaysInClass) {
+  const WorkloadMix mix = WorkloadMix::shopping();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(is_order_interaction(mix.sample_class(rng, true)));
+    EXPECT_FALSE(is_order_interaction(mix.sample_class(rng, false)));
+  }
+}
+
+TEST(WorkloadMix, Validation) {
+  std::array<double, kInteractionCount> w{};
+  EXPECT_THROW(WorkloadMix{w}, Error);  // all zero
+  w[0] = -1.0;
+  EXPECT_THROW(WorkloadMix{w}, Error);  // negative
+}
+
+}  // namespace
+}  // namespace harmony::websim

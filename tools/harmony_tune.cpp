@@ -1,0 +1,238 @@
+// harmony_tune — command-line automated tuner.
+//
+// Tunes any external program without writing C++: declare the tunables in
+// an RSL file, and harmony_tune runs the command once per exploration with
+// each parameter exported as an environment variable (HARMONY_<name>); the
+// command prints the measured performance (higher is better) as the last
+// line of its stdout. Prior runs can be persisted to a history database and
+// reused as warm-start experience (paper §4.2).
+//
+// Usage:
+//   harmony_tune --rsl params.rsl [options] -- command [args...]
+//
+// Options:
+//   --rsl <file>         RSL parameter specification (required)
+//   --budget <n>         measurement budget (default 100)
+//   --strategy <name>    initial simplex: even (default) | extreme
+//   --history <file>     load/store experience database at this path
+//   --signature <v,...>  workload characteristics for experience matching
+//   --label <name>       label stored with this run's experience
+//   --trace <file.csv>   write the exploration trace as CSV
+//   --quiet              only print the final configuration line
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/rsl.hpp"
+#include "core/server.hpp"
+#include "core/tuner.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace harmony;
+
+struct CliOptions {
+  std::string rsl_path;
+  int budget = 100;
+  std::string strategy = "even";
+  std::string history_path;
+  WorkloadSignature signature;
+  std::string label = "harmony_tune";
+  std::string trace_path;
+  bool quiet = false;
+  std::vector<std::string> command;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --rsl <file> [--budget n] [--strategy even|extreme]"
+               " [--history db] [--signature v,...] [--label name]"
+               " [--trace out.csv] [--quiet] -- command [args...]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions o;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--rsl") {
+      o.rsl_path = value();
+    } else if (arg == "--budget") {
+      o.budget = static_cast<int>(parse_long(value()));
+    } else if (arg == "--strategy") {
+      o.strategy = value();
+    } else if (arg == "--history") {
+      o.history_path = value();
+    } else if (arg == "--signature") {
+      for (const std::string& part : split(value(), ',')) {
+        o.signature.push_back(parse_double(part));
+      }
+    } else if (arg == "--label") {
+      o.label = value();
+    } else if (arg == "--trace") {
+      o.trace_path = value();
+    } else if (arg == "--quiet") {
+      o.quiet = true;
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  for (; i < argc; ++i) o.command.emplace_back(argv[i]);
+  if (o.rsl_path.empty() || o.command.empty() || o.budget < 3) usage(argv[0]);
+  return o;
+}
+
+/// Single-quotes a string for POSIX sh.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "'\\''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+/// Runs the user command with the configuration exported via environment
+/// variables; the performance is the last non-empty stdout line.
+class CommandObjective final : public Objective {
+ public:
+  CommandObjective(const ParameterSpace& space,
+                   std::vector<std::string> command, bool quiet)
+      : space_(space), command_(std::move(command)), quiet_(quiet) {}
+
+  double measure(const Configuration& config) override {
+    std::string cmd;
+    for (std::size_t i = 0; i < space_.size(); ++i) {
+      cmd += "HARMONY_" + space_.param(i).name + "=" +
+             format_double(config[i]) + " ";
+    }
+    for (const std::string& part : command_) {
+      cmd += shell_quote(part) + " ";
+    }
+    FILE* pipe = popen(cmd.c_str(), "r");
+    HARMONY_REQUIRE(pipe != nullptr, "failed to launch command");
+    std::string output;
+    char buf[4096];
+    while (std::fgets(buf, sizeof buf, pipe) != nullptr) output += buf;
+    const int status = pclose(pipe);
+    HARMONY_REQUIRE(status == 0, "command exited with status " +
+                                     std::to_string(status));
+    std::string last;
+    for (const std::string& line : split(output, '\n')) {
+      if (!trim(line).empty()) last = std::string(trim(line));
+    }
+    HARMONY_REQUIRE(!last.empty(), "command produced no output");
+    const double perf = parse_double(last);
+    if (!quiet_) {
+      std::fprintf(stderr, "[%3d] perf %-12g", ++iteration_, perf);
+      for (std::size_t i = 0; i < space_.size(); ++i) {
+        std::fprintf(stderr, " %s=%g", space_.param(i).name.c_str(),
+                     config[i]);
+      }
+      std::fprintf(stderr, "\n");
+    }
+    return perf;
+  }
+
+ private:
+  const ParameterSpace& space_;
+  std::vector<std::string> command_;
+  bool quiet_;
+  int iteration_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions cli = parse_cli(argc, argv);
+
+    std::ifstream rsl_file(cli.rsl_path);
+    HARMONY_REQUIRE(rsl_file.good(), "cannot open RSL file: " + cli.rsl_path);
+    std::stringstream rsl_text;
+    rsl_text << rsl_file.rdbuf();
+    const ParameterSpace space = parse_rsl(rsl_text.str());
+    HARMONY_REQUIRE(!space.empty(), "RSL declares no bundles");
+
+    CommandObjective objective(space, cli.command, cli.quiet);
+
+    ServerOptions sopts;
+    sopts.tuning.simplex.max_evaluations = cli.budget;
+    if (cli.strategy == "extreme") {
+      sopts.tuning.strategy = std::make_shared<ExtremeCornerStrategy>();
+    } else {
+      HARMONY_REQUIRE(cli.strategy == "even",
+                      "unknown strategy: " + cli.strategy);
+    }
+    // Re-measure warm-start seeds live: an external program's environment
+    // may have drifted since the history was recorded, so recorded values
+    // must not silently satisfy the convergence test.
+    sopts.use_recorded_values = false;
+    HarmonyServer server(space, sopts);
+    if (!cli.history_path.empty()) {
+      std::ifstream probe(cli.history_path);
+      if (probe.good()) server.database().load(probe);
+    }
+
+    const WorkloadSignature signature =
+        cli.signature.empty() ? WorkloadSignature{0.0} : cli.signature;
+    const ServedTuningResult run =
+        server.tune(objective, signature, cli.label);
+
+    if (!cli.history_path.empty()) {
+      server.database().save_file(cli.history_path);
+    }
+    if (!cli.trace_path.empty()) {
+      std::ofstream trace(cli.trace_path);
+      HARMONY_REQUIRE(trace.good(), "cannot write " + cli.trace_path);
+      CsvWriter csv(trace);
+      std::vector<std::string> header = {"iteration", "performance"};
+      for (std::size_t i = 0; i < space.size(); ++i) {
+        header.push_back(space.param(i).name);
+      }
+      csv.row(header);
+      for (std::size_t it = 0; it < run.tuning.trace.size(); ++it) {
+        const Measurement& m = run.tuning.trace[it];
+        std::vector<std::string> row = {std::to_string(it + 1),
+                                        format_double(m.performance)};
+        for (double v : m.config) row.push_back(format_double(v));
+        csv.row(row);
+      }
+    }
+
+    if (run.experience_label && !cli.quiet) {
+      std::fprintf(stderr, "warm-started from experience '%s'\n",
+                   run.experience_label->c_str());
+    }
+    std::printf("best performance %s after %d runs (%s):",
+                format_double(run.tuning.best_performance).c_str(),
+                run.tuning.evaluations, run.tuning.stop_reason.c_str());
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      std::printf(" %s=%g", space.param(i).name.c_str(),
+                  run.tuning.best_config[i]);
+    }
+    std::printf("\n");
+    return 0;
+  } catch (const harmony::Error& e) {
+    std::fprintf(stderr, "harmony_tune: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Smoke test for the harmony_tune CLI: tunes a shell one-liner with a known
+# optimum (x = 12) and checks the cold run finds it and a warm run reuses
+# the recorded history. Usage: test_harmony_tune.sh <path-to-harmony_tune>
+set -eu
+
+TUNE="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+cat > "$DIR/params.rsl" <<'RSL'
+{ harmonyBundle x { int {1 24 1 3} } }
+RSL
+
+cat > "$DIR/app.sh" <<'APP'
+#!/bin/sh
+awk "BEGIN { print 100 - ($HARMONY_x - 12)^2 }"
+APP
+chmod +x "$DIR/app.sh"
+
+cold=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+       --history "$DIR/h.db" --trace "$DIR/trace.csv" -- "$DIR/app.sh")
+echo "cold: $cold"
+echo "$cold" | grep -q "x=12" || { echo "FAIL: cold run missed optimum"; exit 1; }
+
+[ -s "$DIR/h.db" ] || { echo "FAIL: history not written"; exit 1; }
+head -1 "$DIR/trace.csv" | grep -q "iteration,performance,x" || {
+  echo "FAIL: trace header wrong"; exit 1; }
+
+warm=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+       --history "$DIR/h.db" -- "$DIR/app.sh")
+echo "warm: $warm"
+echo "$warm" | grep -q "x=12" || { echo "FAIL: warm run missed optimum"; exit 1; }
+
+cold_runs=$(echo "$cold" | sed 's/.*after \([0-9]*\) runs.*/\1/')
+warm_runs=$(echo "$warm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
+[ "$warm_runs" -le "$cold_runs" ] || {
+  echo "FAIL: warm run ($warm_runs) used more runs than cold ($cold_runs)";
+  exit 1; }
+
+echo "OK (cold $cold_runs runs, warm $warm_runs runs)"
