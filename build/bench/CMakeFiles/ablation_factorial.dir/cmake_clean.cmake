@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_factorial.dir/ablation_factorial.cpp.o"
+  "CMakeFiles/ablation_factorial.dir/ablation_factorial.cpp.o.d"
+  "ablation_factorial"
+  "ablation_factorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_factorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appb_param_restriction.dir/appb_param_restriction.cpp.o"
+  "CMakeFiles/appb_param_restriction.dir/appb_param_restriction.cpp.o.d"
+  "appb_param_restriction"
+  "appb_param_restriction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appb_param_restriction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

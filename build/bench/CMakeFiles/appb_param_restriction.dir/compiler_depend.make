@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appb_param_restriction.
+# This may be replaced when dependencies are built.

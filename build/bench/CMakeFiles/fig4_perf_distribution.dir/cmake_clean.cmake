@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_perf_distribution.dir/fig4_perf_distribution.cpp.o"
+  "CMakeFiles/fig4_perf_distribution.dir/fig4_perf_distribution.cpp.o.d"
+  "fig4_perf_distribution"
+  "fig4_perf_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_perf_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

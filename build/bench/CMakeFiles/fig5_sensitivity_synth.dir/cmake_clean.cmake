@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sensitivity_synth.dir/fig5_sensitivity_synth.cpp.o"
+  "CMakeFiles/fig5_sensitivity_synth.dir/fig5_sensitivity_synth.cpp.o.d"
+  "fig5_sensitivity_synth"
+  "fig5_sensitivity_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sensitivity_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

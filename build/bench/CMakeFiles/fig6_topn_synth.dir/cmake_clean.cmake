@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_topn_synth.dir/fig6_topn_synth.cpp.o"
+  "CMakeFiles/fig6_topn_synth.dir/fig6_topn_synth.cpp.o.d"
+  "fig6_topn_synth"
+  "fig6_topn_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_topn_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

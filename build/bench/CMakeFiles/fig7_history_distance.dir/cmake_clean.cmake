@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_history_distance.dir/fig7_history_distance.cpp.o"
+  "CMakeFiles/fig7_history_distance.dir/fig7_history_distance.cpp.o.d"
+  "fig7_history_distance"
+  "fig7_history_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_history_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

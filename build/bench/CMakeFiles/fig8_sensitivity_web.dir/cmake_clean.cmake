@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sensitivity_web.dir/fig8_sensitivity_web.cpp.o"
+  "CMakeFiles/fig8_sensitivity_web.dir/fig8_sensitivity_web.cpp.o.d"
+  "fig8_sensitivity_web"
+  "fig8_sensitivity_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sensitivity_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_topn_web.dir/fig9_topn_web.cpp.o"
+  "CMakeFiles/fig9_topn_web.dir/fig9_topn_web.cpp.o.d"
+  "fig9_topn_web"
+  "fig9_topn_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_topn_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

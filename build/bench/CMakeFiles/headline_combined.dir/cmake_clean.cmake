@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_combined.dir/headline_combined.cpp.o"
+  "CMakeFiles/headline_combined.dir/headline_combined.cpp.o.d"
+  "headline_combined"
+  "headline_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_search_refinement.dir/table1_search_refinement.cpp.o"
+  "CMakeFiles/table1_search_refinement.dir/table1_search_refinement.cpp.o.d"
+  "table1_search_refinement"
+  "table1_search_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_search_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

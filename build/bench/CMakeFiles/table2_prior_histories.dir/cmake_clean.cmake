@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_prior_histories.dir/table2_prior_histories.cpp.o"
+  "CMakeFiles/table2_prior_histories.dir/table2_prior_histories.cpp.o.d"
+  "table2_prior_histories"
+  "table2_prior_histories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_prior_histories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

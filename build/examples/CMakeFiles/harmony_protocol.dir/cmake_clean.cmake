@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_protocol.dir/harmony_protocol.cpp.o"
+  "CMakeFiles/harmony_protocol.dir/harmony_protocol.cpp.o.d"
+  "harmony_protocol"
+  "harmony_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_partition.dir/matrix_partition.cpp.o"
+  "CMakeFiles/matrix_partition.dir/matrix_partition.cpp.o.d"
+  "matrix_partition"
+  "matrix_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_experience.dir/prior_experience.cpp.o"
+  "CMakeFiles/prior_experience.dir/prior_experience.cpp.o.d"
+  "prior_experience"
+  "prior_experience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_experience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webservice_tuning.dir/webservice_tuning.cpp.o"
+  "CMakeFiles/webservice_tuning.dir/webservice_tuning.cpp.o.d"
+  "webservice_tuning"
+  "webservice_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webservice_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

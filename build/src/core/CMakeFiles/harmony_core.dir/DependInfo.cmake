@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/harmony_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/harmony_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/harmony_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/factorial.cpp" "src/core/CMakeFiles/harmony_core.dir/factorial.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/factorial.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/harmony_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/harmony_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/parameter.cpp" "src/core/CMakeFiles/harmony_core.dir/parameter.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/parameter.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/harmony_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/rsl.cpp" "src/core/CMakeFiles/harmony_core.dir/rsl.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/rsl.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/harmony_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/harmony_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/simplex.cpp" "src/core/CMakeFiles/harmony_core.dir/simplex.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/simplex.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/harmony_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/strategies.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/harmony_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harmony_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core.dir/analyzer.cpp.o"
+  "CMakeFiles/harmony_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/baselines.cpp.o"
+  "CMakeFiles/harmony_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/estimator.cpp.o"
+  "CMakeFiles/harmony_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/factorial.cpp.o"
+  "CMakeFiles/harmony_core.dir/factorial.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/history.cpp.o"
+  "CMakeFiles/harmony_core.dir/history.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/objective.cpp.o"
+  "CMakeFiles/harmony_core.dir/objective.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/parameter.cpp.o"
+  "CMakeFiles/harmony_core.dir/parameter.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/protocol.cpp.o"
+  "CMakeFiles/harmony_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/rsl.cpp.o"
+  "CMakeFiles/harmony_core.dir/rsl.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/harmony_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/server.cpp.o"
+  "CMakeFiles/harmony_core.dir/server.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/simplex.cpp.o"
+  "CMakeFiles/harmony_core.dir/simplex.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/strategies.cpp.o"
+  "CMakeFiles/harmony_core.dir/strategies.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/tuner.cpp.o"
+  "CMakeFiles/harmony_core.dir/tuner.cpp.o.d"
+  "libharmony_core.a"
+  "libharmony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

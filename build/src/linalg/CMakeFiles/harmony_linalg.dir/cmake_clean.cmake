@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_linalg.dir/lstsq.cpp.o"
+  "CMakeFiles/harmony_linalg.dir/lstsq.cpp.o.d"
+  "CMakeFiles/harmony_linalg.dir/lu.cpp.o"
+  "CMakeFiles/harmony_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/harmony_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/harmony_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/harmony_linalg.dir/qr.cpp.o"
+  "CMakeFiles/harmony_linalg.dir/qr.cpp.o.d"
+  "libharmony_linalg.a"
+  "libharmony_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

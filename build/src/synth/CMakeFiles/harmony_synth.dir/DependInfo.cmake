@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/datagen.cpp" "src/synth/CMakeFiles/harmony_synth.dir/datagen.cpp.o" "gcc" "src/synth/CMakeFiles/harmony_synth.dir/datagen.cpp.o.d"
+  "/root/repo/src/synth/ecommerce.cpp" "src/synth/CMakeFiles/harmony_synth.dir/ecommerce.cpp.o" "gcc" "src/synth/CMakeFiles/harmony_synth.dir/ecommerce.cpp.o.d"
+  "/root/repo/src/synth/landscapes.cpp" "src/synth/CMakeFiles/harmony_synth.dir/landscapes.cpp.o" "gcc" "src/synth/CMakeFiles/harmony_synth.dir/landscapes.cpp.o.d"
+  "/root/repo/src/synth/rules.cpp" "src/synth/CMakeFiles/harmony_synth.dir/rules.cpp.o" "gcc" "src/synth/CMakeFiles/harmony_synth.dir/rules.cpp.o.d"
+  "/root/repo/src/synth/trend.cpp" "src/synth/CMakeFiles/harmony_synth.dir/trend.cpp.o" "gcc" "src/synth/CMakeFiles/harmony_synth.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harmony_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_synth.dir/datagen.cpp.o"
+  "CMakeFiles/harmony_synth.dir/datagen.cpp.o.d"
+  "CMakeFiles/harmony_synth.dir/ecommerce.cpp.o"
+  "CMakeFiles/harmony_synth.dir/ecommerce.cpp.o.d"
+  "CMakeFiles/harmony_synth.dir/landscapes.cpp.o"
+  "CMakeFiles/harmony_synth.dir/landscapes.cpp.o.d"
+  "CMakeFiles/harmony_synth.dir/rules.cpp.o"
+  "CMakeFiles/harmony_synth.dir/rules.cpp.o.d"
+  "CMakeFiles/harmony_synth.dir/trend.cpp.o"
+  "CMakeFiles/harmony_synth.dir/trend.cpp.o.d"
+  "libharmony_synth.a"
+  "libharmony_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_util.dir/csv.cpp.o"
+  "CMakeFiles/harmony_util.dir/csv.cpp.o.d"
+  "CMakeFiles/harmony_util.dir/rng.cpp.o"
+  "CMakeFiles/harmony_util.dir/rng.cpp.o.d"
+  "CMakeFiles/harmony_util.dir/stats.cpp.o"
+  "CMakeFiles/harmony_util.dir/stats.cpp.o.d"
+  "CMakeFiles/harmony_util.dir/strings.cpp.o"
+  "CMakeFiles/harmony_util.dir/strings.cpp.o.d"
+  "CMakeFiles/harmony_util.dir/table.cpp.o"
+  "CMakeFiles/harmony_util.dir/table.cpp.o.d"
+  "libharmony_util.a"
+  "libharmony_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/websim/cache.cpp" "src/websim/CMakeFiles/harmony_websim.dir/cache.cpp.o" "gcc" "src/websim/CMakeFiles/harmony_websim.dir/cache.cpp.o.d"
+  "/root/repo/src/websim/cluster.cpp" "src/websim/CMakeFiles/harmony_websim.dir/cluster.cpp.o" "gcc" "src/websim/CMakeFiles/harmony_websim.dir/cluster.cpp.o.d"
+  "/root/repo/src/websim/config.cpp" "src/websim/CMakeFiles/harmony_websim.dir/config.cpp.o" "gcc" "src/websim/CMakeFiles/harmony_websim.dir/config.cpp.o.d"
+  "/root/repo/src/websim/des.cpp" "src/websim/CMakeFiles/harmony_websim.dir/des.cpp.o" "gcc" "src/websim/CMakeFiles/harmony_websim.dir/des.cpp.o.d"
+  "/root/repo/src/websim/pool.cpp" "src/websim/CMakeFiles/harmony_websim.dir/pool.cpp.o" "gcc" "src/websim/CMakeFiles/harmony_websim.dir/pool.cpp.o.d"
+  "/root/repo/src/websim/station.cpp" "src/websim/CMakeFiles/harmony_websim.dir/station.cpp.o" "gcc" "src/websim/CMakeFiles/harmony_websim.dir/station.cpp.o.d"
+  "/root/repo/src/websim/tpcw.cpp" "src/websim/CMakeFiles/harmony_websim.dir/tpcw.cpp.o" "gcc" "src/websim/CMakeFiles/harmony_websim.dir/tpcw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harmony_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

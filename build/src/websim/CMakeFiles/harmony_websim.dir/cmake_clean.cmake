@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_websim.dir/cache.cpp.o"
+  "CMakeFiles/harmony_websim.dir/cache.cpp.o.d"
+  "CMakeFiles/harmony_websim.dir/cluster.cpp.o"
+  "CMakeFiles/harmony_websim.dir/cluster.cpp.o.d"
+  "CMakeFiles/harmony_websim.dir/config.cpp.o"
+  "CMakeFiles/harmony_websim.dir/config.cpp.o.d"
+  "CMakeFiles/harmony_websim.dir/des.cpp.o"
+  "CMakeFiles/harmony_websim.dir/des.cpp.o.d"
+  "CMakeFiles/harmony_websim.dir/pool.cpp.o"
+  "CMakeFiles/harmony_websim.dir/pool.cpp.o.d"
+  "CMakeFiles/harmony_websim.dir/station.cpp.o"
+  "CMakeFiles/harmony_websim.dir/station.cpp.o.d"
+  "CMakeFiles/harmony_websim.dir/tpcw.cpp.o"
+  "CMakeFiles/harmony_websim.dir/tpcw.cpp.o.d"
+  "libharmony_websim.a"
+  "libharmony_websim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_websim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/factorial_test.cpp" "tests/CMakeFiles/core_tests.dir/core/factorial_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/factorial_test.cpp.o.d"
+  "/root/repo/tests/core/history_analyzer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/history_analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/history_analyzer_test.cpp.o.d"
+  "/root/repo/tests/core/objective_test.cpp" "tests/CMakeFiles/core_tests.dir/core/objective_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/objective_test.cpp.o.d"
+  "/root/repo/tests/core/parameter_test.cpp" "tests/CMakeFiles/core_tests.dir/core/parameter_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/parameter_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_test.cpp" "tests/CMakeFiles/core_tests.dir/core/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/protocol_test.cpp.o.d"
+  "/root/repo/tests/core/rsl_test.cpp" "tests/CMakeFiles/core_tests.dir/core/rsl_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rsl_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/simplex_test.cpp" "tests/CMakeFiles/core_tests.dir/core/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/simplex_test.cpp.o.d"
+  "/root/repo/tests/core/tuner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tuner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tuner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harmony_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/harmony_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/websim/CMakeFiles/harmony_websim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/estimator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/estimator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/factorial_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/factorial_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/history_analyzer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/history_analyzer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/objective_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/objective_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/parameter_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/parameter_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/protocol_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/protocol_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/rsl_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/rsl_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sensitivity_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/simplex_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/simplex_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tuner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tuner_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

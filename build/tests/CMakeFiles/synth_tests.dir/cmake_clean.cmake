@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_tests.dir/synth/ecommerce_test.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/ecommerce_test.cpp.o.d"
+  "CMakeFiles/synth_tests.dir/synth/rules_test.cpp.o"
+  "CMakeFiles/synth_tests.dir/synth/rules_test.cpp.o.d"
+  "synth_tests"
+  "synth_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websim_tests.dir/websim/cache_test.cpp.o"
+  "CMakeFiles/websim_tests.dir/websim/cache_test.cpp.o.d"
+  "CMakeFiles/websim_tests.dir/websim/cluster_test.cpp.o"
+  "CMakeFiles/websim_tests.dir/websim/cluster_test.cpp.o.d"
+  "CMakeFiles/websim_tests.dir/websim/des_test.cpp.o"
+  "CMakeFiles/websim_tests.dir/websim/des_test.cpp.o.d"
+  "CMakeFiles/websim_tests.dir/websim/station_pool_test.cpp.o"
+  "CMakeFiles/websim_tests.dir/websim/station_pool_test.cpp.o.d"
+  "CMakeFiles/websim_tests.dir/websim/tpcw_test.cpp.o"
+  "CMakeFiles/websim_tests.dir/websim/tpcw_test.cpp.o.d"
+  "websim_tests"
+  "websim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

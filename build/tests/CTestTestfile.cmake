@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_tests "/root/repo/build/tests/util_tests")
+set_tests_properties(util_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;harmony_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(linalg_tests "/root/repo/build/tests/linalg_tests")
+set_tests_properties(linalg_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;harmony_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;harmony_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(synth_tests "/root/repo/build/tests/synth_tests")
+set_tests_properties(synth_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;37;harmony_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(websim_tests "/root/repo/build/tests/websim_tests")
+set_tests_properties(websim_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;42;harmony_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;50;harmony_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/harmony_tune.cpp" "tools/CMakeFiles/harmony_tune.dir/harmony_tune.cpp.o" "gcc" "tools/CMakeFiles/harmony_tune.dir/harmony_tune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harmony_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

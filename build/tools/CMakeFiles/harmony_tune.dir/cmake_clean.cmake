@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_tune.dir/harmony_tune.cpp.o"
+  "CMakeFiles/harmony_tune.dir/harmony_tune.cpp.o.d"
+  "harmony_tune"
+  "harmony_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
