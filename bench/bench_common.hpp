@@ -10,10 +10,38 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace harmony::bench {
+
+/// Seed of the `unit`-th independent work unit of a run seeded by `base`:
+/// element `unit` of the splitmix64 stream at `base` (gamma-spaced states,
+/// the standard split construction). Units built from these seeds are
+/// statistically independent, so fanning them out cannot change results.
+inline std::uint64_t unit_seed(std::uint64_t base, std::uint64_t unit) {
+  std::uint64_t state = base + unit * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
+/// Fans `n` independent repetitions of an experiment across the global
+/// thread pool (HARMONY_THREADS; 1 = serial legacy path) and returns the
+/// results in index order.
+///
+/// Determinism contract for `fn`: it must be a pure function of its index —
+/// construct every objective/server/RNG inside `fn` from seeds derived from
+/// the index, and never touch state shared with other repetitions. Under
+/// that contract the results are bit-identical at every thread count.
+template <typename Fn>
+auto run_repeats(std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
 
 inline void section(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";

@@ -25,17 +25,22 @@ int main() {
   SyntheticObjective truth(system, system.shopping_workload());
 
   const double perturbations[] = {0.0, 0.05, 0.10, 0.25};
-  std::vector<std::vector<ParameterSensitivity>> results;
-  for (double p : perturbations) {
-    PerturbedObjective noisy(truth, p, Rng(1000 + std::uint64_t(p * 100)));
-    SensitivityOptions opts;
-    opts.max_points_per_parameter = 12;
-    // Higher perturbation warrants more repeats per point (the tool's
-    // noise defence); evaluations stay cheap on synthetic data.
-    opts.repeats = p == 0.0 ? 1 : (p <= 0.05 ? 9 : (p <= 0.10 ? 25 : 49));
-    results.push_back(
-        analyze_sensitivity(space, noisy, space.defaults(), opts));
-  }
+  // Each perturbation level is an independent unit: it builds its own noisy
+  // objective from its own seed, so the levels fan out across cores (and
+  // each level's sweep fans out again through measure_batch).
+  const auto results = bench::run_repeats(
+      std::size(perturbations), [&](std::size_t pi) {
+        const double p = perturbations[pi];
+        PerturbedObjective noisy(truth, p,
+                                 Rng(1000 + std::uint64_t(p * 100)));
+        SensitivityOptions opts;
+        opts.max_points_per_parameter = 12;
+        // Higher perturbation warrants more repeats per point (the tool's
+        // noise defence); evaluations stay cheap on synthetic data.
+        opts.repeats =
+            p == 0.0 ? 1 : (p <= 0.05 ? 9 : (p <= 0.10 ? 25 : 49));
+        return analyze_sensitivity(space, noisy, space.defaults(), opts);
+      });
 
   Table t({"Parameter", "0%", "5%", "10%", "25% perturbation"});
   for (std::size_t i = 0; i < space.size(); ++i) {

@@ -36,28 +36,44 @@ int main() {
   bool time_saved_ok = false;
   bool perf_ok = false;
 
-  for (double p : perturbations) {
-    PerturbedObjective noisy(truth, p, Rng(7 + std::uint64_t(p * 1000)));
-    SensitivityOptions sopts;
-    sopts.max_points_per_parameter = 12;
-    sopts.repeats = p == 0.0 ? 1 : 5;
-    const auto sens = analyze_sensitivity(space, noisy, space.defaults(),
-                                          sopts);
+  // Outer fan-out over perturbation levels; inner fan-out over the n-subset
+  // tuning runs. Every unit derives its own noise stream from (level, n) so
+  // results are independent of the thread count.
+  const auto per_level = bench::run_repeats(
+      std::size(perturbations), [&](std::size_t pi) {
+        const double p = perturbations[pi];
+        const std::uint64_t base = 7 + std::uint64_t(p * 1000);
+        PerturbedObjective noisy(truth, p, Rng(bench::unit_seed(base, 0)));
+        SensitivityOptions sopts;
+        sopts.max_points_per_parameter = 12;
+        sopts.repeats = p == 0.0 ? 1 : 5;
+        const auto sens =
+            analyze_sensitivity(space, noisy, space.defaults(), sopts);
 
-    // Tune each subset; measure time as iterations until the kernel stops.
+        // Tune each subset; time is iterations until the kernel stops.
+        return bench::run_repeats(std::size(ns), [&](std::size_t ni) {
+          PerturbedObjective tune_noisy(
+              truth, p, Rng(bench::unit_seed(base, 1 + ni)));
+          const auto top = top_n_parameters(sens, ns[ni]);
+          const ParameterSpace sub = space.project(top);
+          SubspaceObjective sub_obj(tune_noisy, space.defaults(), top);
+          TuningOptions topts;
+          topts.simplex.max_evaluations = 400;
+          TuningSession session(sub, sub_obj, topts);
+          const TuningResult r = session.run();
+          // Report the tuned configuration's true (noise-free) performance.
+          return std::pair<int, double>{
+              r.evaluations, truth.measure(sub_obj.expand(r.best_config))};
+        });
+      });
+
+  for (std::size_t pi = 0; pi < std::size(perturbations); ++pi) {
+    const double p = perturbations[pi];
     std::vector<int> times;
     std::vector<double> perfs;
-    for (std::size_t n : ns) {
-      const auto top = top_n_parameters(sens, n);
-      const ParameterSpace sub = space.project(top);
-      SubspaceObjective sub_obj(noisy, space.defaults(), top);
-      TuningOptions topts;
-      topts.simplex.max_evaluations = 400;
-      TuningSession session(sub, sub_obj, topts);
-      const TuningResult r = session.run();
-      times.push_back(r.evaluations);
-      // Report the tuned configuration's true (noise-free) performance.
-      perfs.push_back(truth.measure(sub_obj.expand(r.best_config)));
+    for (const auto& [iters, perf] : per_level[pi]) {
+      times.push_back(iters);
+      perfs.push_back(perf);
     }
     for (std::size_t i = 0; i < std::size(ns); ++i) {
       const double time_saved =

@@ -60,53 +60,72 @@ int main() {
         {"ordering", WorkloadMix::ordering(),
          WorkloadMix::blend(WorkloadMix::ordering(), WorkloadMix::shopping(),
                             0.35)}}) {
+    // Each replica runs both systems end to end from its own seeds — the
+    // natural independent unit — and the replicas fan out across cores.
+    struct RepOut {
+      double orig_stage, orig_bad, orig_perf;
+      double impr_stage, impr_bad, impr_perf;
+    };
+    const auto reps = bench::run_repeats(
+        static_cast<std::size_t>(replicas), [&](std::size_t rep) {
+          const std::uint64_t seed =
+              900 + static_cast<std::uint64_t>(rep) * 13;
+          RepOut out{};
+
+          // --- original system ----------------------------------------
+          {
+            ClusterObjective objective = make_objective(mix, seed);
+            TuningOptions opts;
+            opts.strategy = std::make_shared<ExtremeCornerStrategy>();
+            opts.simplex.max_evaluations = 200;
+            TuningSession session(space, objective, opts);
+            const TuningResult r = session.run();
+            out.orig_stage = unstable_stage(r);
+            out.orig_bad = analyze_trace(r.trace).bad_iterations;
+            out.orig_perf = r.best_performance;
+          }
+
+          // --- improved system ----------------------------------------
+          {
+            // Prioritize once (amortized; not charged to this run's
+            // iterations, matching the paper's once-per-workload
+            // accounting).
+            ClusterObjective probe = make_objective(mix, seed + 5);
+            SensitivityOptions sopts;
+            sopts.max_points_per_parameter = 6;
+            sopts.repeats = 2;
+            const auto sens =
+                analyze_sensitivity(space, probe, space.defaults(), sopts);
+            const auto top = top_n_parameters(sens, 6);
+            const ParameterSpace sub = space.project(top);
+
+            // Record experience from the related workload first.
+            ServerOptions sopts2;
+            sopts2.tuning.simplex.max_evaluations = 200;
+            HarmonyServer server(sub, sopts2);
+            ClusterObjective trainer_live = make_objective(trainer_mix, seed);
+            SubspaceObjective trainer(trainer_live, space.defaults(), top);
+            (void)server.tune(trainer, trainer_mix.signature(), "trainer");
+
+            ClusterObjective target_live = make_objective(mix, seed + 1);
+            SubspaceObjective target(target_live, space.defaults(), top);
+            const auto run = server.tune(target, mix.signature(), "target");
+            out.impr_stage = unstable_stage(run.tuning);
+            out.impr_bad = analyze_trace(run.tuning.trace).bad_iterations;
+            out.impr_perf = run.tuning.best_performance;
+          }
+          return out;
+        });
+
     RunningStats orig_stage, orig_bad, orig_perf;
     RunningStats impr_stage, impr_bad, impr_perf;
-
-    for (int rep = 0; rep < replicas; ++rep) {
-      const std::uint64_t seed = 900 + static_cast<std::uint64_t>(rep) * 13;
-
-      // --- original system ------------------------------------------------
-      {
-        ClusterObjective objective = make_objective(mix, seed);
-        TuningOptions opts;
-        opts.strategy = std::make_shared<ExtremeCornerStrategy>();
-        opts.simplex.max_evaluations = 200;
-        TuningSession session(space, objective, opts);
-        const TuningResult r = session.run();
-        orig_stage.add(unstable_stage(r));
-        orig_bad.add(analyze_trace(r.trace).bad_iterations);
-        orig_perf.add(r.best_performance);
-      }
-
-      // --- improved system --------------------------------------------
-      {
-        // Prioritize once (amortized; not charged to this run's iterations,
-        // matching the paper's once-per-workload accounting).
-        ClusterObjective probe = make_objective(mix, seed + 5);
-        SensitivityOptions sopts;
-        sopts.max_points_per_parameter = 6;
-        sopts.repeats = 2;
-        const auto sens =
-            analyze_sensitivity(space, probe, space.defaults(), sopts);
-        const auto top = top_n_parameters(sens, 6);
-        const ParameterSpace sub = space.project(top);
-
-        // Record experience from the related workload first.
-        ServerOptions sopts2;
-        sopts2.tuning.simplex.max_evaluations = 200;
-        HarmonyServer server(sub, sopts2);
-        ClusterObjective trainer_live = make_objective(trainer_mix, seed);
-        SubspaceObjective trainer(trainer_live, space.defaults(), top);
-        (void)server.tune(trainer, trainer_mix.signature(), "trainer");
-
-        ClusterObjective target_live = make_objective(mix, seed + 1);
-        SubspaceObjective target(target_live, space.defaults(), top);
-        const auto run = server.tune(target, mix.signature(), "target");
-        impr_stage.add(unstable_stage(run.tuning));
-        impr_bad.add(analyze_trace(run.tuning.trace).bad_iterations);
-        impr_perf.add(run.tuning.best_performance);
-      }
+    for (const RepOut& r : reps) {
+      orig_stage.add(r.orig_stage);
+      orig_bad.add(r.orig_bad);
+      orig_perf.add(r.orig_perf);
+      impr_stage.add(r.impr_stage);
+      impr_bad.add(r.impr_bad);
+      impr_perf.add(r.impr_perf);
     }
 
     t.add_row({name, "original", Table::num(orig_stage.mean(), 1),

@@ -35,6 +35,33 @@ void BM_DesEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_DesEventThroughput)->Arg(10000);
 
+// Burst scheduling: many events pending at once, each with a capture too
+// large for std::function's inline buffer. Exercises the two event-queue
+// optimizations: reserve_events pre-sizes the heap (no reallocation while
+// filling) and step() moves the action out instead of copying it (a copy
+// would re-allocate the captured payload for every pop).
+void BM_DesScheduleBurst(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  struct Payload {
+    std::uint64_t words[8] = {};
+  };
+  for (auto _ : state) {
+    websim::Simulation sim;
+    sim.reserve_events(n);
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Payload payload;
+      payload.words[0] = i;
+      sim.schedule(1e-6 * static_cast<double>(i % 97),
+                   [&sink, payload] { sink += payload.words[0]; });
+    }
+    sim.run_until(1.0);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DesScheduleBurst)->Arg(100000);
+
 void BM_ClusterSimulation(benchmark::State& state) {
   websim::SimOptions opts;
   opts.measure_s = static_cast<double>(state.range(0));

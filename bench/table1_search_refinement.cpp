@@ -5,6 +5,7 @@
 // for the shopping and ordering workloads. Expected shape: the improved
 // (even-spread) initial simplex converges ~35 % faster at similar tuned
 // performance, and its worst-performance dip is no deeper.
+#include <array>
 #include <iostream>
 
 #include "bench/bench_common.hpp"
@@ -28,23 +29,31 @@ Summary run_case(const WorkloadMix& mix,
                  std::shared_ptr<const InitialSimplexStrategy> strategy,
                  int replicas) {
   const ParameterSpace space = ClusterConfig::parameter_space();
+  // Replicas are independent tuning runs (each owns its objective, seeded
+  // by its index) — the bench's main fan-out axis.
+  const auto reps = bench::run_repeats(
+      static_cast<std::size_t>(replicas), [&](std::size_t rep) {
+        SimOptions sim;
+        sim.mix = mix;
+        sim.warmup_s = 2.0;
+        sim.measure_s = 8.0;
+        sim.seed = 100 + static_cast<std::uint64_t>(rep) * 17;
+        ClusterObjective objective(sim);
+        TuningOptions opts;
+        opts.strategy = strategy;
+        opts.simplex.max_evaluations = 200;
+        TuningSession session(space, objective, opts);
+        const TuningResult r = session.run();
+        const TraceMetrics m = analyze_trace(r.trace);
+        return std::array<double, 3>{
+            r.best_performance,
+            static_cast<double>(m.convergence_iteration), m.worst};
+      });
   RunningStats perf, conv, worst;
-  for (int rep = 0; rep < replicas; ++rep) {
-    SimOptions sim;
-    sim.mix = mix;
-    sim.warmup_s = 2.0;
-    sim.measure_s = 8.0;
-    sim.seed = 100 + static_cast<std::uint64_t>(rep) * 17;
-    ClusterObjective objective(sim);
-    TuningOptions opts;
-    opts.strategy = strategy;
-    opts.simplex.max_evaluations = 200;
-    TuningSession session(space, objective, opts);
-    const TuningResult r = session.run();
-    const TraceMetrics m = analyze_trace(r.trace);
-    perf.add(r.best_performance);
-    conv.add(m.convergence_iteration);
-    worst.add(m.worst);
+  for (const auto& [p, c, w] : reps) {
+    perf.add(p);
+    conv.add(c);
+    worst.add(w);
   }
   return {perf.mean(), conv.mean(), worst.mean()};
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel_eval.hpp"
 #include "util/error.hpp"
 
 namespace harmony {
@@ -139,10 +140,16 @@ TuningResult powell_search(const ParameterSpace& space, Objective& objective,
 TuningResult random_search(const ParameterSpace& space, Objective& objective,
                            int evaluations, Rng rng) {
   HARMONY_REQUIRE(evaluations > 0, "evaluation budget needed");
-  RecordingObjective recorder(objective);
+  // Draw every candidate first (the serial loop's only rng consumer), then
+  // fan the measurements out as one batch.
+  std::vector<Configuration> candidates;
+  candidates.reserve(static_cast<std::size_t>(evaluations));
   for (int i = 0; i < evaluations; ++i) {
-    (void)recorder.measure(space.random_configuration(rng));
+    candidates.push_back(space.random_configuration(rng));
   }
+  RecordingObjective recorder(objective);
+  std::vector<double> values(candidates.size());
+  recorder.measure_batch(candidates, values);
   TuningResult out = finish(recorder);
   out.converged = true;
   out.stop_reason = "budget";
@@ -154,10 +161,23 @@ TuningResult exhaustive_search(const ParameterSpace& space,
   const std::uint64_t size = space.feasible_cardinality(cap);
   HARMONY_REQUIRE(size < cap, "space too large for exhaustive search");
   RecordingObjective recorder(objective);
+  // Batch the enumeration in bounded blocks: parallel within a block,
+  // memory stays O(block) instead of O(space).
+  constexpr std::size_t kBlock = 1024;
+  std::vector<Configuration> block;
+  std::vector<double> values;
+  block.reserve(kBlock);
+  const auto flush = [&] {
+    values.resize(block.size());
+    recorder.measure_batch(block, values);
+    block.clear();
+  };
   space.for_each_configuration([&](const Configuration& c) {
-    (void)recorder.measure(c);
+    block.push_back(c);
+    if (block.size() >= kBlock) flush();
     return true;
   });
+  flush();
   TuningResult out = finish(recorder);
   out.converged = true;
   out.stop_reason = "exhausted";

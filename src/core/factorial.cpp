@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel_eval.hpp"
 #include "util/error.hpp"
 
 namespace harmony {
@@ -22,12 +23,16 @@ double FactorialResult::interaction_ratio() const {
 
 namespace {
 
-double run_once(const ParameterSpace& space, Objective& objective,
-                const Configuration& raw, int repeats) {
-  const Configuration c = space.snap(raw);
-  double sum = 0.0;
-  for (int r = 0; r < repeats; ++r) sum += objective.measure(c);
-  return sum / repeats;
+/// Snaps every design run and batch-evaluates the whole design (runs ×
+/// repeats in run-major order, matching the serial loop), returning the
+/// per-run means.
+std::vector<double> run_design(const ParameterSpace& space,
+                               Objective& objective,
+                               std::vector<Configuration> raw_runs,
+                               int repeats) {
+  for (Configuration& c : raw_runs) c = space.snap(std::move(c));
+  ParallelEvaluator evaluator(objective);
+  return evaluator.evaluate_means(raw_runs, repeats);
 }
 
 }  // namespace
@@ -40,15 +45,18 @@ FactorialResult full_factorial(const ParameterSpace& space,
   HARMONY_REQUIRE(repeats >= 1, "repeats must be >= 1");
 
   const std::uint64_t runs = 1ULL << k;
-  std::vector<double> response(runs);
-  Configuration c(k);
+  std::vector<Configuration> design_runs;
+  design_runs.reserve(runs);
   for (std::uint64_t mask = 0; mask < runs; ++mask) {
+    Configuration c(k);
     for (std::size_t i = 0; i < k; ++i) {
       const ParameterDef& p = space.param(i);
       c[i] = ((mask >> i) & 1) ? p.max_value : p.min_value;
     }
-    response[mask] = run_once(space, objective, c, repeats);
+    design_runs.push_back(std::move(c));
   }
+  const std::vector<double> response =
+      run_design(space, objective, std::move(design_runs), repeats);
 
   FactorialResult out;
   out.runs = static_cast<int>(runs) * repeats;
@@ -149,15 +157,18 @@ FactorialResult plackett_burman(const ParameterSpace& space,
                   "Plackett-Burman supports up to 23 parameters here");
 
   const auto design = plackett_burman_matrix(runs);
-  std::vector<double> response(runs);
-  Configuration c(k);
+  std::vector<Configuration> design_runs;
+  design_runs.reserve(runs);
   for (std::size_t r = 0; r < runs; ++r) {
+    Configuration c(k);
     for (std::size_t i = 0; i < k; ++i) {
       const ParameterDef& p = space.param(i);
       c[i] = design[r][i] > 0 ? p.max_value : p.min_value;
     }
-    response[r] = run_once(space, objective, c, repeats);
+    design_runs.push_back(std::move(c));
   }
+  const std::vector<double> response =
+      run_design(space, objective, std::move(design_runs), repeats);
 
   FactorialResult out;
   out.runs = static_cast<int>(runs) * repeats;

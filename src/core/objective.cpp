@@ -1,12 +1,61 @@
 #include "core/objective.hpp"
 
+#include <cstdint>
+#include <cstring>
+
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace harmony {
 
-FunctionObjective::FunctionObjective(Fn fn, std::string metric)
-    : fn_(std::move(fn)), metric_(std::move(metric)) {
+std::size_t ConfigurationHash::operator()(
+    const Configuration& config) const noexcept {
+  // FNV-1a over the IEEE-754 bytes of each value. Configurations are always
+  // grid-snapped before use as keys, so bit-equality is value-equality.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (double v : config) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void Objective::measure_batch(std::span<const Configuration> configs,
+                              std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    out[i] = measure(configs[i]);
+  }
+}
+
+std::vector<double> Objective::measure_all(
+    std::span<const Configuration> configs) {
+  std::vector<double> out(configs.size());
+  measure_batch(configs, out);
+  return out;
+}
+
+FunctionObjective::FunctionObjective(Fn fn, std::string metric,
+                                     bool concurrent)
+    : fn_(std::move(fn)), metric_(std::move(metric)), concurrent_(concurrent) {
   HARMONY_REQUIRE(static_cast<bool>(fn_), "null objective function");
+}
+
+void FunctionObjective::measure_batch(std::span<const Configuration> configs,
+                                      std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  if (!concurrent_) {
+    Objective::measure_batch(configs, out);
+    return;
+  }
+  parallel_for(configs.size(),
+               [&](std::size_t i) { out[i] = fn_(configs[i]); });
 }
 
 PerturbedObjective::PerturbedObjective(Objective& inner, double perturbation,
@@ -22,10 +71,39 @@ double PerturbedObjective::measure(const Configuration& config) {
   return base * rng_.uniform(1.0 - perturbation_, 1.0 + perturbation_);
 }
 
+void PerturbedObjective::measure_batch(std::span<const Configuration> configs,
+                                       std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  if (perturbation_ == 0.0) {
+    inner_.measure_batch(configs, out);
+    return;
+  }
+  // The serial loop interleaves inner measures with factor draws, but the
+  // draws are the only consumers of rng_, so drawing them all up front (in
+  // index order) yields the identical stream.
+  std::vector<double> factors(configs.size());
+  for (double& f : factors) {
+    f = rng_.uniform(1.0 - perturbation_, 1.0 + perturbation_);
+  }
+  inner_.measure_batch(configs, out);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= factors[i];
+}
+
 double RecordingObjective::measure(const Configuration& config) {
   const double v = inner_.measure(config);
   trace_.push_back({config, v});
   return v;
+}
+
+void RecordingObjective::measure_batch(std::span<const Configuration> configs,
+                                       std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  inner_.measure_batch(configs, out);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    trace_.push_back({configs[i], out[i]});
+  }
 }
 
 double CachingObjective::measure(const Configuration& config) {
@@ -38,6 +116,43 @@ double CachingObjective::measure(const Configuration& config) {
   const double v = inner_.measure(config);
   cache_.emplace(config, v);
   return v;
+}
+
+void CachingObjective::measure_batch(std::span<const Configuration> configs,
+                                     std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  // In-batch position of each unique miss (first occurrence only).
+  std::unordered_map<Configuration, std::size_t, ConfigurationHash> pending;
+  std::vector<Configuration> miss_configs;
+  std::vector<std::size_t> slot_to_miss(configs.size());
+  std::vector<bool> is_miss(configs.size(), false);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    auto it = cache_.find(configs[i]);
+    if (it != cache_.end()) {
+      ++hits_;
+      out[i] = it->second;
+      continue;
+    }
+    auto [pit, inserted] = pending.emplace(configs[i], miss_configs.size());
+    if (inserted) {
+      ++misses_;
+      miss_configs.push_back(configs[i]);
+    } else {
+      // Serially the first occurrence would already have filled the cache.
+      ++hits_;
+    }
+    is_miss[i] = true;
+    slot_to_miss[i] = pit->second;
+  }
+  std::vector<double> miss_values(miss_configs.size());
+  inner_.measure_batch(miss_configs, miss_values);
+  for (std::size_t m = 0; m < miss_configs.size(); ++m) {
+    cache_.emplace(miss_configs[m], miss_values[m]);
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (is_miss[i]) out[i] = miss_values[slot_to_miss[i]];
+  }
 }
 
 SubspaceObjective::SubspaceObjective(Objective& inner, Configuration base,
@@ -58,6 +173,16 @@ Configuration SubspaceObjective::expand(const Configuration& sub) const {
 
 double SubspaceObjective::measure(const Configuration& sub) {
   return inner_.measure(expand(sub));
+}
+
+void SubspaceObjective::measure_batch(std::span<const Configuration> configs,
+                                      std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  std::vector<Configuration> full;
+  full.reserve(configs.size());
+  for (const Configuration& sub : configs) full.push_back(expand(sub));
+  inner_.measure_batch(full, out);
 }
 
 }  // namespace harmony

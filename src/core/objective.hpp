@@ -5,17 +5,33 @@
 // Adapters compose cross-cutting behaviours: measurement noise (the paper's
 // 0–25 % uniform perturbation), evaluation counting/tracing, memoization and
 // sub-space projection for top-n tuning.
+//
+// Batch evaluation contract: measure_batch must produce exactly the values a
+// serial measure() loop over the batch (in index order) would — overrides
+// may reorder or parallelize the *work*, never the observable results. The
+// adapters keep the contract by drawing any internal random state serially
+// in index order before fanning out, which is what makes the parallel
+// runtime bit-identical at every HARMONY_THREADS setting.
 #pragma once
 
+#include <cstddef>
 #include <functional>
-#include <map>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/parameter.hpp"
 #include "util/rng.hpp"
 
 namespace harmony {
+
+/// FNV-1a over the raw value bits of a Configuration. Exposed so other
+/// config-keyed containers (the history DB, result caches) can share it.
+struct ConfigurationHash {
+  [[nodiscard]] std::size_t operator()(
+      const Configuration& config) const noexcept;
+};
 
 /// Interface to the system being tuned.
 class Objective {
@@ -24,23 +40,37 @@ class Objective {
   /// Measures the performance of one configuration. Implementations may be
   /// stochastic (live systems are); the tuner never assumes repeatability.
   [[nodiscard]] virtual double measure(const Configuration& config) = 0;
+  /// Measures configs[i] into out[i] for every i (sizes must match). The
+  /// default is the serial loop; overrides may parallelize but must return
+  /// the exact values the serial loop would (see the contract above).
+  virtual void measure_batch(std::span<const Configuration> configs,
+                             std::span<double> out);
+  /// Convenience wrapper around measure_batch.
+  [[nodiscard]] std::vector<double> measure_all(
+      std::span<const Configuration> configs);
   /// Name of the performance metric, for reports ("WIPS", "throughput", ...).
   [[nodiscard]] virtual std::string metric_name() const {
     return "performance";
   }
 };
 
-/// Wraps a callable as an Objective.
+/// Wraps a callable as an Objective. Pass concurrent = true when the
+/// callable is a pure function safe to invoke from several threads at once;
+/// batches then fan out across the global thread pool.
 class FunctionObjective final : public Objective {
  public:
   using Fn = std::function<double(const Configuration&)>;
-  explicit FunctionObjective(Fn fn, std::string metric = "performance");
+  explicit FunctionObjective(Fn fn, std::string metric = "performance",
+                             bool concurrent = false);
   double measure(const Configuration& config) override { return fn_(config); }
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return metric_; }
 
  private:
   Fn fn_;
   std::string metric_;
+  bool concurrent_;
 };
 
 /// Multiplies the wrapped measurement by U(1-p, 1+p): the paper's synthetic
@@ -50,6 +80,10 @@ class PerturbedObjective final : public Objective {
   /// p in [0, 1): e.g. 0.25 for the paper's ±25 % case.
   PerturbedObjective(Objective& inner, double perturbation, Rng rng);
   double measure(const Configuration& config) override;
+  /// Draws the perturbation factors serially in index order (same stream as
+  /// the serial loop), then delegates the batch to the inner objective.
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return inner_.metric_name(); }
 
  private:
@@ -69,6 +103,9 @@ class RecordingObjective final : public Objective {
 
   explicit RecordingObjective(Objective& inner) : inner_(inner) {}
   double measure(const Configuration& config) override;
+  /// Delegates to the inner batch, then appends samples in index order.
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return inner_.metric_name(); }
 
   [[nodiscard]] std::size_t count() const noexcept { return trace_.size(); }
@@ -89,13 +126,18 @@ class CachingObjective final : public Objective {
  public:
   explicit CachingObjective(Objective& inner) : inner_(inner) {}
   double measure(const Configuration& config) override;
+  /// Resolves hits from the cache, batches the unique misses through the
+  /// inner objective (first-occurrence order, matching the serial loop —
+  /// a duplicate within the batch counts as a hit, as it would serially).
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return inner_.metric_name(); }
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
 
  private:
   Objective& inner_;
-  std::map<Configuration, double> cache_;
+  std::unordered_map<Configuration, double, ConfigurationHash> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };
@@ -108,6 +150,9 @@ class SubspaceObjective final : public Objective {
   SubspaceObjective(Objective& inner, Configuration base,
                     std::vector<std::size_t> kept_indices);
   double measure(const Configuration& sub_config) override;
+  /// Expands every sub-configuration, then delegates the batch.
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return inner_.metric_name(); }
 
   /// Expands a sub-configuration to a full configuration.

@@ -1,0 +1,43 @@
+#include "core/parallel_eval.hpp"
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+std::vector<double> ParallelEvaluator::evaluate(
+    std::span<const Configuration> configs) {
+  return objective_.measure_all(configs);
+}
+
+std::vector<std::vector<double>> ParallelEvaluator::evaluate_repeated(
+    std::span<const Configuration> configs, int repeats) {
+  HARMONY_REQUIRE(repeats >= 1, "repeats must be >= 1");
+  std::vector<Configuration> flat;
+  flat.reserve(configs.size() * static_cast<std::size_t>(repeats));
+  for (const Configuration& c : configs) {
+    for (int r = 0; r < repeats; ++r) flat.push_back(c);
+  }
+  const std::vector<double> values = objective_.measure_all(flat);
+  std::vector<std::vector<double>> out(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::size_t base = i * static_cast<std::size_t>(repeats);
+    out[i].assign(values.begin() + static_cast<std::ptrdiff_t>(base),
+                  values.begin() + static_cast<std::ptrdiff_t>(base) +
+                      repeats);
+  }
+  return out;
+}
+
+std::vector<double> ParallelEvaluator::evaluate_means(
+    std::span<const Configuration> configs, int repeats) {
+  const auto samples = evaluate_repeated(configs, repeats);
+  std::vector<double> means(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    double sum = 0.0;
+    for (double v : samples[i]) sum += v;
+    means[i] = sum / repeats;
+  }
+  return means;
+}
+
+}  // namespace harmony

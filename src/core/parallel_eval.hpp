@@ -1,0 +1,45 @@
+// Deterministic batch-evaluation layer between the experiment drivers
+// (sensitivity sweeps, factorial designs, baseline searchers, bench repeat
+// fan-out) and the Objective batch API.
+//
+// The evaluator owns the shape of a fan-out — flattening (point × repeat)
+// grids into one batch, averaging repeats back, slicing oversized
+// enumerations into bounded blocks — while Objective::measure_batch owns
+// the execution. Because batch results are defined to equal the serial
+// loop's (objective.hpp), everything built on this layer is bit-identical
+// at any HARMONY_THREADS setting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+
+namespace harmony {
+
+class ParallelEvaluator {
+ public:
+  explicit ParallelEvaluator(Objective& objective) : objective_(objective) {}
+
+  /// Batch-evaluates configs (index order, like a serial measure() loop).
+  [[nodiscard]] std::vector<double> evaluate(
+      std::span<const Configuration> configs);
+
+  /// Evaluates each config `repeats` times — flattened config-major,
+  /// repeat-minor, exactly the order a serial repeat loop issues — and
+  /// returns the raw samples: result[i] holds config i's repeats in draw
+  /// order, so callers can reduce them (mean, variance) with the same
+  /// floating-point accumulation order the serial code used.
+  [[nodiscard]] std::vector<std::vector<double>> evaluate_repeated(
+      std::span<const Configuration> configs, int repeats);
+
+  /// Per-config means of evaluate_repeated (summed in repeat order).
+  [[nodiscard]] std::vector<double> evaluate_means(
+      std::span<const Configuration> configs, int repeats);
+
+ private:
+  Objective& objective_;
+};
+
+}  // namespace harmony

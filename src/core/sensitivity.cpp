@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel_eval.hpp"
 #include "util/error.hpp"
 
 namespace harmony {
@@ -18,6 +19,10 @@ std::vector<ParameterSensitivity> analyze_sensitivity(
   out.reserve(space.size());
   const Configuration snapped_base = space.snap(base);
 
+  // Pass 1: lay out every sweep point of every parameter as one flat batch
+  // (parameter-major, point-minor — the order the serial loop measured in),
+  // so one fan-out covers the whole one-at-a-time sweep.
+  std::vector<Configuration> sweep_configs;
   for (std::size_t i = 0; i < space.size(); ++i) {
     const ParameterDef& p = space.param(i);
     ParameterSensitivity s;
@@ -46,16 +51,32 @@ std::vector<ParameterSensitivity> analyze_sensitivity(
       values.erase(std::unique(values.begin(), values.end()), values.end());
     }
 
-    double pooled_var = 0.0;  // variance of the per-point means
     for (double v : values) {
       Configuration c = snapped_base;
       c[i] = v;
       c = space.snap(std::move(c));
+      s.values.push_back(c[i]);
+      sweep_configs.push_back(std::move(c));
+    }
+    out.push_back(std::move(s));
+  }
+
+  ParallelEvaluator evaluator(objective);
+  const auto samples =
+      evaluator.evaluate_repeated(sweep_configs, options.repeats);
+
+  // Pass 2: reduce each parameter's points with the serial accumulation
+  // order, then apply the sensitivity formula.
+  std::size_t cursor = 0;
+  for (ParameterSensitivity& s : out) {
+    const ParameterDef& p = space.param(s.index);
+    double pooled_var = 0.0;  // variance of the per-point means
+    for (std::size_t j = 0; j < s.values.size(); ++j) {
+      const std::vector<double>& reps = samples[cursor++];
       double sum = 0.0, sumsq = 0.0;
-      for (int r = 0; r < options.repeats; ++r) {
-        const double p = objective.measure(c);
-        sum += p;
-        sumsq += p * p;
+      for (double v : reps) {
+        sum += v;
+        sumsq += v * v;
         ++s.evaluations;
       }
       const double mean = sum / options.repeats;
@@ -64,13 +85,12 @@ std::vector<ParameterSensitivity> analyze_sensitivity(
             std::max(0.0, (sumsq - sum * mean) / (options.repeats - 1));
         pooled_var += var / options.repeats;  // variance of the mean
       }
-      s.values.push_back(c[i]);
       s.performances.push_back(mean);
     }
     const double point_se =
-        values.empty() ? 0.0
-                       : std::sqrt(pooled_var /
-                                   static_cast<double>(values.size()));
+        s.values.empty()
+            ? 0.0
+            : std::sqrt(pooled_var / static_cast<double>(s.values.size()));
 
     // sensitivity = |P_max - P_min| / |v'_argmax - v'_argmin|
     const auto max_it =
@@ -92,7 +112,6 @@ std::vector<ParameterSensitivity> analyze_sensitivity(
     } else {
       s.sensitivity = (dv < 1e-12) ? 0.0 : dp / dv;
     }
-    out.push_back(std::move(s));
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace harmony::synth {
 
@@ -147,6 +148,15 @@ WorkloadSignature SyntheticSystem::workload_at_distance(
     out[i] = std::clamp(base[i] + distance * dir[i] / norm, 0.0, 1.0);
   }
   return out;
+}
+
+void SyntheticObjective::measure_batch(std::span<const Configuration> configs,
+                                       std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  parallel_for(configs.size(), [&](std::size_t i) {
+    out[i] = system_.measure(configs[i], workload_);
+  });
 }
 
 }  // namespace harmony::synth

@@ -94,6 +94,10 @@ class SyntheticObjective final : public Objective {
   double measure(const Configuration& config) override {
     return system_.measure(config, workload_);
   }
+  /// SyntheticSystem::measure is a pure const function, so the batch fans
+  /// out across the global thread pool.
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return "normalized-perf"; }
 
  private:

@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace harmony::synth {
 
@@ -96,6 +97,15 @@ RuleObjective::RuleObjective(const ParameterSpace& space, RuleSet rules)
 
 double RuleObjective::measure(const Configuration& config) {
   return rules_.evaluate(config, space_);
+}
+
+void RuleObjective::measure_batch(std::span<const Configuration> configs,
+                                  std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  parallel_for(configs.size(), [&](std::size_t i) {
+    out[i] = rules_.evaluate(configs[i], space_);
+  });
 }
 
 }  // namespace harmony::synth

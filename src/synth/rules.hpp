@@ -80,6 +80,9 @@ class RuleObjective final : public Objective {
  public:
   RuleObjective(const ParameterSpace& space, RuleSet rules);
   double measure(const Configuration& config) override;
+  /// RuleSet::evaluate is a pure const function; the batch fans out.
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return "synthetic"; }
 
  private:

@@ -1,0 +1,241 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+namespace {
+
+/// Which worker deque (if any) the current thread owns; -1 for external
+/// threads. Set once at worker start-up. The pool identity is held as an
+/// opaque pointer so a worker of pool A submitting to pool B is treated as
+/// external by B.
+thread_local int tls_worker_index = -1;
+thread_local const void* tls_worker_pool = nullptr;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  using Task = std::function<void()>;
+
+  struct WorkerQueue {
+    std::deque<Task> tasks;
+    std::mutex mutex;
+  };
+
+  explicit Impl(unsigned threads) : queues(threads) {
+    for (auto& q : queues) q = std::make_unique<WorkerQueue>();
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex);
+      stopping = true;
+    }
+    sleep_cv.notify_all();
+    for (auto& t : workers) t.join();
+  }
+
+  void push(Task task) {
+    const int self = (tls_worker_pool == this) ? tls_worker_index : -1;
+    const std::size_t target =
+        self >= 0 ? static_cast<std::size_t>(self)
+                  : next_queue.fetch_add(1, std::memory_order_relaxed) %
+                        queues.size();
+    {
+      std::lock_guard<std::mutex> lock(queues[target]->mutex);
+      queues[target]->tasks.push_back(std::move(task));
+    }
+    sleep_cv.notify_one();
+  }
+
+  /// Pops from the caller's own deque tail, else steals from another
+  /// queue's head. Returns false when every deque is empty.
+  bool try_pop(Task& out) {
+    const int self = (tls_worker_pool == this) ? tls_worker_index : -1;
+    if (self >= 0) {
+      auto& q = *queues[static_cast<std::size_t>(self)];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (!q.tasks.empty()) {
+        out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        return true;
+      }
+    }
+    const std::size_t n = queues.size();
+    const std::size_t start =
+        self >= 0 ? static_cast<std::size_t>(self) + 1
+                  : next_victim.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t k = 0; k < n; ++k) {
+      auto& q = *queues[(start + k) % n];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (!q.tasks.empty()) {
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(unsigned index) {
+    tls_worker_index = static_cast<int>(index);
+    tls_worker_pool = this;
+    Task task;
+    for (;;) {
+      if (try_pop(task)) {
+        task();
+        task = nullptr;
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleep_mutex);
+      if (stopping) return;
+      sleep_cv.wait_for(lock, std::chrono::milliseconds(10));
+      if (stopping) return;
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> next_queue{0};
+  std::atomic<std::size_t> next_victim{0};
+  std::mutex sleep_mutex;
+  std::condition_variable sleep_cv;
+  bool stopping = false;
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : impl_(new Impl(threads == 0 ? 1 : threads)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+unsigned ThreadPool::size() const noexcept {
+  return static_cast<unsigned>(impl_->queues.size());
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+
+  struct Group {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto group = std::make_shared<Group>();
+
+  // Chunk contiguous index ranges: enough chunks for stealing to balance
+  // uneven units, few enough to keep queue traffic low.
+  const std::size_t threads = impl_->queues.size();
+  const std::size_t chunks = std::min(n, threads * 4);
+  group->remaining.store(chunks, std::memory_order_relaxed);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = n * c / chunks;
+    const std::size_t hi = n * (c + 1) / chunks;
+    impl_->push([group, &body, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(group->error_mutex);
+        if (!group->error) group->error = std::current_exception();
+      }
+      if (group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(group->mutex);
+        group->done_cv.notify_all();
+      }
+    });
+  }
+
+  // Help while waiting: a nested parallel_for from inside a worker must not
+  // park the worker, or the pool could starve itself.
+  Impl::Task task;
+  while (group->remaining.load(std::memory_order_acquire) != 0) {
+    if (impl_->try_pop(task)) {
+      task();
+      task = nullptr;
+    } else {
+      std::unique_lock<std::mutex> lock(group->mutex);
+      group->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return group->remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+  if (group->error) std::rethrow_exception(group->error);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+unsigned g_override = 0;
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("HARMONY_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    HARMONY_REQUIRE(end != env && *end == '\0' && v >= 0,
+                    "HARMONY_THREADS must be a non-negative integer");
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+unsigned thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_override != 0 ? g_override : default_thread_count();
+}
+
+void set_thread_count(unsigned n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_override = n;
+  g_pool.reset();  // rebuilt at the new size on next use
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const unsigned want = g_override != 0 ? g_override : default_thread_count();
+  if (!g_pool || g_pool->size() != want) {
+    g_pool.reset();
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return *g_pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || thread_count() == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  global_pool().run(n, body);
+}
+
+}  // namespace harmony

@@ -1,0 +1,69 @@
+// Work-stealing thread pool: the concurrency substrate for parallel
+// evaluation (sensitivity sweeps, factorial designs, baseline searchers,
+// bench repeat fan-out).
+//
+// Design constraints, in priority order:
+//
+//   1. Determinism. The pool never decides *what* is computed, only *where*:
+//      callers hand over index-addressed units of work whose results land in
+//      pre-assigned slots, and every unit derives its own RNG stream, so a
+//      run is bit-identical at any thread count (HARMONY_THREADS=1 executes
+//      the exact legacy serial path, inline on the calling thread).
+//   2. Nested parallelism. A task may itself call parallel_for; a thread
+//      that waits on a group helps execute queued tasks instead of blocking,
+//      so nesting cannot deadlock the pool.
+//   3. Exceptions. The first exception thrown by any unit is captured and
+//      rethrown on the calling thread after the group drains.
+//
+// Scheduling is classic work-stealing: one deque per worker, LIFO pops from
+// the owner's tail for locality, FIFO steals from a victim's head; external
+// submissions round-robin across the deques.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace harmony {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; 1 still spawns a worker, but prefer
+  /// parallel_for(), which runs inline when the effective count is 1).
+  explicit ThreadPool(unsigned threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] unsigned size() const noexcept;
+
+  /// Runs body(0) .. body(n-1) across the workers and waits for all of
+  /// them. Contiguous index ranges are chunked for locality; the calling
+  /// thread helps execute tasks while it waits. The first exception any
+  /// unit throws is rethrown here once the group has drained.
+  void run(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Effective worker count for the process-wide pool: the HARMONY_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).
+[[nodiscard]] unsigned thread_count();
+
+/// Overrides the effective worker count (0 restores the environment /
+/// hardware default). Tears down and lazily rebuilds the global pool; must
+/// not be called while parallel work is in flight. Intended for tests and
+/// CLI flags; normal code reads HARMONY_THREADS.
+void set_thread_count(unsigned n);
+
+/// The process-wide pool, created on first use with thread_count() workers.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Runs body(0) .. body(n-1), in parallel on the global pool when the
+/// effective thread count is > 1, else inline in index order (the exact
+/// legacy serial path). Exceptions propagate to the caller either way.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace harmony

@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "websim/cache.hpp"
 #include "websim/des.hpp"
 #include "websim/pool.hpp"
@@ -292,6 +293,10 @@ SimMetrics simulate_cluster(const ClusterConfig& config,
   HARMONY_REQUIRE(options.measure_s > 0.0, "need a measurement window");
 
   World w{Simulation{}, Rng{options.seed}, config, options, CacheModel{}};
+  // Pending events scale with concurrent browsers (each holds a handful of
+  // in-flight timers/service completions at once).
+  w.sim.reserve_events(static_cast<std::size_t>(options.emulated_browsers) *
+                       8);
   w.cache.min_object_kb = config.proxy_min_object_kb;
   w.cache.max_object_kb = config.proxy_max_object_kb;
   w.cache.cache_mb = config.proxy_cache_mb;
@@ -375,6 +380,27 @@ double ClusterObjective::measure(const Configuration& config) {
   if (!pinned_) opts.seed = seed_stream_();
   last_ = simulate_cluster(ClusterConfig::from_configuration(config), opts);
   return last_.wips;
+}
+
+void ClusterObjective::measure_batch(std::span<const Configuration> configs,
+                                     std::span<double> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  if (configs.empty()) return;
+  std::vector<std::uint64_t> seeds(configs.size(), base_.seed);
+  if (!pinned_) {
+    for (auto& s : seeds) s = seed_stream_();
+  }
+  SimMetrics last;
+  parallel_for(configs.size(), [&](std::size_t i) {
+    SimOptions opts = base_;
+    opts.seed = seeds[i];
+    const SimMetrics m =
+        simulate_cluster(ClusterConfig::from_configuration(configs[i]), opts);
+    out[i] = m.wips;
+    if (i + 1 == configs.size()) last = m;
+  });
+  last_ = last;  // same "most recent measurement" the serial loop leaves
 }
 
 }  // namespace harmony::websim

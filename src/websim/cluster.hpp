@@ -66,6 +66,11 @@ class ClusterObjective final : public Objective {
  public:
   explicit ClusterObjective(SimOptions base);
   double measure(const Configuration& config) override;
+  /// Draws the per-run seeds serially in index order (identical stream to
+  /// the serial loop), then runs the simulations — pure functions of
+  /// (config, seed) — in parallel on the global thread pool.
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override;
   std::string metric_name() const override { return "WIPS"; }
 
   /// Full metrics of the most recent measurement.

@@ -1,5 +1,6 @@
 #include "websim/des.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
@@ -14,15 +15,15 @@ void Simulation::schedule(SimTime delay, Action action) {
 void Simulation::schedule_at(SimTime when, Action action) {
   HARMONY_REQUIRE(when >= now_, "cannot schedule before now");
   HARMONY_REQUIRE(static_cast<bool>(action), "null event action");
-  queue_.push(Event{when, seq_++, std::move(action)});
+  heap_.push_back(Event{when, seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the action must be moved out via a copy
-  // of the handle. Events are small (one std::function), so copy then pop.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.time;
   ++executed_;
   ev.action();
@@ -30,7 +31,7 @@ bool Simulation::step() {
 }
 
 void Simulation::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!heap_.empty() && heap_.front().time <= deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace harmony::websim {
@@ -29,6 +28,10 @@ class Simulation {
   /// Schedules at an absolute time >= now().
   void schedule_at(SimTime when, Action action);
 
+  /// Pre-sizes the event heap for roughly `n` simultaneously-pending
+  /// events, avoiding reallocation churn in schedule-heavy phases.
+  void reserve_events(std::size_t n) { heap_.reserve(n); }
+
   /// Executes the next event; false when the queue is empty.
   bool step();
 
@@ -43,7 +46,7 @@ class Simulation {
 
   /// Events still pending.
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size();
+    return heap_.size();
   }
 
  private:
@@ -59,7 +62,11 @@ class Simulation {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Explicit binary heap (std::push_heap/pop_heap) instead of
+  // std::priority_queue: the top event's action can be moved out rather
+  // than copied (std::function copies allocate), and the storage is
+  // reservable via reserve_events().
+  std::vector<Event> heap_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;

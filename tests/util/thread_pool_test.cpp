@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace harmony {
+namespace {
+
+// Every test forces a known pool size via set_thread_count and restores the
+// environment/hardware default afterwards, so the suite behaves the same on
+// a 1-core CI box and a big workstation.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(0); }
+};
+
+TEST_F(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  set_thread_count(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ThreadPoolTest, SlotResultsMatchSerial) {
+  std::vector<double> serial(257);
+  set_thread_count(1);
+  parallel_for(serial.size(),
+               [&](std::size_t i) { serial[i] = static_cast<double>(i * i); });
+
+  std::vector<double> parallel(serial.size());
+  set_thread_count(8);
+  parallel_for(parallel.size(), [&](std::size_t i) {
+    parallel[i] = static_cast<double>(i * i);
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ThreadPoolTest, ZeroAndSingleUnitWork) {
+  set_thread_count(4);
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  parallel_for(1, [&](std::size_t i) { one += static_cast<int>(i) + 1; });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST_F(ThreadPoolTest, PropagatesFirstException) {
+  set_thread_count(4);
+  EXPECT_THROW(parallel_for(100,
+                            [&](std::size_t i) {
+                              if (i == 37) {
+                                throw std::runtime_error("unit 37 failed");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST_F(ThreadPoolTest, ExceptionStillDrainsRemainingUnits) {
+  set_thread_count(4);
+  std::atomic<int> completed{0};
+  try {
+    // Throw at the last index: the thrower is the final unit of its chunk,
+    // so every other unit must complete (a throw only skips the untouched
+    // remainder of its own chunk).
+    parallel_for(200, [&](std::size_t i) {
+      if (i == 199) throw std::logic_error("boom");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::logic_error&) {
+  }
+  // The group fully drained before the rethrow, so nothing references dead
+  // stack frames.
+  EXPECT_EQ(completed.load(), 199);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  set_thread_count(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::vector<int>> grid(kOuter, std::vector<int>(kInner, 0));
+  parallel_for(kOuter, [&](std::size_t o) {
+    parallel_for(kInner,
+                 [&](std::size_t i) { grid[o][i] = static_cast<int>(o * i); });
+  });
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    for (std::size_t i = 0; i < kInner; ++i) {
+      EXPECT_EQ(grid[o][i], static_cast<int>(o * i));
+    }
+  }
+}
+
+TEST_F(ThreadPoolTest, DirectPoolRunSumsCorrectly) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::vector<long> out(500);
+  pool.run(out.size(), [&](std::size_t i) { out[i] = static_cast<long>(i); });
+  const long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 500L * 499L / 2);
+}
+
+TEST_F(ThreadPoolTest, SetThreadCountControlsGlobalPool) {
+  set_thread_count(2);
+  EXPECT_EQ(thread_count(), 2u);
+  EXPECT_EQ(global_pool().size(), 2u);
+  set_thread_count(5);
+  EXPECT_EQ(global_pool().size(), 5u);
+}
+
+}  // namespace
+}  // namespace harmony

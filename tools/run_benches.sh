@@ -1,0 +1,77 @@
+#!/bin/sh
+# Runs every figure/table bench binary, collects its CSV output, and writes
+# a machine-readable BENCH_timings.json with per-bench wall-clock seconds.
+#
+# Usage: tools/run_benches.sh [build_dir] [out_dir]
+#   build_dir  where the bench binaries live (default: build)
+#   out_dir    where CSVs, logs and BENCH_timings.json go
+#              (default: <build_dir>/bench_out)
+#
+# Respects HARMONY_THREADS (the parallel runtime's worker count); results
+# are identical at any thread count — only the timings change.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-"$BUILD_DIR/bench_out"}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found (build the project first)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+HARMONY_BENCH_CSV_DIR=$OUT_DIR
+export HARMONY_BENCH_CSV_DIR
+
+BENCHES="fig4_perf_distribution fig5_sensitivity_synth fig6_topn_synth \
+fig7_history_distance fig8_sensitivity_web fig9_topn_web \
+table1_search_refinement table2_prior_histories appb_param_restriction \
+headline_combined ablation_estimator ablation_baselines \
+ablation_classifiers ablation_factorial"
+
+JSON="$OUT_DIR/BENCH_timings.json"
+threads=${HARMONY_THREADS:-auto}
+total_start=$(date +%s%N)
+
+{
+  printf '{\n'
+  printf '  "harmony_threads": "%s",\n' "$threads"
+  printf '  "benches": {\n'
+} > "$JSON"
+
+first=1
+failures=0
+for b in $BENCHES; do
+  bin="$BUILD_DIR/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "skip: $b (not built)" >&2
+    continue
+  fi
+  printf '%-28s ' "$b"
+  start=$(date +%s%N)
+  if "$bin" > "$OUT_DIR/$b.log" 2>&1; then
+    status=ok
+  else
+    status=failed
+    failures=$((failures + 1))
+  fi
+  end=$(date +%s%N)
+  secs=$(awk "BEGIN { printf \"%.3f\", ($end - $start) / 1e9 }")
+  echo "$status  ${secs}s"
+  [ $first -eq 1 ] || printf ',\n' >> "$JSON"
+  first=0
+  printf '    "%s": {"seconds": %s, "status": "%s"}' \
+    "$b" "$secs" "$status" >> "$JSON"
+done
+
+total_end=$(date +%s%N)
+total_secs=$(awk "BEGIN { printf \"%.3f\", ($total_end - $total_start) / 1e9 }")
+{
+  printf '\n  },\n'
+  printf '  "total_seconds": %s\n' "$total_secs"
+  printf '}\n'
+} >> "$JSON"
+
+echo "total: ${total_secs}s"
+echo "wrote $JSON (CSVs and logs in $OUT_DIR)"
+[ $failures -eq 0 ] || { echo "$failures bench(es) failed" >&2; exit 1; }
