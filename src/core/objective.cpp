@@ -122,11 +122,16 @@ void CachingObjective::measure_batch(std::span<const Configuration> configs,
                                      std::span<double> out) {
   HARMONY_REQUIRE(configs.size() == out.size(),
                   "measure_batch size mismatch");
-  // In-batch position of each unique miss (first occurrence only).
+  // In-batch position of each unique miss (first occurrence only). Sized
+  // for the worst case (every config unique and absent) so the scan below
+  // never reallocates or rehashes mid-batch.
   std::unordered_map<Configuration, std::size_t, ConfigurationHash> pending;
+  pending.reserve(configs.size());
   std::vector<Configuration> miss_configs;
+  miss_configs.reserve(configs.size());
   std::vector<std::size_t> slot_to_miss(configs.size());
   std::vector<bool> is_miss(configs.size(), false);
+  cache_.reserve(cache_.size() + configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     auto it = cache_.find(configs[i]);
     if (it != cache_.end()) {

@@ -124,7 +124,12 @@ class RecordingObjective final : public Objective {
 /// would not use this since repeated measurements carry information.
 class CachingObjective final : public Objective {
  public:
-  explicit CachingObjective(Objective& inner) : inner_(inner) {}
+  explicit CachingObjective(Objective& inner) : inner_(inner) {
+    // A tuning run re-measures a few hundred configurations at most;
+    // seeding the bucket array up front keeps the table from rehashing
+    // (and invalidating iterators mid-batch) during the common case.
+    cache_.reserve(kInitialCacheBuckets);
+  }
   double measure(const Configuration& config) override;
   /// Resolves hits from the cache, batches the unique misses through the
   /// inner objective (first-occurrence order, matching the serial loop —
@@ -136,6 +141,8 @@ class CachingObjective final : public Objective {
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
 
  private:
+  static constexpr std::size_t kInitialCacheBuckets = 256;
+
   Objective& inner_;
   std::unordered_map<Configuration, double, ConfigurationHash> cache_;
   std::size_t hits_ = 0;

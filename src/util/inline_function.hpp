@@ -1,0 +1,137 @@
+// Fixed-capacity move-only callable with inline storage.
+//
+// A drop-in replacement for std::function in allocation-sensitive hot paths
+// (the DES event queue schedules millions of callbacks per objective
+// evaluation): the callable is stored in an in-object buffer, so
+// constructing, moving and destroying an InlineFunction never touches the
+// heap. Callables that do not fit the capacity fail to compile
+// (static_assert), which is the point — the simulator's closures are audited
+// to stay within one cache-line-sized capture.
+//
+// Trivially copyable callables (the common case: captures of pointers,
+// indices and flags) are relocated with a fixed-size memcpy; everything else
+// goes through a per-type ops table (move-construct + destroy).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace harmony::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-*)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-*)
+    construct<F, D>(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  /// Destroys the stored callable, leaving the function empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+    invoke_ = nullptr;
+    ops_ = nullptr;
+  }
+
+  /// Destroys the current callable (if any) and constructs `f` in place —
+  /// one move of the callable, with no intermediate InlineFunction.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& f) noexcept(std::is_nothrow_constructible_v<D, F&&>) {
+    reset();
+    construct<F, D>(std::forward<F>(f));
+  }
+
+ private:
+  template <typename F, typename D>
+  void construct(F&& f) noexcept(std::is_nothrow_constructible_v<D, F&&>) {
+    static_assert(sizeof(D) <= Capacity,
+                  "callable capture too large for InlineFunction's inline "
+                  "storage; shrink the capture or raise the capacity");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callable over-aligned for InlineFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "InlineFunction requires nothrow-movable callables");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = [](void* s, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<D*>(s)))(
+          std::forward<Args>(args)...);
+    };
+    if constexpr (!(std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>)) {
+      ops_ = &ops_for<D>();
+    }
+  }
+
+  struct Ops {
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy
+    void (*destroy)(void* s) noexcept;
+  };
+
+  template <typename D>
+  static const Ops& ops_for() noexcept {
+    static constexpr Ops ops{
+        [](void* dst, void* src) noexcept {
+          D* from = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        },
+        [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); }};
+    return ops;
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    ops_ = other.ops_;
+    if (invoke_ != nullptr) {
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+      } else {
+        // Fixed-size copy: compiles to a handful of vector moves, cheaper
+        // than a size-dispatched memcpy.
+        std::memcpy(storage_, other.storage_, Capacity);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace harmony::util

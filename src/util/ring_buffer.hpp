@@ -1,0 +1,83 @@
+// Grow-only circular FIFO queue.
+//
+// Replaces std::deque in the simulator's wait queues: a deque allocates and
+// frees block storage as elements flow through it, so even a steady-state
+// queue keeps the allocator busy. RingBuffer keeps one power-of-two array
+// that only ever grows — once the queue has reached its high-water mark (or
+// was pre-sized with reserve()), push/pop never touch the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace harmony::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  ~RingBuffer() {
+    while (!empty()) pop_front();
+    ::operator delete(storage_, std::align_val_t{alignof(T)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Grows storage so at least `n` elements fit without reallocation.
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow_to(round_up_pow2(n));
+  }
+
+  void push_back(T value) {
+    if (size_ == capacity_) {
+      grow_to(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+    }
+    ::new (static_cast<void*>(storage_ + ((head_ + size_) & (capacity_ - 1))))
+        T(std::move(value));
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() noexcept { return storage_[head_]; }
+
+  void pop_front() {
+    storage_[head_].~T();
+    head_ = (head_ + 1) & (capacity_ - 1);
+    --size_;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = kMinCapacity;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void grow_to(std::size_t new_capacity) {
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T),
+                                              std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      T& old = storage_[(head_ + i) & (capacity_ - 1)];
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old));
+      old.~T();
+    }
+    ::operator delete(storage_, std::align_val_t{alignof(T)});
+    storage_ = fresh;
+    capacity_ = new_capacity;
+    head_ = 0;
+  }
+
+  T* storage_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace harmony::util

@@ -13,27 +13,9 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
-}
-
-Rng::result_type Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -49,16 +31,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
     raw = (*this)();
   } while (raw >= limit);
   return lo + static_cast<std::int64_t>(raw % span);
-}
-
-double Rng::uniform01() noexcept {
-  // 53 top bits into the mantissa.
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  HARMONY_REQUIRE(lo <= hi, "uniform bounds inverted");
-  return lo + (hi - lo) * uniform01();
 }
 
 double Rng::normal() noexcept {
@@ -81,36 +53,6 @@ double Rng::normal() noexcept {
 double Rng::normal(double mean, double sd) {
   HARMONY_REQUIRE(sd >= 0.0, "negative standard deviation");
   return mean + sd * normal();
-}
-
-double Rng::exponential(double rate) {
-  HARMONY_REQUIRE(rate > 0.0, "exponential rate must be positive");
-  double u;
-  do {
-    u = uniform01();
-  } while (u <= 0.0);
-  return -std::log(u) / rate;
-}
-
-bool Rng::bernoulli(double p) {
-  HARMONY_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p outside [0,1]");
-  return uniform01() < p;
-}
-
-std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  HARMONY_REQUIRE(!weights.empty(), "weighted_index on empty weights");
-  double total = 0.0;
-  for (double w : weights) {
-    HARMONY_REQUIRE(w >= 0.0, "negative weight");
-    total += w;
-  }
-  HARMONY_REQUIRE(total > 0.0, "weights sum to zero");
-  double target = uniform01() * total;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    target -= weights[i];
-    if (target < 0.0) return i;
-  }
-  return weights.size() - 1;  // numeric edge: land on the last bucket
 }
 
 Rng Rng::split() noexcept {

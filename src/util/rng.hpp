@@ -8,8 +8,12 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace harmony {
 
@@ -28,17 +32,34 @@ class Rng {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~result_type{0}; }
 
-  /// Next raw 64-bit value.
-  result_type operator()() noexcept;
+  /// Next raw 64-bit value. Inline: the simulator draws tens of millions of
+  /// values per objective evaluation.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).
-  [[nodiscard]] double uniform01() noexcept;
+  [[nodiscard]] double uniform01() noexcept {
+    // 53 top bits into the mantissa.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  [[nodiscard]] double uniform(double lo, double hi);
+  [[nodiscard]] double uniform(double lo, double hi) {
+    HARMONY_REQUIRE(lo <= hi, "uniform bounds inverted");
+    return lo + (hi - lo) * uniform01();
+  }
 
   /// Standard normal via the Marsaglia polar method.
   [[nodiscard]] double normal() noexcept;
@@ -47,14 +68,43 @@ class Rng {
   [[nodiscard]] double normal(double mean, double sd);
 
   /// Exponential with the given rate (rate > 0); mean is 1/rate.
-  [[nodiscard]] double exponential(double rate);
+  [[nodiscard]] double exponential(double rate) {
+    HARMONY_REQUIRE(rate > 0.0, "exponential rate must be positive");
+    double u;
+    do {
+      u = uniform01();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
 
   /// Bernoulli trial with success probability p in [0, 1].
-  [[nodiscard]] bool bernoulli(double p);
+  [[nodiscard]] bool bernoulli(double p) {
+    HARMONY_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p outside [0,1]");
+    return uniform01() < p;
+  }
 
   /// Samples an index in [0, weights.size()) proportionally to weights.
-  /// Weights must be non-negative and sum to a positive value.
-  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+  /// Weights must be non-negative and sum to a positive value. The span
+  /// overload lets hot paths sample from fixed arrays without building a
+  /// vector per draw (same stream: one uniform01() either way).
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) {
+    HARMONY_REQUIRE(!weights.empty(), "weighted_index on empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+      HARMONY_REQUIRE(w >= 0.0, "negative weight");
+      total += w;
+    }
+    HARMONY_REQUIRE(total > 0.0, "weights sum to zero");
+    double target = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;  // numeric edge: land on the last bucket
+  }
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) {
+    return weighted_index(std::span<const double>(weights));
+  }
 
   /// Fisher-Yates shuffle.
   template <typename T>
@@ -71,6 +121,10 @@ class Rng {
   [[nodiscard]] Rng split() noexcept;
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

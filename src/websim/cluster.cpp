@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/slab.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "websim/cache.hpp"
@@ -20,6 +21,21 @@ namespace {
 
 constexpr double kMsToSec = 1e-3;
 
+class Browser;
+
+/// One in-flight interaction attempt. Lives in the World's request slab
+/// from fire() to complete(); dropped attempts keep the same object across
+/// retries. The profile pointer is resolved once at issue time so the
+/// per-query callbacks never repeat the table lookup.
+struct Request {
+  Browser* browser = nullptr;
+  const InteractionProfile* prof = nullptr;
+  SimTime issued_at = 0.0;
+  int queries_left = 0;
+  bool write_pending = false;
+  Interaction interaction = Interaction::kHome;
+};
+
 /// Mutable state of one simulation run, shared by the browser callbacks.
 ///
 /// Topology (Appendix A): proxy box (Squid) -> web/app box (Tomcat: HTTP
@@ -27,7 +43,15 @@ constexpr double kMsToSec = 1e-3;
 /// (MySQL connection pool). Each box has a dual-CPU station; connector /
 /// processor / connection pools are admission limits whose slots are held
 /// across the nested work they trigger.
+///
+/// All run-constant quantities (cache hit probability, per-tier cost
+/// coefficients) are computed once here, with the same floating-point
+/// operations the per-request formulas used inline, so hoisting them cannot
+/// change a single bit of the results.
 struct World {
+  World(const ClusterConfig& config, const SimOptions& options)
+      : rng(options.seed), cfg(config), opts(options) {}
+
   Simulation sim;
   Rng rng;
   ClusterConfig cfg;
@@ -40,6 +64,19 @@ struct World {
   std::unique_ptr<ResourcePool> ajp_pool;
   std::unique_ptr<ResourcePool> db_conns;
   std::unique_ptr<ServiceStation> db_engine;
+
+  /// Per-run request pool: one slab node per concurrently-active browser.
+  util::Slab<Request> requests;
+
+  // Run constants hoisted out of the per-request callbacks.
+  double cache_hit_prob = 0.0;
+  double http_buffer_kb = 1.0;       ///< max(1, cfg.http_buffer_kb)
+  double http_buffer_mem_ms = 0.0;   ///< kHttpBufferMemMs * buffer
+  double app_thrash = 1.0;           ///< 1 + coeff * excess^2
+  double db_buffer_kb = 1.0;         ///< max(1, cfg.mysql_net_buffer_kb)
+  double db_throughput = 1.0;        ///< saturating KB/ms for this buffer
+  double db_buffer_mem_ms = 0.0;     ///< kDbBufferMemMs * buffer
+  double db_delayed_mem_ms = 0.0;    ///< kDbDelayedMemMs * delayed_queue
 
   // Delayed-insert queue: a fluid level draining at a constant rate.
   double delayed_level = 0.0;
@@ -54,6 +91,21 @@ struct World {
   std::uint64_t static_requests = 0;
   std::uint64_t cache_hits = 0;
   std::vector<double> latencies_ms;
+
+  void precompute_run_constants() {
+    cache_hit_prob = cache.hit_probability();
+    http_buffer_kb = std::max(1.0, double(cfg.http_buffer_kb));
+    http_buffer_mem_ms = profile::kHttpBufferMemMs * http_buffer_kb;
+    const double excess = std::max(
+        0.0, double(cfg.ajp_max_processors) - profile::kAppComfortProcessors);
+    app_thrash = 1.0 + profile::kAppThrashCoeff * excess * excess;
+    db_buffer_kb = std::max(1.0, double(cfg.mysql_net_buffer_kb));
+    db_throughput = profile::kDbThroughputMax * db_buffer_kb /
+                    (db_buffer_kb + profile::kDbBufferHalf);  // KB/ms
+    db_buffer_mem_ms = profile::kDbBufferMemMs * db_buffer_kb;
+    db_delayed_mem_ms =
+        profile::kDbDelayedMemMs * double(cfg.mysql_delayed_queue);
+  }
 
   [[nodiscard]] bool measuring() const noexcept {
     return sim.now() >= opts.warmup_s &&
@@ -79,20 +131,16 @@ struct World {
   /// plus buffer-fill overhead (small buffers mean many fills) plus a mild
   /// memory penalty for huge buffers.
   [[nodiscard]] double static_serve_cpu(double object_kb) const {
-    const double buffer = std::max(1.0, double(cfg.http_buffer_kb));
     const double ms = profile::kStaticServeCpuMs +
-                      profile::kHttpPerFillMs * (object_kb / buffer) +
-                      profile::kHttpBufferMemMs * buffer;
+                      profile::kHttpPerFillMs * (object_kb / http_buffer_kb) +
+                      http_buffer_mem_ms;
     return ms * kMsToSec;
   }
 
   /// Servlet CPU burst; configured processor pools beyond the box's comfort
   /// level pay a memory/context-switch thrashing tax on every burst.
   [[nodiscard]] double servlet_cpu(double cpu_ms) const {
-    const double excess = std::max(
-        0.0, double(cfg.ajp_max_processors) - profile::kAppComfortProcessors);
-    const double thrash = 1.0 + profile::kAppThrashCoeff * excess * excess;
-    return (profile::kAppDispatchMs + cpu_ms * thrash) * kMsToSec;
+    return (profile::kAppDispatchMs + cpu_ms * app_thrash) * kMsToSec;
   }
 
   /// One DB query held on a connection: CPU (inflated by lock contention
@@ -103,13 +151,10 @@ struct World {
     const double frac = active / profile::kDbComfortConnections;
     const double contention =
         1.0 + profile::kDbContentionCoeff * frac * frac;
-    const double buffer = std::max(1.0, double(cfg.mysql_net_buffer_kb));
-    const double throughput = profile::kDbThroughputMax * buffer /
-                              (buffer + profile::kDbBufferHalf);  // KB/ms
     double ms = profile::kDbQueryCpuMs * contention +
-                payload_kb / throughput +
-                profile::kDbBufferMemMs * buffer +
-                profile::kDbDelayedMemMs * double(cfg.mysql_delayed_queue);
+                payload_kb / db_throughput +
+                db_buffer_mem_ms +
+                db_delayed_mem_ms;
     if (write) {
       ms += delayed_write() ? profile::kDbAsyncWriteMs
                             : profile::kDbSyncWriteMs;
@@ -118,21 +163,13 @@ struct World {
   }
 };
 
-/// One in-flight interaction attempt.
-struct Request {
-  Interaction interaction;
-  SimTime issued_at = 0.0;
-  int queries_left = 0;
-  bool write_pending = false;
-};
-
-class Browser;
-void issue(World& w, const std::shared_ptr<Request>& req,
-           const std::shared_ptr<Browser>& browser);
+void issue(World& w, Request* req);
 
 /// Closed-loop emulated browser: think, issue, wait, repeat. Dropped
-/// attempts back off and retry the same interaction.
-class Browser : public std::enable_shared_from_this<Browser> {
+/// attempts back off and retry the same interaction. Browsers live in a
+/// World-owned vector for the whole run, so callbacks hold plain pointers —
+/// the shared_ptr ref-counting this replaces was pure overhead.
+class Browser {
  public:
   explicit Browser(World& w)
       : w_(w),
@@ -140,28 +177,29 @@ class Browser : public std::enable_shared_from_this<Browser> {
         source_(w.opts.mix, w.opts.session_persistence) {}
 
   void start(SimTime initial_delay) {
-    w_.sim.schedule(initial_delay,
-                    [self = shared_from_this()] { self->next(); });
+    w_.sim.schedule(initial_delay, [this] { next(); });
   }
 
   void next() {
     const double think = rng_.exponential(1.0 / profile::kThinkTimeMeanSec);
-    w_.sim.schedule(think, [self = shared_from_this()] { self->fire(); });
+    w_.sim.schedule(think, [this] { fire(); });
   }
 
   void fire() {
-    auto req = std::make_shared<Request>();
+    Request* req = w_.requests.create();
+    req->browser = this;
     req->interaction = source_.next(rng_);
+    req->prof = &interaction_profile(req->interaction);
     begin_attempt(req);
   }
 
-  void begin_attempt(const std::shared_ptr<Request>& req) {
+  void begin_attempt(Request* req) {
     req->issued_at = w_.sim.now();
     if (w_.measuring()) ++w_.attempts;
-    issue(w_, req, shared_from_this());
+    issue(w_, req);
   }
 
-  void complete(const std::shared_ptr<Request>& req) {
+  void complete(Request* req) {
     if (w_.measuring()) {
       ++w_.completed;
       if (is_order_interaction(req->interaction)) {
@@ -171,15 +209,14 @@ class Browser : public std::enable_shared_from_this<Browser> {
       }
       w_.latencies_ms.push_back((w_.sim.now() - req->issued_at) / kMsToSec);
     }
+    w_.requests.recycle(req);
     next();
   }
 
-  void retry(const std::shared_ptr<Request>& req) {
+  void retry(Request* req) {
     if (w_.measuring()) ++w_.dropped;
     w_.sim.schedule(profile::kRetryBackoffSec,
-                    [self = shared_from_this(), req] {
-                      self->begin_attempt(req);
-                    });
+                    [this, req] { begin_attempt(req); });
   }
 
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
@@ -191,96 +228,90 @@ class Browser : public std::enable_shared_from_this<Browser> {
 };
 
 /// Sequential DB round trips; the caller's AJP slot stays held throughout.
-void db_stage(World& w, const std::shared_ptr<Request>& req,
-              const std::shared_ptr<Browser>& browser) {
+void db_stage(World& w, Request* req) {
   if (req->queries_left == 0) {
     // Render the response, release the processor, return to the client.
     w.webapp_cpu->submit(
         profile::kAppRenderMs * kMsToSec,
-        [&w, req, browser](bool) {
+        [&w, req](bool) {
           w.ajp_pool->release();
           w.sim.schedule(profile::kNetworkRttMs * kMsToSec,
-                         [req, browser] { browser->complete(req); });
+                         [req] { req->browser->complete(req); });
         });
     return;
   }
   --req->queries_left;
-  const auto& prof = interaction_profile(req->interaction);
   const bool write = req->write_pending && req->queries_left == 0;
   if (write) req->write_pending = false;
-  w.db_conns->acquire([&w, req, browser, &prof, write](bool granted) {
+  w.db_conns->acquire([&w, req, write](bool granted) {
     if (!granted) {
       w.ajp_pool->release();
-      browser->retry(req);
+      req->browser->retry(req);
       return;
     }
     // The connection is held while the query waits for and uses one of the
     // engine's I/O ways — slow transfers cap DB throughput.
-    w.db_engine->submit(w.db_query_time(prof.db_payload_kb, write),
-                        [&w, req, browser](bool) {
+    w.db_engine->submit(w.db_query_time(req->prof->db_payload_kb, write),
+                        [&w, req](bool) {
                           w.db_conns->release();
-                          db_stage(w, req, browser);
+                          db_stage(w, req);
                         });
   });
 }
 
 /// Dynamic path: AJP processor held across servlet CPU + all DB queries.
-void dynamic_stage(World& w, const std::shared_ptr<Request>& req,
-                   const std::shared_ptr<Browser>& browser) {
-  const auto& prof = interaction_profile(req->interaction);
-  w.ajp_pool->acquire([&w, req, browser, &prof](bool granted) {
+void dynamic_stage(World& w, Request* req) {
+  w.ajp_pool->acquire([&w, req](bool granted) {
     if (!granted) {
-      browser->retry(req);
+      req->browser->retry(req);
       return;
     }
-    w.webapp_cpu->submit(w.servlet_cpu(prof.app_cpu_ms),
-                         [&w, req, browser, &prof](bool) {
-                           req->queries_left = prof.db_queries;
-                           req->write_pending = prof.db_write;
-                           db_stage(w, req, browser);
+    w.webapp_cpu->submit(w.servlet_cpu(req->prof->app_cpu_ms),
+                         [&w, req](bool) {
+                           req->queries_left = req->prof->db_queries;
+                           req->write_pending = req->prof->db_write;
+                           db_stage(w, req);
                          });
   });
 }
 
 /// Static path on a proxy miss: HTTP connector held across the file serve.
-void static_stage(World& w, const std::shared_ptr<Request>& req,
-                  const std::shared_ptr<Browser>& browser) {
-  const auto& prof = interaction_profile(req->interaction);
-  w.http_pool->acquire([&w, req, browser, &prof](bool granted) {
+void static_stage(World& w, Request* req) {
+  w.http_pool->acquire([&w, req](bool granted) {
     if (!granted) {
-      browser->retry(req);
+      req->browser->retry(req);
       return;
     }
-    w.webapp_cpu->submit(w.static_serve_cpu(prof.object_kb),
-                         [&w, req, browser](bool) {
+    w.webapp_cpu->submit(w.static_serve_cpu(req->prof->object_kb),
+                         [&w, req](bool) {
                            w.http_pool->release();
                            w.sim.schedule(
                                profile::kNetworkRttMs * kMsToSec,
-                               [req, browser] { browser->complete(req); });
+                               [req] { req->browser->complete(req); });
                          });
   });
 }
 
-void issue(World& w, const std::shared_ptr<Request>& req,
-           const std::shared_ptr<Browser>& browser) {
-  const auto& prof = interaction_profile(req->interaction);
-  const bool is_static = browser->rng().bernoulli(prof.static_fraction);
+void issue(World& w, Request* req) {
+  Browser* browser = req->browser;
+  const bool is_static =
+      browser->rng().bernoulli(req->prof->static_fraction);
   if (is_static && w.measuring()) ++w.static_requests;
 
   const bool cache_hit =
-      is_static && browser->rng().bernoulli(w.cache.hit_probability());
+      is_static && browser->rng().bernoulli(w.cache_hit_prob);
   if (cache_hit && w.measuring()) ++w.cache_hits;
 
   const double proxy_ms =
       cache_hit ? profile::kProxyHitMs : profile::kProxyForwardMs;
   w.proxy_cpu->submit(proxy_ms * kMsToSec,
-                      [&w, req, browser, is_static, cache_hit](bool) {
+                      [&w, req, is_static, cache_hit](bool) {
                         if (cache_hit) {
-                          browser->complete(req);
+                          req->browser->complete(req);
                         } else if (is_static) {
-                          static_stage(w, req, browser);
+                          static_stage(w, req);
                         } else {
-                          dynamic_stage(w, req, browser);
+                          dynamic_stage(w, req);
                         }
                       });
 }
@@ -292,14 +323,25 @@ SimMetrics simulate_cluster(const ClusterConfig& config,
   HARMONY_REQUIRE(options.emulated_browsers > 0, "need browsers");
   HARMONY_REQUIRE(options.measure_s > 0.0, "need a measurement window");
 
-  World w{Simulation{}, Rng{options.seed}, config, options, CacheModel{}};
+  World w(config, options);
+  const auto n_browsers = static_cast<std::size_t>(options.emulated_browsers);
   // Pending events scale with concurrent browsers (each holds a handful of
   // in-flight timers/service completions at once).
-  w.sim.reserve_events(static_cast<std::size_t>(options.emulated_browsers) *
-                       8);
+  w.sim.reserve_events(n_browsers * 8);
+  // Each browser has at most one in-flight request, so pre-sizing every
+  // per-run pool to the browser count caps all of them for the whole run —
+  // after warm-up the simulation performs no heap allocation at all
+  // (tests/websim/alloc_count_test.cpp holds this to zero).
+  w.requests.reserve(n_browsers);
+  w.latencies_ms.reserve(
+      static_cast<std::size_t>(2.0 * options.measure_s *
+                               static_cast<double>(options.emulated_browsers) /
+                               profile::kThinkTimeMeanSec) +
+      64);
   w.cache.min_object_kb = config.proxy_min_object_kb;
   w.cache.max_object_kb = config.proxy_max_object_kb;
   w.cache.cache_mb = config.proxy_cache_mb;
+  w.precompute_run_constants();
 
   w.proxy_cpu = std::make_unique<ServiceStation>(
       w.sim, "proxy-cpu", profile::kCpusPerBox, profile::kCpuQueue);
@@ -316,13 +358,28 @@ SimMetrics simulate_cluster(const ClusterConfig& config,
       profile::kDbWaitQueue);
   w.db_engine = std::make_unique<ServiceStation>(
       w.sim, "db-engine", profile::kDbEngineWays, profile::kCpuQueue);
+  for (ServiceStation* s : {w.proxy_cpu.get(), w.webapp_cpu.get(),
+                            w.db_engine.get()}) {
+    s->reserve_queue(n_browsers + 1);
+  }
+  for (ResourcePool* p : {w.http_pool.get(), w.ajp_pool.get(),
+                          w.db_conns.get()}) {
+    p->reserve_queue(n_browsers + 1);
+  }
 
-  std::vector<std::shared_ptr<Browser>> browsers;
-  browsers.reserve(static_cast<std::size_t>(options.emulated_browsers));
+  std::vector<Browser> browsers;
+  browsers.reserve(n_browsers);
   for (int i = 0; i < options.emulated_browsers; ++i) {
-    auto b = std::make_shared<Browser>(w);
-    b->start(w.rng.uniform(0.0, 1.0));
-    browsers.push_back(std::move(b));
+    browsers.emplace_back(w);
+    browsers.back().start(w.rng.uniform(0.0, 1.0));
+  }
+
+  if (options.window_hook != nullptr) {
+    auto* hook = options.window_hook;
+    void* ctx = options.window_hook_ctx;
+    w.sim.schedule_at(options.warmup_s, [hook, ctx] { hook(ctx, true); });
+    w.sim.schedule_at(options.warmup_s + options.measure_s,
+                      [hook, ctx] { hook(ctx, false); });
   }
 
   w.sim.run_until(options.warmup_s + options.measure_s);

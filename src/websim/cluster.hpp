@@ -29,6 +29,16 @@ struct SimOptions {
   /// Session burstiness: probability a browser's next interaction stays in
   /// its current browse/order class (see SessionSource). 0 = i.i.d. draws.
   double session_persistence = 0.55;
+
+  /// Measurement-window test hook: when non-null, invoked as an ordinary
+  /// simulation event with entering=true exactly at warmup_s and
+  /// entering=false at warmup_s + measure_s, before any same-time
+  /// simulation event (the hooks are scheduled first, and FIFO order breaks
+  /// equal-time ties). Lets tests bracket the window — e.g. the
+  /// allocation-count test snapshots the heap counters around it. Plain
+  /// function pointer + context so SimOptions stays a value type.
+  void (*window_hook)(void* ctx, bool entering) = nullptr;
+  void* window_hook_ctx = nullptr;
 };
 
 struct SimMetrics {

@@ -15,18 +15,33 @@ void Simulation::schedule(SimTime delay, Action action) {
 void Simulation::schedule_at(SimTime when, Action action) {
   HARMONY_REQUIRE(when >= now_, "cannot schedule before now");
   HARMONY_REQUIRE(static_cast<bool>(action), "null event action");
-  heap_.push_back(Event{when, seq_++, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const std::uint32_t s = acquire_slot();
+  slot(s) = std::move(action);
+  push_event(when, s);
 }
 
 bool Simulation::step() {
   if (heap_.empty()) return false;
+  // The minimum is known before the sift: start pulling its callback slot
+  // (a random, often cache-cold 80-byte read) while pop_heap reorders the
+  // heap underneath it.
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(
+      &slot(static_cast<std::uint32_t>(heap_.front().key & kSlotMask)));
+#endif
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  const Event ev = heap_.back();
   heap_.pop_back();
   now_ = ev.time;
   ++executed_;
-  ev.action();
+  const auto s = static_cast<std::uint32_t>(ev.key & kSlotMask);
+  // Run the callback in place: slot addresses are stable and the slot is
+  // not on the free list while it runs, so events it schedules can neither
+  // move nor reuse it. Freed only after it returns.
+  Action& action = slot(s);
+  action();
+  action.reset();
+  free_slots_.push_back(s);
   return true;
 }
 
@@ -35,6 +50,24 @@ void Simulation::run_until(SimTime deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+void Simulation::reserve_events(std::size_t n) {
+  heap_.reserve(n);
+  while (slot_chunks_.size() * kSlotChunkSize < n) add_slot_chunk();
+}
+
+void Simulation::add_slot_chunk() {
+  HARMONY_REQUIRE(slot_chunks_.size() * kSlotChunkSize <= kSlotMask,
+                  "too many pending events");
+  const auto base =
+      static_cast<std::uint32_t>(slot_chunks_.size() * kSlotChunkSize);
+  slot_chunks_.push_back(std::make_unique<Action[]>(kSlotChunkSize));
+  free_slots_.reserve(slot_chunks_.size() * kSlotChunkSize);
+  // Lowest slot index on top of the free list, for locality.
+  for (std::size_t i = kSlotChunkSize; i > 0; --i) {
+    free_slots_.push_back(base + static_cast<std::uint32_t>(i - 1));
+  }
 }
 
 }  // namespace harmony::websim

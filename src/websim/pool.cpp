@@ -30,7 +30,7 @@ void ResourcePool::acquire(Granted granted) {
   }
   ++stats_.rejects;
   // Reject asynchronously so callers never re-enter from inside acquire().
-  sim_.schedule(0.0, [cb = std::move(granted)] { cb(false); });
+  sim_.schedule(0.0, [cb = std::move(granted)]() mutable { cb(false); });
 }
 
 void ResourcePool::release() {
@@ -43,7 +43,7 @@ void ResourcePool::release() {
     stats_.max_wait = std::max(stats_.max_wait, wait);
     ++stats_.grants;
     // Hand the slot over without dropping in_use_: the waiter takes it.
-    sim_.schedule(0.0, [cb = std::move(w.granted)] { cb(true); });
+    sim_.schedule(0.0, [cb = std::move(w.granted)]() mutable { cb(true); });
     return;
   }
   --in_use_;

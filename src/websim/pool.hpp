@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
+#include "util/inline_function.hpp"
+#include "util/ring_buffer.hpp"
 #include "websim/des.hpp"
 
 namespace harmony::websim {
@@ -21,7 +21,10 @@ namespace harmony::websim {
 class ResourcePool {
  public:
   /// granted=false means the wait queue was full and the request rejected.
-  using Granted = std::function<void(bool granted)>;
+  /// Inline-storage callable (see ServiceStation::Done): acquiring never
+  /// heap-allocates.
+  static constexpr std::size_t kGrantedCapacity = 32;
+  using Granted = util::InlineFunction<void(bool granted), kGrantedCapacity>;
 
   ResourcePool(Simulation& sim, std::string name, int capacity,
                int max_waiters);
@@ -34,6 +37,9 @@ class ResourcePool {
   /// Returns a slot; grants the oldest waiter, if any. Calling release
   /// without a matching acquire throws.
   void release();
+
+  /// Pre-sizes the wait queue so steady-state acquires never allocate.
+  void reserve_queue(std::size_t n) { queue_.reserve(n); }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] int capacity() const noexcept { return capacity_; }
@@ -60,7 +66,7 @@ class ResourcePool {
   int capacity_;
   int max_waiters_;
   int in_use_ = 0;
-  std::deque<Waiter> queue_;
+  util::RingBuffer<Waiter> queue_;
   Stats stats_;
 };
 

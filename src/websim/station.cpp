@@ -30,8 +30,7 @@ void ServiceStation::submit(double service_time, Done done) {
   }
   // Backlog full: drop. Deliver the rejection asynchronously so callers
   // never re-enter the station from inside submit().
-  auto cb = std::move(p.done);
-  sim_.schedule(0.0, [cb = std::move(cb)] { cb(false); });
+  sim_.schedule(0.0, [cb = std::move(p.done)]() mutable { cb(false); });
   ++stats_.dropped;
 }
 
@@ -41,7 +40,7 @@ void ServiceStation::start(Pending p) {
   stats_.total_wait += wait;
   stats_.max_wait = std::max(stats_.max_wait, wait);
   stats_.busy_time += p.service_time;
-  sim_.schedule(p.service_time, [this, cb = std::move(p.done)] {
+  sim_.schedule(p.service_time, [this, cb = std::move(p.done)]() mutable {
     --busy_;
     ++stats_.served;
     cb(true);

@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
+#include "util/inline_function.hpp"
+#include "util/ring_buffer.hpp"
 #include "websim/des.hpp"
 
 namespace harmony::websim {
@@ -19,8 +19,11 @@ namespace harmony::websim {
 class ServiceStation {
  public:
   /// Completion callback: accepted=false means the request was dropped on
-  /// arrival (queue full) and never serviced.
-  using Done = std::function<void(bool accepted)>;
+  /// arrival (queue full) and never serviced. Inline-storage callable,
+  /// sized so a completion closure plus the station pointer still fits in
+  /// one DES event action — submitting never heap-allocates.
+  static constexpr std::size_t kDoneCapacity = 32;
+  using Done = util::InlineFunction<void(bool accepted), kDoneCapacity>;
 
   /// The simulation must outlive the station.
   ServiceStation(Simulation& sim, std::string name, int servers,
@@ -28,6 +31,9 @@ class ServiceStation {
 
   /// Submits a request needing `service_time` seconds of a server.
   void submit(double service_time, Done done);
+
+  /// Pre-sizes the wait queue so steady-state submits never allocate.
+  void reserve_queue(std::size_t n) { queue_.reserve(n); }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] int servers() const noexcept { return servers_; }
@@ -69,7 +75,7 @@ class ServiceStation {
   int servers_;
   int queue_capacity_;
   int busy_ = 0;
-  std::deque<Pending> queue_;
+  util::RingBuffer<Pending> queue_;
   Stats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "websim/tpcw.hpp"
 
 #include <numeric>
+#include <span>
 
 #include "util/error.hpp"
 
@@ -102,8 +103,10 @@ WorkloadMix WorkloadMix::blend(const WorkloadMix& a, const WorkloadMix& b,
 }
 
 Interaction WorkloadMix::sample(Rng& rng) const {
-  const std::vector<double> w(weights_.begin(), weights_.end());
-  return static_cast<Interaction>(rng.weighted_index(w));
+  // Hot path (one draw per interaction): sample straight from the weight
+  // array — same uniform01() draw and walk as the old per-call vector copy.
+  return static_cast<Interaction>(
+      rng.weighted_index(std::span<const double>(weights_)));
 }
 
 double WorkloadMix::weight(Interaction i) const {
@@ -125,7 +128,7 @@ WorkloadSignature WorkloadMix::signature() const {
 }
 
 Interaction WorkloadMix::sample_class(Rng& rng, bool order_class) const {
-  std::vector<double> w(kInteractionCount, 0.0);
+  std::array<double, kInteractionCount> w{};
   double total = 0.0;
   for (std::size_t i = 0; i < kInteractionCount; ++i) {
     if (kIsOrder[i] == order_class) {
@@ -134,7 +137,8 @@ Interaction WorkloadMix::sample_class(Rng& rng, bool order_class) const {
     }
   }
   if (total <= 0.0) return sample(rng);  // class absent from the mix
-  return static_cast<Interaction>(rng.weighted_index(w));
+  return static_cast<Interaction>(
+      rng.weighted_index(std::span<const double>(w)));
 }
 
 SessionSource::SessionSource(WorkloadMix mix, double persistence)

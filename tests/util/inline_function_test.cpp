@@ -1,0 +1,125 @@
+#include "util/inline_function.hpp"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace harmony::util {
+namespace {
+
+using Fn = InlineFunction<int(int)>;
+
+TEST(InlineFunction, DefaultConstructedIsEmpty) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Fn g(nullptr);
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, InvokesStoredCallable) {
+  Fn f = [](int x) { return x * 2; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(InlineFunction, CapturesState) {
+  int base = 100;
+  Fn f = [base](int x) { return base + x; };
+  EXPECT_EQ(f(1), 101);
+}
+
+TEST(InlineFunction, MoveTransfersCallable) {
+  Fn f = [](int x) { return x + 1; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(1), 2);
+
+  Fn h;
+  h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(h(2), 3);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  InlineFunction<int()> f = [token] { return *token; };
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside f
+  f = InlineFunction<int()>([] { return 0; });
+  EXPECT_TRUE(watch.expired());  // previous capture destroyed
+}
+
+TEST(InlineFunction, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFunction<int()> f = [token] { return *token; };
+  token.reset();
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, DestructorDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction<int()> f = [token] { return *token; };
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, NonTriviallyCopyableCallableSurvivesMoves) {
+  auto value = std::make_unique<int>(41);
+  InlineFunction<int()> f = [v = std::move(value)] { return *v + 1; };
+  InlineFunction<int()> g = std::move(f);
+  InlineFunction<int()> h;
+  h = std::move(g);
+  EXPECT_EQ(h(), 42);
+}
+
+TEST(InlineFunction, EmplaceConstructsInPlace) {
+  InlineFunction<int()> f;
+  f.emplace([] { return 5; });
+  EXPECT_EQ(f(), 5);
+  // Emplacing over an existing callable destroys the old capture.
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  f.emplace([token] { return *token; });
+  token.reset();
+  f.emplace([] { return 9; });
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InlineFunction, MutableCallableKeepsStateAcrossCalls) {
+  InlineFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(InlineFunction, LargeTrivialCaptureWithinCapacityWorks) {
+  std::array<std::uint64_t, 6> words{};  // 48 bytes + sink pointer = 56
+  words[5] = 11;
+  std::uint64_t sink = 0;
+  InlineFunction<void(), 64> f = [&sink, words] { sink = words[5]; };
+  f();
+  EXPECT_EQ(sink, 11u);
+}
+
+TEST(InlineFunction, ForwardsArgumentsAndReturnsResult) {
+  InlineFunction<double(double, double)> mul = [](double a, double b) {
+    return a * b;
+  };
+  EXPECT_DOUBLE_EQ(mul(3.0, 4.0), 12.0);
+}
+
+}  // namespace
+}  // namespace harmony::util

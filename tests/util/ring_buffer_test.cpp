@@ -1,0 +1,99 @@
+#include "util/ring_buffer.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace harmony::util {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 0u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> q;
+  for (int i = 0; i < 10; ++i) q.push_back(i);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutGrowing) {
+  RingBuffer<int> q;
+  q.reserve(8);
+  const std::size_t cap = q.capacity();
+  // Push/pop churn far beyond capacity: the head wraps, capacity is stable.
+  int next = 0, expect = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (q.size() < 5) q.push_back(next++);
+    while (!q.empty()) {
+      EXPECT_EQ(q.front(), expect++);
+      q.pop_front();
+    }
+  }
+  EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingBuffer, GrowthPreservesOrderAcrossWrap) {
+  RingBuffer<int> q;
+  // Misalign head first so growth has to linearize a wrapped queue.
+  for (int i = 0; i < 6; ++i) q.push_back(i);
+  for (int i = 0; i < 6; ++i) q.pop_front();
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+}
+
+TEST(RingBuffer, ReserveRoundsUpAndNeverShrinks) {
+  RingBuffer<int> q;
+  q.reserve(100);
+  const std::size_t cap = q.capacity();
+  EXPECT_GE(cap, 100u);
+  EXPECT_EQ(cap & (cap - 1), 0u);  // power of two
+  q.reserve(10);
+  EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingBuffer, MoveOnlyElements) {
+  RingBuffer<std::unique_ptr<int>> q;
+  for (int i = 0; i < 20; ++i) q.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(q.front());
+    EXPECT_EQ(*q.front(), i);
+    q.pop_front();
+  }
+}
+
+TEST(RingBuffer, DestructorReleasesRemainingElements) {
+  std::weak_ptr<int> watch;
+  {
+    RingBuffer<std::shared_ptr<int>> q;
+    auto token = std::make_shared<int>(1);
+    watch = token;
+    q.push_back(std::move(token));
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(RingBuffer, NonTrivialElementSurvivesGrowth) {
+  RingBuffer<std::string> q;
+  const std::string long_str(100, 'x');
+  for (int i = 0; i < 50; ++i) q.push_back(long_str + std::to_string(i));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(q.front(), long_str + std::to_string(i));
+    q.pop_front();
+  }
+}
+
+}  // namespace
+}  // namespace harmony::util

@@ -116,9 +116,19 @@ TEST(Rng, WeightedIndexProportions) {
 
 TEST(Rng, WeightedIndexValidation) {
   Rng rng(1);
-  EXPECT_THROW((void)rng.weighted_index({}), Error);
-  EXPECT_THROW((void)rng.weighted_index({0.0, 0.0}), Error);
-  EXPECT_THROW((void)rng.weighted_index({1.0, -1.0}), Error);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{}), Error);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{0.0, 0.0}), Error);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{1.0, -1.0}),
+               Error);
+}
+
+TEST(Rng, WeightedIndexSpanMatchesVector) {
+  const std::vector<double> w = {0.5, 1.5, 2.0, 0.0, 4.0};
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.weighted_index(w), b.weighted_index(std::span<const double>(w)));
+  }
 }
 
 TEST(Rng, ShuffleIsPermutation) {

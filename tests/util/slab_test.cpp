@@ -1,0 +1,95 @@
+#include "util/slab.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace harmony::util {
+namespace {
+
+struct Payload {
+  std::uint64_t a = 0;
+  double b = 0.0;
+  void* c = nullptr;
+};
+
+TEST(Slab, CreateReturnsConstructedObject) {
+  Slab<Payload> slab;
+  Payload* p = slab.create();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->a, 0u);
+  EXPECT_EQ(p->b, 0.0);
+  EXPECT_EQ(p->c, nullptr);
+  EXPECT_EQ(slab.live(), 1u);
+}
+
+TEST(Slab, RecycleReturnsNodeToFreeList) {
+  Slab<Payload> slab;
+  Payload* p = slab.create();
+  slab.recycle(p);
+  EXPECT_EQ(slab.live(), 0u);
+  // LIFO free list: the next create reuses the same storage.
+  Payload* q = slab.create();
+  EXPECT_EQ(q, p);
+}
+
+TEST(Slab, AddressesAreStableAcrossGrowth) {
+  Slab<Payload> slab;
+  std::vector<Payload*> live;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    Payload* p = slab.create();
+    p->a = i;
+    live.push_back(p);
+  }
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(live[i]->a, i);  // untouched by later chunk growth
+  }
+  EXPECT_EQ(slab.live(), 1000u);
+}
+
+TEST(Slab, AllPointersDistinctWhileLive) {
+  Slab<Payload> slab;
+  std::set<Payload*> seen;
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(seen.insert(slab.create()).second);
+}
+
+TEST(Slab, ReserveCoversSubsequentCreatesWithoutGrowth) {
+  Slab<Payload> slab;
+  slab.reserve(128);
+  const std::size_t cap = slab.capacity();
+  EXPECT_GE(cap, 128u);
+  std::vector<Payload*> ptrs;
+  for (int i = 0; i < 128; ++i) ptrs.push_back(slab.create());
+  EXPECT_EQ(slab.capacity(), cap);  // no new chunks
+  for (Payload* p : ptrs) slab.recycle(p);
+  EXPECT_EQ(slab.live(), 0u);
+}
+
+TEST(Slab, SteadyStateChurnsWithinReservedCapacity) {
+  Slab<Payload> slab;
+  slab.reserve(16);
+  const std::size_t cap = slab.capacity();
+  std::vector<Payload*> active;
+  for (int round = 0; round < 1000; ++round) {
+    if (active.size() < 16 && (round % 3 != 2)) {
+      active.push_back(slab.create());
+    } else if (!active.empty()) {
+      slab.recycle(active.back());
+      active.pop_back();
+    }
+  }
+  EXPECT_EQ(slab.capacity(), cap);
+}
+
+TEST(Slab, CreateForwardsAggregateInitializers) {
+  Slab<Payload> slab;
+  Payload* p = slab.create(std::uint64_t{7}, 2.5, nullptr);
+  EXPECT_EQ(p->a, 7u);
+  EXPECT_EQ(p->b, 2.5);
+}
+
+}  // namespace
+}  // namespace harmony::util

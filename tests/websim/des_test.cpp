@@ -78,5 +78,58 @@ TEST(Simulation, RejectsPastAndNullEvents) {
   EXPECT_THROW(sim.schedule(1.0, nullptr), Error);
 }
 
+TEST(Simulation, ScheduleAtRejectsTimesBeforeNow) {
+  Simulation sim;
+  sim.schedule(2.0, [] {});
+  sim.run_until(2.0);  // now() == 2.0
+  EXPECT_THROW(sim.schedule_at(1.5, [] {}), Error);
+  sim.schedule_at(2.0, [] {});  // exactly now() is allowed
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, EqualTimeEventsInterleaveFifoAcrossScheduleVariants) {
+  Simulation sim;
+  std::vector<int> order;
+  // Mix relative and absolute scheduling at the same instant; execution
+  // must follow scheduling order regardless of which API queued the event.
+  sim.schedule(1.0, [&] { order.push_back(0); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulation, FifoOrderSurvivesNestedSameTimeScheduling) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(0);
+    // Scheduled mid-event at the current time: runs after everything that
+    // was already queued for t=1.
+    sim.schedule(0.0, [&] { order.push_back(3); });
+    sim.schedule_at(sim.now(), [&] { order.push_back(4); });
+  });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ReserveEventsPreservesBehaviour) {
+  Simulation a, b;
+  b.reserve_events(1024);
+  std::vector<int> order_a, order_b;
+  for (int i = 0; i < 200; ++i) {
+    const double t = static_cast<double>((i * 37) % 11);
+    a.schedule(t, [&order_a, i] { order_a.push_back(i); });
+    b.schedule(t, [&order_b, i] { order_b.push_back(i); });
+  }
+  a.run_until(20.0);
+  b.run_until(20.0);
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_EQ(a.executed_events(), 200u);
+}
+
 }  // namespace
 }  // namespace harmony::websim

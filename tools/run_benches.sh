@@ -27,7 +27,7 @@ BENCHES="fig4_perf_distribution fig5_sensitivity_synth fig6_topn_synth \
 fig7_history_distance fig8_sensitivity_web fig9_topn_web \
 table1_search_refinement table2_prior_histories appb_param_restriction \
 headline_combined ablation_estimator ablation_baselines \
-ablation_classifiers ablation_factorial"
+ablation_classifiers ablation_factorial websim_events_per_sec"
 
 JSON="$OUT_DIR/BENCH_timings.json"
 threads=${HARMONY_THREADS:-auto}
@@ -44,7 +44,14 @@ failures=0
 for b in $BENCHES; do
   bin="$BUILD_DIR/bench/$b"
   if [ ! -x "$bin" ]; then
-    echo "skip: $b (not built)" >&2
+    # A bench listed here but not built means the build is incomplete or a
+    # target was renamed without updating this list — fail loudly rather
+    # than silently producing a partial BENCH_timings.json.
+    echo "error: $b not built (expected $bin)" >&2
+    failures=$((failures + 1))
+    [ $first -eq 1 ] || printf ',\n' >> "$JSON"
+    first=0
+    printf '    "%s": {"seconds": 0, "status": "missing"}' "$b" >> "$JSON"
     continue
   fi
   printf '%-28s ' "$b"
@@ -60,8 +67,19 @@ for b in $BENCHES; do
   echo "$status  ${secs}s"
   [ $first -eq 1 ] || printf ',\n' >> "$JSON"
   first=0
-  printf '    "%s": {"seconds": %s, "status": "%s"}' \
-    "$b" "$secs" "$status" >> "$JSON"
+  # Benches report throughput on EVENTS_PER_SEC <name> <rate> marker lines;
+  # fold any such rates into the bench's JSON entry.
+  rates=$(awk '/^EVENTS_PER_SEC / {
+                 if (n++) printf ", ";
+                 printf "\"%s\": %s", $2, $3
+               }' "$OUT_DIR/$b.log")
+  if [ -n "$rates" ]; then
+    printf '    "%s": {"seconds": %s, "status": "%s", "events_per_sec": {%s}}' \
+      "$b" "$secs" "$status" "$rates" >> "$JSON"
+  else
+    printf '    "%s": {"seconds": %s, "status": "%s"}' \
+      "$b" "$secs" "$status" >> "$JSON"
+  fi
 done
 
 total_end=$(date +%s%N)
