@@ -1,0 +1,279 @@
+// Scale bench: the prior-runs experience store at up to one million
+// records (ROADMAP north star: classify heavy live traffic against massive
+// history).
+//
+// Generates a clustered synthetic experience database, then measures the
+// classify hot path for all three classifiers two ways:
+//
+//   legacy  — the pre-index cost model: every classify() copies the full
+//             signature set out of the database (vector-of-vectors) and
+//             rebuilds the classifier's model from scratch (the old
+//             stateless Classifier interface).
+//   fitted  — the build-once/query-many path: fit(SignatureView) once over
+//             the flat store, then classify() per query.
+//
+// The PerformanceEstimator's estimate() (cached-normalization + top-k heap)
+// and exact() (hash index) latencies are reported at scale as well. Rates
+// land in BENCH_timings.json via the EVENTS_PER_SEC markers.
+//
+// HARMONY_HISTORY_SCALE overrides the record count (default 1,000,000) for
+// quick local runs.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+#include "bench/bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "core/estimator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace harmony;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The pre-index least-square classify: per-call vector-of-vectors copy of
+/// every signature plus a scalar scan — what DataAnalyzer::classify cost
+/// before the flat store existed.
+std::size_t legacy_copy_classify(const HistoryDatabase& db,
+                                 const WorkloadSignature& obs) {
+  const std::vector<WorkloadSignature> known = db.signatures();
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < known.size(); ++j) {
+    const double d = signature_distance_sq(obs, known[j]);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("History scale: experience store at millions of records");
+  bench::expectation(
+      "fit-once/classify-many over the flat signature index beats the "
+      "per-call copy + rebuild path by >= 10x (least-square) and >= 50x "
+      "amortized (k-means, decision tree), with identical classifications");
+
+  std::size_t n_records = 1'000'000;
+  if (const char* env = std::getenv("HARMONY_HISTORY_SCALE")) {
+    const long v = std::atol(env);
+    if (v > 0) n_records = static_cast<std::size_t>(v);
+  }
+  const std::size_t dims = 16;
+  const std::size_t n_centers = 64;
+
+  std::printf("records: %zu, signature dims: %zu, threads: %u\n\n", n_records,
+              dims, thread_count());
+
+  // Clustered population (workload families with observation noise).
+  Rng rng(41);
+  std::vector<WorkloadSignature> centers;
+  for (std::size_t c = 0; c < n_centers; ++c) {
+    WorkloadSignature center(dims);
+    double total = 0.0;
+    for (double& v : center) {
+      v = rng.uniform(0.0, 1.0);
+      total += v;
+    }
+    for (double& v : center) v /= total;
+    centers.push_back(std::move(center));
+  }
+  HistoryDatabase db;
+  const auto gen_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_records; ++i) {
+    const std::size_t c = i % n_centers;
+    ExperienceRecord rec;
+    rec.signature = centers[c];
+    for (double& v : rec.signature) {
+      v = std::max(0.0, v + rng.normal(0.0, 0.003));
+    }
+    db.add(std::move(rec));
+  }
+  std::printf("database build: %.2fs\n", seconds_since(gen_start));
+
+  // Fixed query workload, shared by every path so results are comparable.
+  const int n_queries = 64;
+  std::vector<WorkloadSignature> queries;
+  Rng qrng(99);
+  for (int q = 0; q < n_queries; ++q) {
+    WorkloadSignature obs = centers[static_cast<std::size_t>(qrng.uniform_int(
+        0, static_cast<std::int64_t>(n_centers) - 1))];
+    for (double& v : obs) v = std::max(0.0, v + qrng.normal(0.0, 0.004));
+    queries.push_back(std::move(obs));
+  }
+
+  Table t({"path", "build/fit (ms)", "classify (ns/query)", "speedup"});
+  bool ls_ok = false, km_ok = false, tree_ok = false;
+
+  // ---- least-square: per-call copy vs flat-index scan -------------------
+  double ls_legacy_ns = 0.0, ls_fitted_ns = 0.0;
+  {
+    std::vector<std::size_t> legacy_idx;
+    const int legacy_q = 8;  // each query re-copies the whole database
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int q = 0; q < legacy_q; ++q) {
+      legacy_idx.push_back(
+          legacy_copy_classify(db, queries[static_cast<std::size_t>(q)]));
+    }
+    ls_legacy_ns = seconds_since(t0) * 1e9 / legacy_q;
+
+    LeastSquareClassifier ls;
+    const auto t1 = std::chrono::steady_clock::now();
+    ls.fit(db.signature_view());
+    const double fit_ms = seconds_since(t1) * 1e3;
+    const auto t2 = std::chrono::steady_clock::now();
+    std::size_t sink = 0;
+    for (const auto& obs : queries) sink += ls.classify(obs);
+    ls_fitted_ns = seconds_since(t2) * 1e9 / n_queries;
+
+    // Classification results must be unchanged vs the legacy path.
+    bool same = true;
+    for (int q = 0; q < legacy_q; ++q) {
+      same = same &&
+             ls.classify(queries[static_cast<std::size_t>(q)]) ==
+                 legacy_idx[static_cast<std::size_t>(q)];
+    }
+    const double speedup = ls_legacy_ns / ls_fitted_ns;
+    ls_ok = same && speedup >= 10.0;
+    t.add_row({"least-square legacy (copy/call)", "-",
+               Table::num(ls_legacy_ns, 0), "1.0"});
+    t.add_row({"least-square fitted (flat scan)", Table::num(fit_ms, 2),
+               Table::num(ls_fitted_ns, 0), Table::num(speedup, 1)});
+    bench::finding(same, "least-square: flat-index results match legacy");
+    (void)sink;
+  }
+
+  // ---- k-means: per-call rebuild vs fit-once ----------------------------
+  {
+    KMeansClassifier legacy(16, 7, 5);
+    const std::vector<WorkloadSignature> known = db.signatures();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t legacy_idx = legacy.classify(queries[0], known);
+    const double legacy_ns = seconds_since(t0) * 1e9;
+
+    KMeansClassifier km(16, 7, 5);
+    const auto t1 = std::chrono::steady_clock::now();
+    km.fit(db.signature_view());
+    const double fit_ms = seconds_since(t1) * 1e3;
+    const auto t2 = std::chrono::steady_clock::now();
+    std::size_t sink = 0;
+    for (const auto& obs : queries) sink += km.classify(obs);
+    const double fitted_ns = seconds_since(t2) * 1e9 / n_queries;
+
+    const bool same = km.classify(queries[0]) == legacy_idx;
+    const double speedup = legacy_ns / fitted_ns;
+    km_ok = same && speedup >= 50.0;
+    t.add_row({"k-means legacy (rebuild/call)", "-", Table::num(legacy_ns, 0),
+               "1.0"});
+    t.add_row({"k-means fitted", Table::num(fit_ms, 1),
+               Table::num(fitted_ns, 0), Table::num(speedup, 1)});
+    bench::finding(same, "k-means: fitted results match per-call rebuild");
+    (void)sink;
+
+    std::printf("EVENTS_PER_SEC kmeans_classify %.0f\n", 1e9 / fitted_ns);
+  }
+
+  // ---- decision tree: per-call rebuild vs fit-once ----------------------
+  {
+    DecisionTreeClassifier legacy(16);
+    const std::vector<WorkloadSignature> known = db.signatures();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t legacy_idx = legacy.classify(queries[0], known);
+    const double legacy_ns = seconds_since(t0) * 1e9;
+
+    DecisionTreeClassifier tree(16);
+    const auto t1 = std::chrono::steady_clock::now();
+    tree.fit(db.signature_view());
+    const double fit_ms = seconds_since(t1) * 1e3;
+    const auto t2 = std::chrono::steady_clock::now();
+    std::size_t sink = 0;
+    for (const auto& obs : queries) sink += tree.classify(obs);
+    const double fitted_ns = seconds_since(t2) * 1e9 / n_queries;
+
+    const bool same = tree.classify(queries[0]) == legacy_idx;
+    const double speedup = legacy_ns / fitted_ns;
+    tree_ok = same && speedup >= 50.0;
+    t.add_row({"decision tree legacy (rebuild/call)", "-",
+               Table::num(legacy_ns, 0), "1.0"});
+    t.add_row({"decision tree fitted", Table::num(fit_ms, 1),
+               Table::num(fitted_ns, 0), Table::num(speedup, 1)});
+    bench::finding(same, "decision tree: fitted results match rebuild");
+    (void)sink;
+
+    std::printf("EVENTS_PER_SEC tree_classify %.0f\n", 1e9 / fitted_ns);
+  }
+
+  std::printf("EVENTS_PER_SEC least_square_classify %.0f\n",
+              1e9 / ls_fitted_ns);
+
+  // ---- estimator at scale ----------------------------------------------
+  {
+    ParameterSpace space;
+    const std::size_t n_params = 8;
+    for (std::size_t i = 0; i < n_params; ++i) {
+      space.add(ParameterDef("p" + std::to_string(i), 0, 100, 1, 50));
+    }
+    const std::size_t n_points = std::min<std::size_t>(n_records, 200'000);
+    PerformanceEstimator est(space);
+    Rng prng(7);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n_points; ++i) {
+      Configuration c = space.random_configuration(prng);
+      double v = 10.0;
+      for (std::size_t d = 0; d < c.size(); ++d) {
+        v += (static_cast<double>(d) + 1.0) * c[d];
+      }
+      est.add(c, v + prng.uniform(-1.0, 1.0));
+    }
+    const double add_ms = seconds_since(t0) * 1e3;
+
+    const int est_q = 64;
+    const auto t1 = std::chrono::steady_clock::now();
+    double acc = 0.0;
+    for (int q = 0; q < est_q; ++q) {
+      acc += est.estimate(space.random_configuration(prng), n_params + 1)
+                 .value;
+    }
+    const double est_ns = seconds_since(t1) * 1e9 / est_q;
+
+    const int exact_q = 100'000;
+    const auto t2 = std::chrono::steady_clock::now();
+    std::size_t hits = 0;
+    for (int q = 0; q < exact_q; ++q) {
+      hits += est.exact(space.random_configuration(prng)).has_value() ? 1 : 0;
+    }
+    const double exact_ns = seconds_since(t2) * 1e9 / exact_q;
+
+    t.add_row({"estimator estimate (" + std::to_string(n_points) + " pts)",
+               Table::num(add_ms, 1), Table::num(est_ns, 0), "-"});
+    t.add_row({"estimator exact (hash index)", "-", Table::num(exact_ns, 0),
+               "-"});
+    std::printf("EVENTS_PER_SEC estimator_estimate %.0f\n", 1e9 / est_ns);
+    std::printf("EVENTS_PER_SEC estimator_exact %.0f\n", 1e9 / exact_ns);
+    std::printf("estimator exact-hit ratio: %.3f, acc=%.1f\n",
+                static_cast<double>(hits) / exact_q, acc);
+  }
+
+  bench::print_table(t, "history_scale");
+
+  bench::finding(ls_ok,
+                 "least-square classify >= 10x faster than per-call copy");
+  bench::finding(km_ok,
+                 "k-means amortized classify >= 50x faster than rebuild");
+  bench::finding(tree_ok,
+                 "decision-tree amortized classify >= 50x faster than "
+                 "rebuild");
+  return (ls_ok && km_ok && tree_ok) ? 0 : 1;
+}

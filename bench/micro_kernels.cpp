@@ -4,6 +4,7 @@
 // RSL parsing and the sensitivity sweep.
 #include <benchmark/benchmark.h>
 
+#include "core/analyzer.hpp"
 #include "core/estimator.hpp"
 #include "core/rsl.hpp"
 #include "core/sensitivity.hpp"
@@ -107,6 +108,42 @@ void BM_EstimatorSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimatorSolve)->Arg(16)->Arg(64);
+
+// Signature-distance argmin kernels over the flat experience store: the
+// scalar reference loop vs the blocked 4-row kernel with early exit. Kernel
+// regressions show up here independently of the end-to-end history_scale
+// bench. Both kernels must return the same index (bit-identical semantics).
+void BM_SignatureScanScalar(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::size_t dims = 16;
+  Rng rng(11);
+  std::vector<double> data(count * dims);
+  for (double& v : data) v = rng.uniform01();
+  std::vector<double> query(dims);
+  for (double& v : query) v = rng.uniform01();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nearest_signature_scalar(data.data(), count, dims, query.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SignatureScanScalar)->Arg(1 << 10)->Arg(1 << 17);
+
+void BM_SignatureScanBlocked(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::size_t dims = 16;
+  Rng rng(11);
+  std::vector<double> data(count * dims);
+  for (double& v : data) v = rng.uniform01();
+  std::vector<double> query(dims);
+  for (double& v : query) v = rng.uniform01();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nearest_signature_blocked(data.data(), count, dims, query.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SignatureScanBlocked)->Arg(1 << 10)->Arg(1 << 17);
 
 void BM_RslParse(benchmark::State& state) {
   std::string spec;

@@ -1,27 +1,266 @@
 #include "core/analyzer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace harmony {
 
-std::size_t LeastSquareClassifier::classify(
-    const WorkloadSignature& observed,
-    const std::vector<WorkloadSignature>& known) const {
-  HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
+namespace {
+
+/// Forward-order partial squared distance over dims [d0, d1) — the exact
+/// accumulation order of signature_distance_sq, resumed from `acc`.
+inline double row_partial(const double* row, const double* q, std::size_t d0,
+                          std::size_t d1, double acc) {
+  for (std::size_t d = d0; d < d1; ++d) {
+    const double t = row[d] - q[d];
+    acc += t * t;
+  }
+  return acc;
+}
+
+/// Dim-chunk size between early-exit checks: small enough to abandon
+/// hopeless rows in long signatures, large enough to amortize the branch.
+constexpr std::size_t kDimChunk = 64;
+
+}  // namespace
+
+std::size_t nearest_signature_scalar(const double* data, std::size_t count,
+                                     std::size_t dims, const double* query,
+                                     double* best_dist_sq) {
+  HARMONY_REQUIRE(count > 0, "classify against empty signature set");
   std::size_t best = 0;
   double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t j = 0; j < known.size(); ++j) {
-    const double d = signature_distance_sq(observed, known[j]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double d = row_partial(data + i * dims, query, 0, dims, 0.0);
     if (d < best_d) {
       best_d = d;
-      best = j;
+      best = i;
+    }
+  }
+  if (best_dist_sq != nullptr) *best_dist_sq = best_d;
+  return best;
+}
+
+void nearest_signature_scan(const double* data, std::size_t dims,
+                            std::size_t first, std::size_t last,
+                            const double* query, double& best_dist_sq,
+                            std::size_t& best_index) {
+  std::size_t i = first;
+  for (; i + 4 <= last; i += 4) {
+    const double* r0 = data + i * dims;
+    const double* r1 = r0 + dims;
+    const double* r2 = r1 + dims;
+    const double* r3 = r2 + dims;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t d = 0;
+    bool alive = true;
+    for (; d + kDimChunk <= dims; d += kDimChunk) {
+      const std::size_t d1 = d + kDimChunk;
+      a0 = row_partial(r0, query, d, d1, a0);
+      a1 = row_partial(r1, query, d, d1, a1);
+      a2 = row_partial(r2, query, d, d1, a2);
+      a3 = row_partial(r3, query, d, d1, a3);
+      // Partial sums are monotone (nonnegative terms): once every row of
+      // the block is at or above the running best it cannot win, and with
+      // the strict-< update it could not even tie its way in.
+      if (a0 >= best_dist_sq && a1 >= best_dist_sq && a2 >= best_dist_sq &&
+          a3 >= best_dist_sq) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    a0 = row_partial(r0, query, d, dims, a0);
+    a1 = row_partial(r1, query, d, dims, a1);
+    a2 = row_partial(r2, query, d, dims, a2);
+    a3 = row_partial(r3, query, d, dims, a3);
+    // Index order, strict <: the lowest index wins exact ties, matching the
+    // scalar reference.
+    if (a0 < best_dist_sq) { best_dist_sq = a0; best_index = i; }
+    if (a1 < best_dist_sq) { best_dist_sq = a1; best_index = i + 1; }
+    if (a2 < best_dist_sq) { best_dist_sq = a2; best_index = i + 2; }
+    if (a3 < best_dist_sq) { best_dist_sq = a3; best_index = i + 3; }
+  }
+  for (; i < last; ++i) {
+    const double* row = data + i * dims;
+    double acc = 0.0;
+    std::size_t d = 0;
+    bool alive = true;
+    for (; d + kDimChunk <= dims; d += kDimChunk) {
+      acc = row_partial(row, query, d, d + kDimChunk, acc);
+      if (acc >= best_dist_sq) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    acc = row_partial(row, query, d, dims, acc);
+    if (acc < best_dist_sq) {
+      best_dist_sq = acc;
+      best_index = i;
+    }
+  }
+}
+
+std::size_t nearest_signature_blocked(const double* data, std::size_t count,
+                                      std::size_t dims, const double* query,
+                                      double* best_dist_sq) {
+  HARMONY_REQUIRE(count > 0, "classify against empty signature set");
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  nearest_signature_scan(data, dims, 0, count, query, best_d, best);
+  if (best_dist_sq != nullptr) *best_dist_sq = best_d;
+  return best;
+}
+
+std::size_t Classifier::classify(const WorkloadSignature& observed,
+                                 const std::vector<WorkloadSignature>& known) {
+  HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
+  compat_data_.clear();
+  compat_offsets_.clear();
+  compat_offsets_.reserve(known.size() + 1);
+  compat_offsets_.push_back(0);
+  const std::size_t dims = known.front().size();
+  bool mixed = false;
+  for (const auto& s : known) {
+    if (s.size() != dims) mixed = true;
+    compat_data_.insert(compat_data_.end(), s.begin(), s.end());
+    compat_offsets_.push_back(compat_data_.size());
+  }
+  SignatureView view;
+  view.data = compat_data_.data();
+  view.offsets = compat_offsets_.data();
+  view.count = known.size();
+  view.dims = mixed ? SignatureView::kMixedDims : dims;
+  view.version = next_signature_version();
+  fit(view);
+  return classify(observed);
+}
+
+// --------------------------------------------------------------------------
+// Least-square (brute force over the flat store)
+
+void LeastSquareClassifier::fit(const SignatureView& view) {
+  view_ = view;
+  sketch_.clear();
+  // Pack the sketch when rows are wide enough for the bound to pay for
+  // itself: prefix coordinates verbatim, then the L2 norm of the rest.
+  if (!view.empty() && view.dims != SignatureView::kMixedDims &&
+      view.dims > kSketchPrefix + 1) {
+    const std::size_t dims = view.dims;
+    sketch_.resize(view.count * (kSketchPrefix + 1));
+    for (std::size_t i = 0; i < view.count; ++i) {
+      const double* row = view.row(i);
+      double* s = sketch_.data() + i * (kSketchPrefix + 1);
+      for (std::size_t d = 0; d < kSketchPrefix; ++d) s[d] = row[d];
+      double rest = 0.0;
+      for (std::size_t d = kSketchPrefix; d < dims; ++d) {
+        rest += row[d] * row[d];
+      }
+      s[kSketchPrefix] = std::sqrt(rest);
+    }
+  }
+  set_fitted(view);
+}
+
+void LeastSquareClassifier::pruned_scan(std::size_t first, std::size_t last,
+                                        const double* query,
+                                        double query_rest_norm,
+                                        double& best_dist_sq,
+                                        std::size_t& best_index) const {
+  const std::size_t dims = view_.dims;
+  constexpr std::size_t stride = LeastSquareClassifier::kSketchPrefix + 1;
+  for (std::size_t i = first; i < last; ++i) {
+    const double* s = sketch_.data() + i * stride;
+    // Exact forward prefix of the full accumulation: monotone partial sum,
+    // so acc >= best can never be the winner (strict-< argmin).
+    double acc = 0.0;
+    for (std::size_t d = 0; d < kSketchPrefix; ++d) {
+      const double t = s[d] - query[d];
+      acc += t * t;
+    }
+    if (acc >= best_dist_sq) continue;
+    // Triangle inequality on the remaining coordinates:
+    //   sum_{d>=P} (r_d - q_d)^2 >= (|r_rest| - |q_rest|)^2.
+    // The deflation absorbs the few-ulp rounding of the two sqrt'd norms so
+    // the computed bound never overshoots the true distance — skipping stays
+    // provably safe.
+    const double lb = s[kSketchPrefix] - query_rest_norm;
+    if (acc + lb * lb * (1.0 - 1e-9) >= best_dist_sq) continue;
+    // Candidate row: resume the exact forward accumulation from the prefix
+    // (same values, same operation order as the scalar reference).
+    const double d = row_partial(view_.data + i * dims, query, kSketchPrefix,
+                                 dims, acc);
+    if (d < best_dist_sq) {
+      best_dist_sq = d;
+      best_index = i;
+    }
+  }
+}
+
+std::size_t LeastSquareClassifier::classify(
+    const WorkloadSignature& observed) const {
+  HARMONY_REQUIRE(!view_.empty(), "classify against empty signature set");
+  HARMONY_REQUIRE(view_.dims != SignatureView::kMixedDims &&
+                      observed.size() == view_.dims,
+                  "signature arity mismatch");
+  const std::size_t count = view_.count;
+  const std::size_t dims = view_.dims;
+  const double* q = observed.data();
+  double q_rest_norm = 0.0;
+  if (!sketch_.empty()) {
+    double rest = 0.0;
+    for (std::size_t d = kSketchPrefix; d < dims; ++d) rest += q[d] * q[d];
+    q_rest_norm = std::sqrt(rest);
+  }
+  if (count < kParallelThreshold || thread_count() <= 1) {
+    if (sketch_.empty()) {
+      return nearest_signature_blocked(view_.data, count, dims, q);
+    }
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best = 0;
+    pruned_scan(0, count, q, q_rest_norm, best_d, best);
+    return best;
+  }
+  // Sharded scan: fixed-size shards (independent of the thread count) fold
+  // into per-shard (distance, index) slots, then reduce in shard order with
+  // a strict < — the global winner is the same lowest index the serial scan
+  // finds, at any HARMONY_THREADS setting.
+  const std::size_t n_shards = (count + kShardSize - 1) / kShardSize;
+  std::vector<double> shard_d(n_shards,
+                              std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> shard_i(n_shards, 0);
+  parallel_for(n_shards, [&](std::size_t s) {
+    const std::size_t lo = s * kShardSize;
+    const std::size_t hi = std::min(count, lo + kShardSize);
+    double d = std::numeric_limits<double>::infinity();
+    std::size_t idx = lo;
+    if (sketch_.empty()) {
+      nearest_signature_scan(view_.data, dims, lo, hi, q, d, idx);
+    } else {
+      pruned_scan(lo, hi, q, q_rest_norm, d, idx);
+    }
+    shard_d[s] = d;
+    shard_i[s] = idx;
+  });
+  std::size_t best = shard_i[0];
+  double best_d = shard_d[0];
+  for (std::size_t s = 1; s < n_shards; ++s) {
+    if (shard_d[s] < best_d) {
+      best_d = shard_d[s];
+      best = shard_i[s];
     }
   }
   return best;
 }
+
+// --------------------------------------------------------------------------
+// K-means
 
 KMeansClassifier::KMeansClassifier(std::size_t k, std::uint64_t seed,
                                    int max_iterations)
@@ -30,33 +269,46 @@ KMeansClassifier::KMeansClassifier(std::size_t k, std::uint64_t seed,
   HARMONY_REQUIRE(max_iterations_ > 0, "k-means needs iterations >= 1");
 }
 
-std::size_t KMeansClassifier::classify(
-    const WorkloadSignature& observed,
-    const std::vector<WorkloadSignature>& known) const {
-  HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
-  const std::size_t k = std::min(k_, known.size());
-  const std::size_t dims = known.front().size();
-  for (const auto& s : known) {
-    HARMONY_REQUIRE(s.size() == dims, "signature arity mismatch");
+void KMeansClassifier::fit(const SignatureView& view) {
+  view_ = view;
+  centroids_.clear();
+  cluster_begin_.clear();
+  cluster_members_.clear();
+  k_eff_ = 0;
+  if (view.empty()) {
+    set_fitted(view);
+    return;
   }
+  HARMONY_REQUIRE(view.dims != SignatureView::kMixedDims,
+                  "signature arity mismatch");
+  const std::size_t dims = view.dims;
+  const std::size_t n = view.count;
+  const std::size_t k = std::min(k_, n);
+  k_eff_ = k;
 
   // Deterministic seeding: k distinct members chosen by shuffled index.
   Rng rng(seed_);
-  std::vector<std::size_t> order(known.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
   rng.shuffle(order);
-  std::vector<WorkloadSignature> centroids;
-  centroids.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) centroids.push_back(known[order[i]]);
+  centroids_.resize(k * dims);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* row = view.row(order[i]);
+    std::copy(row, row + dims, centroids_.begin() + static_cast<long>(i * dims));
+  }
 
-  std::vector<std::size_t> assignment(known.size(), 0);
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<double> sums(k * dims);
+  std::vector<std::size_t> counts(k);
   for (int iter = 0; iter < max_iterations_; ++iter) {
     bool changed = false;
-    for (std::size_t i = 0; i < known.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = view.row(i);
       std::size_t best = 0;
       double best_d = std::numeric_limits<double>::infinity();
       for (std::size_t c = 0; c < k; ++c) {
-        const double d = signature_distance_sq(known[i], centroids[c]);
+        const double d =
+            row_partial(row, centroids_.data() + c * dims, 0, dims, 0.0);
         if (d < best_d) {
           best_d = d;
           best = c;
@@ -69,186 +321,191 @@ std::size_t KMeansClassifier::classify(
     }
     if (!changed && iter > 0) break;
     // Recompute centroids; empty clusters keep their previous position.
-    std::vector<WorkloadSignature> sums(k, WorkloadSignature(dims, 0.0));
-    std::vector<std::size_t> counts(k, 0);
-    for (std::size_t i = 0; i < known.size(); ++i) {
-      for (std::size_t d = 0; d < dims; ++d) {
-        sums[assignment[i]][d] += known[i][d];
-      }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = view.row(i);
+      double* sum = sums.data() + assignment[i] * dims;
+      for (std::size_t d = 0; d < dims; ++d) sum[d] += row[d];
       ++counts[assignment[i]];
     }
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) continue;
       for (std::size_t d = 0; d < dims; ++d) {
-        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+        centroids_[c * dims + d] =
+            sums[c * dims + d] / static_cast<double>(counts[c]);
       }
     }
   }
 
+  // CSR member lists, ascending within each cluster so the within-cluster
+  // scan resolves ties toward the lowest record index.
+  cluster_begin_.assign(k + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cluster_begin_[assignment[i] + 1];
+  for (std::size_t c = 0; c < k; ++c) cluster_begin_[c + 1] += cluster_begin_[c];
+  cluster_members_.resize(n);
+  std::vector<std::size_t> cursor(cluster_begin_.begin(),
+                                  cluster_begin_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster_members_[cursor[assignment[i]]++] = i;
+  }
+  set_fitted(view);
+}
+
+std::size_t KMeansClassifier::classify(
+    const WorkloadSignature& observed) const {
+  HARMONY_REQUIRE(!view_.empty(), "classify against empty signature set");
+  HARMONY_REQUIRE(observed.size() == view_.dims, "signature arity mismatch");
+  const std::size_t dims = view_.dims;
+  const double* q = observed.data();
+
   // Nearest centroid to the observation, then nearest member within it.
   std::size_t best_c = 0;
   double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k; ++c) {
-    const double d = signature_distance_sq(observed, centroids[c]);
+  for (std::size_t c = 0; c < k_eff_; ++c) {
+    const double d = row_partial(q, centroids_.data() + c * dims, 0, dims, 0.0);
     if (d < best_d) {
       best_d = d;
       best_c = c;
     }
   }
-  std::size_t best_member = known.size();
+  const std::size_t lo = cluster_begin_[best_c];
+  const std::size_t hi = cluster_begin_[best_c + 1];
+  if (lo == hi) {
+    // Chosen centroid ended up empty (possible with degenerate seeds):
+    // fall back to global nearest neighbour.
+    return nearest_signature_blocked(view_.data, view_.count, dims, q);
+  }
+  std::size_t best_member = view_.count;
   best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < known.size(); ++i) {
-    if (assignment[i] != best_c) continue;
-    const double d = signature_distance_sq(observed, known[i]);
+  for (std::size_t m = lo; m < hi; ++m) {
+    const std::size_t i = cluster_members_[m];
+    const double d = row_partial(view_.row(i), q, 0, dims, 0.0);
     if (d < best_d) {
       best_d = d;
       best_member = i;
     }
   }
-  if (best_member == known.size()) {
-    // Chosen centroid ended up empty (possible with degenerate seeds):
-    // fall back to global nearest neighbour.
-    return LeastSquareClassifier{}.classify(observed, known);
-  }
   return best_member;
 }
 
-namespace {
-
-/// One node of the signature tree: either a split or a leaf of indices.
-struct TreeNode {
-  // split
-  std::size_t dim = 0;
-  double threshold = 0.0;
-  int left = -1;   // node indices; -1 means none
-  int right = -1;
-  // leaf
-  std::vector<std::size_t> members;
-  [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
-};
-
-class SignatureTree {
- public:
-  SignatureTree(const std::vector<WorkloadSignature>& known,
-                std::size_t leaf_size)
-      : known_(known) {
-    std::vector<std::size_t> all(known.size());
-    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-    root_ = build(std::move(all), leaf_size);
-  }
-
-  /// Nearest member index: descend to the leaf, then check sibling
-  /// subtrees whose splitting plane is closer than the best found so far
-  /// (standard k-d backtrack, exact for the Euclidean metric).
-  [[nodiscard]] std::size_t nearest(const WorkloadSignature& q) const {
-    std::size_t best = known_.size();
-    double best_d = std::numeric_limits<double>::infinity();
-    search(root_, q, best, best_d);
-    return best;
-  }
-
- private:
-  int build(std::vector<std::size_t> members, std::size_t leaf_size) {
-    TreeNode node;
-    if (members.size() <= leaf_size) {
-      node.members = std::move(members);
-      nodes_.push_back(std::move(node));
-      return static_cast<int>(nodes_.size()) - 1;
-    }
-    // Split on the dimension with the largest spread, at its median.
-    const std::size_t dims = known_[members[0]].size();
-    std::size_t best_dim = 0;
-    double best_spread = -1.0;
-    for (std::size_t d = 0; d < dims; ++d) {
-      double lo = known_[members[0]][d], hi = lo;
-      for (std::size_t m : members) {
-        lo = std::min(lo, known_[m][d]);
-        hi = std::max(hi, known_[m][d]);
-      }
-      if (hi - lo > best_spread) {
-        best_spread = hi - lo;
-        best_dim = d;
-      }
-    }
-    if (best_spread <= 0.0) {  // all identical: cannot split
-      node.members = std::move(members);
-      nodes_.push_back(std::move(node));
-      return static_cast<int>(nodes_.size()) - 1;
-    }
-    std::sort(members.begin(), members.end(),
-              [&](std::size_t a, std::size_t b) {
-                return known_[a][best_dim] < known_[b][best_dim];
-              });
-    const std::size_t mid = members.size() / 2;
-    node.dim = best_dim;
-    node.threshold = known_[members[mid]][best_dim];
-    std::vector<std::size_t> left(members.begin(),
-                                  members.begin() + static_cast<long>(mid));
-    std::vector<std::size_t> right(members.begin() + static_cast<long>(mid),
-                                   members.end());
-    if (left.empty()) {  // degenerate median (many equal values)
-      node.members = std::move(right);
-      nodes_.push_back(std::move(node));
-      return static_cast<int>(nodes_.size()) - 1;
-    }
-    const int self = static_cast<int>(nodes_.size());
-    nodes_.push_back(node);
-    const int l = build(std::move(left), leaf_size);
-    const int r = build(std::move(right), leaf_size);
-    nodes_[static_cast<std::size_t>(self)].left = l;
-    nodes_[static_cast<std::size_t>(self)].right = r;
-    return self;
-  }
-
-  void search(int idx, const WorkloadSignature& q, std::size_t& best,
-              double& best_d) const {
-    const TreeNode& node = nodes_[static_cast<std::size_t>(idx)];
-    if (node.is_leaf()) {
-      for (std::size_t m : node.members) {
-        const double d = signature_distance_sq(q, known_[m]);
-        if (d < best_d) {
-          best_d = d;
-          best = m;
-        }
-      }
-      return;
-    }
-    const double diff = q[node.dim] - node.threshold;
-    const int near = diff < 0.0 ? node.left : node.right;
-    const int far = diff < 0.0 ? node.right : node.left;
-    search(near, q, best, best_d);
-    if (diff * diff < best_d) search(far, q, best, best_d);  // backtrack
-  }
-
-  const std::vector<WorkloadSignature>& known_;
-  std::vector<TreeNode> nodes_;
-  int root_ = -1;
-};
-
-}  // namespace
+// --------------------------------------------------------------------------
+// Decision tree (k-d tree over the flat store)
 
 DecisionTreeClassifier::DecisionTreeClassifier(std::size_t leaf_size)
     : leaf_size_(leaf_size) {
   HARMONY_REQUIRE(leaf_size_ >= 1, "leaf size must be >= 1");
 }
 
-std::size_t DecisionTreeClassifier::classify(
-    const WorkloadSignature& observed,
-    const std::vector<WorkloadSignature>& known) const {
-  HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
-  const std::size_t dims = known.front().size();
-  HARMONY_REQUIRE(observed.size() == dims, "signature arity mismatch");
-  for (const auto& s : known) {
-    HARMONY_REQUIRE(s.size() == dims, "signature arity mismatch");
+int DecisionTreeClassifier::build(std::vector<std::size_t> members,
+                                  std::size_t dims) {
+  Node node;
+  const auto make_leaf = [&](std::vector<std::size_t> leaf_members) {
+    node.members_begin = static_cast<std::uint32_t>(members_.size());
+    members_.insert(members_.end(), leaf_members.begin(), leaf_members.end());
+    node.members_end = static_cast<std::uint32_t>(members_.size());
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+  if (members.size() <= leaf_size_) return make_leaf(std::move(members));
+
+  // Split on the dimension with the largest spread, at its median.
+  std::size_t best_dim = 0;
+  double best_spread = -1.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    double lo = view_.row(members[0])[d], hi = lo;
+    for (std::size_t m : members) {
+      const double v = view_.row(m)[d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = d;
+    }
   }
-  SignatureTree tree(known, leaf_size_);
-  return tree.nearest(observed);
+  if (best_spread <= 0.0) {  // all identical: cannot split
+    return make_leaf(std::move(members));
+  }
+  std::sort(members.begin(), members.end(),
+            [&](std::size_t a, std::size_t b) {
+              return view_.row(a)[best_dim] < view_.row(b)[best_dim];
+            });
+  const std::size_t mid = members.size() / 2;
+  node.dim = best_dim;
+  node.threshold = view_.row(members[mid])[best_dim];
+  std::vector<std::size_t> left(members.begin(),
+                                members.begin() + static_cast<long>(mid));
+  std::vector<std::size_t> right(members.begin() + static_cast<long>(mid),
+                                 members.end());
+  if (left.empty()) {  // degenerate median (many equal values)
+    return make_leaf(std::move(right));
+  }
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  const int l = build(std::move(left), dims);
+  const int r = build(std::move(right), dims);
+  nodes_[static_cast<std::size_t>(self)].left = l;
+  nodes_[static_cast<std::size_t>(self)].right = r;
+  return self;
 }
+
+void DecisionTreeClassifier::search(int idx, const double* q,
+                                    std::size_t& best, double& best_d) const {
+  const Node& node = nodes_[static_cast<std::size_t>(idx)];
+  if (node.is_leaf()) {
+    for (std::uint32_t m = node.members_begin; m < node.members_end; ++m) {
+      const std::size_t i = members_[m];
+      const double d = row_partial(q, view_.row(i), 0, view_.dims, 0.0);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    return;
+  }
+  const double diff = q[node.dim] - node.threshold;
+  const int near = diff < 0.0 ? node.left : node.right;
+  const int far = diff < 0.0 ? node.right : node.left;
+  search(near, q, best, best_d);
+  if (diff * diff < best_d) search(far, q, best, best_d);  // backtrack
+}
+
+void DecisionTreeClassifier::fit(const SignatureView& view) {
+  view_ = view;
+  nodes_.clear();
+  members_.clear();
+  root_ = -1;
+  if (view.empty()) {
+    set_fitted(view);
+    return;
+  }
+  HARMONY_REQUIRE(view.dims != SignatureView::kMixedDims,
+                  "signature arity mismatch");
+  members_.reserve(view.count);
+  std::vector<std::size_t> all(view.count);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  root_ = build(std::move(all), view.dims);
+  set_fitted(view);
+}
+
+std::size_t DecisionTreeClassifier::classify(
+    const WorkloadSignature& observed) const {
+  HARMONY_REQUIRE(!view_.empty(), "classify against empty signature set");
+  HARMONY_REQUIRE(observed.size() == view_.dims, "signature arity mismatch");
+  std::size_t best = view_.count;
+  double best_d = std::numeric_limits<double>::infinity();
+  search(root_, observed.data(), best, best_d);
+  return best;
+}
+
+// --------------------------------------------------------------------------
+// DataAnalyzer
 
 DataAnalyzer::DataAnalyzer()
     : classifier_(std::make_shared<LeastSquareClassifier>()) {}
 
-DataAnalyzer::DataAnalyzer(std::shared_ptr<const Classifier> classifier)
+DataAnalyzer::DataAnalyzer(std::shared_ptr<Classifier> classifier)
     : classifier_(std::move(classifier)) {
   HARMONY_REQUIRE(classifier_ != nullptr, "null classifier");
 }
@@ -272,7 +529,9 @@ WorkloadSignature DataAnalyzer::characterize(
 std::optional<std::size_t> DataAnalyzer::classify(
     const HistoryDatabase& db, const WorkloadSignature& observed) const {
   if (db.empty()) return std::nullopt;
-  return classifier_->classify(observed, db.signatures());
+  const SignatureView view = db.signature_view();
+  if (classifier_->fitted_version() != view.version) classifier_->fit(view);
+  return classifier_->classify(observed);
 }
 
 const ExperienceRecord* DataAnalyzer::retrieve(

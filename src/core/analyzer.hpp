@@ -6,10 +6,19 @@
 // the data characteristics database, and hands the tuner the matching
 // experience for warm start. The classification mechanism is pluggable; the
 // paper's current implementation is least-square-error nearest neighbour,
-// and a k-means clustering classifier is provided as the drop-in
-// alternative Figure 2 sketches.
+// and k-means / decision-tree classifiers are the drop-in alternatives
+// Figure 2 sketches.
+//
+// Scale design: classifiers are fit-once/classify-many. fit(view) builds
+// the model (k-means centroids, the k-d tree, or just a borrowed pointer
+// for the brute-force scan) over the database's flat SignatureView;
+// classify(observed) then answers queries without touching the database.
+// DataAnalyzer refits lazily whenever the database's version stamp moves,
+// so a stable database pays the model build exactly once no matter how many
+// workloads are classified against it.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -21,69 +30,200 @@
 
 namespace harmony {
 
+/// Scalar reference scan: index of the row of `data` (`count` rows of
+/// `dims` contiguous doubles) nearest to `query` in squared Euclidean
+/// distance; the lowest index wins exact ties. Per-row accumulation is the
+/// plain forward loop — the rounding behaviour every optimized kernel must
+/// reproduce bit for bit. Requires count >= 1.
+[[nodiscard]] std::size_t nearest_signature_scalar(
+    const double* data, std::size_t count, std::size_t dims,
+    const double* query, double* best_dist_sq = nullptr);
+
+/// Blocked scan: processes rows in blocks of four independent accumulator
+/// chains (ILP-friendly, auto-vectorizable layout) with a running-argmin
+/// early exit that abandons a block as soon as every partial sum already
+/// exceeds the best distance. Each row keeps the scalar reference's exact
+/// forward accumulation order, so the result — including tie resolution —
+/// is bit-identical to nearest_signature_scalar. Requires count >= 1.
+[[nodiscard]] std::size_t nearest_signature_blocked(
+    const double* data, std::size_t count, std::size_t dims,
+    const double* query, double* best_dist_sq = nullptr);
+
+/// Range form used by the sharded scan: folds rows [first, last) into the
+/// running (best_dist_sq, best_index) pair using the blocked kernel.
+/// Skipped rows never update the pair, so folding disjoint ranges in index
+/// order reproduces the full serial scan exactly.
+void nearest_signature_scan(const double* data, std::size_t dims,
+                            std::size_t first, std::size_t last,
+                            const double* query, double& best_dist_sq,
+                            std::size_t& best_index);
+
 /// Maps an observed signature to the index of the best-matching known
-/// signature. Implementations must handle an empty `known` by throwing.
+/// signature. fit() builds the model over a flat SignatureView (the view's
+/// backing storage must stay alive and unchanged until the next fit);
+/// classify() answers queries against the fitted model and throws when the
+/// fitted set is empty. The legacy two-argument classify() remains as a
+/// compatibility shim that copies `known` into an owned flat store, fits,
+/// and classifies — the old per-call-rebuild cost model.
 class Classifier {
  public:
   virtual ~Classifier() = default;
+
+  /// Rebuilds the model over `view`. Implementations must record the view's
+  /// version via set_fitted().
+  virtual void fit(const SignatureView& view) = 0;
+
+  /// Index (into the fitted view) of the nearest known signature.
   [[nodiscard]] virtual std::size_t classify(
-      const WorkloadSignature& observed,
-      const std::vector<WorkloadSignature>& known) const = 0;
+      const WorkloadSignature& observed) const = 0;
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Version of the view the model was last fitted against (0 = never).
+  [[nodiscard]] std::uint64_t fitted_version() const noexcept {
+    return fitted_version_;
+  }
+
+  /// Compatibility shim: fit over `known` (owned copy), then classify.
+  [[nodiscard]] std::size_t classify(
+      const WorkloadSignature& observed,
+      const std::vector<WorkloadSignature>& known);
+
+ protected:
+  void set_fitted(const SignatureView& view) noexcept {
+    fitted_version_ = view.version;
+  }
+
+ private:
+  std::uint64_t fitted_version_ = 0;
+  // Owned flat store backing the compatibility shim's view.
+  std::vector<double> compat_data_;
+  std::vector<std::size_t> compat_offsets_;
 };
 
-/// The paper's mechanism: returns argmin_j sum_k (c_jk - c_ok)^2.
+/// The paper's mechanism: argmin_j sum_k (c_jk - c_ok)^2, evaluated as a
+/// blocked squared-distance kernel over the flat store. Databases at or
+/// above kParallelThreshold records shard the scan across the global thread
+/// pool; the deterministic lowest-index tie-break makes the sharded result
+/// bit-identical to the serial scan at every thread count.
+///
+/// Memory-bound scaling: fit() additionally packs a per-row *sketch* — the
+/// first kSketchPrefix coordinates verbatim plus the L2 norm of the
+/// remaining coordinates. classify() scans the compact sketch array
+/// sequentially and only touches a row's full signature when its exact
+/// prefix distance plus the triangle-inequality bound on the rest could
+/// still beat the running best. Both tests are conservative (the prefix sum
+/// is the literal forward prefix of the full accumulation; the norm bound
+/// is deflated by a rounding margin), so a skipped row provably cannot win
+/// under the strict-< argmin and results stay bit-identical to the scalar
+/// reference while the scan reads a fraction of the bytes.
 class LeastSquareClassifier final : public Classifier {
  public:
-  std::size_t classify(const WorkloadSignature& observed,
-                       const std::vector<WorkloadSignature>& known)
-      const override;
+  using Classifier::classify;
+
+  /// Record count at which classify() fans out across the thread pool.
+  static constexpr std::size_t kParallelThreshold = 8192;
+  /// Rows per shard of the parallel scan (fixed, thread-count independent).
+  static constexpr std::size_t kShardSize = 8192;
+  /// Leading coordinates stored verbatim in the sketch; each sketch row is
+  /// kSketchPrefix + 1 doubles (prefix dims, then the norm of the rest).
+  static constexpr std::size_t kSketchPrefix = 2;
+
+  void fit(const SignatureView& view) override;
+  std::size_t classify(const WorkloadSignature& observed) const override;
   std::string name() const override { return "least-square"; }
+
+ private:
+  /// Folds rows [first, last) through the sketch-pruned scan into the
+  /// running (best_dist_sq, best_index) pair; same fold contract as
+  /// nearest_signature_scan. `query_rest_norm` is the L2 norm of the query
+  /// coordinates past the sketch prefix.
+  void pruned_scan(std::size_t first, std::size_t last, const double* query,
+                   double query_rest_norm, double& best_dist_sq,
+                   std::size_t& best_index) const;
+
+  SignatureView view_{};
+  // Packed sketch: (kSketchPrefix + 1) doubles per row, built by fit() when
+  // the view has uniform arity wider than the prefix. Empty otherwise.
+  std::vector<double> sketch_;
 };
 
-/// K-means alternative: clusters the known signatures (Lloyd's algorithm,
-/// deterministic given the seed), finds the nearest centroid to the observed
-/// signature, then the nearest member within that cluster. Equivalent to
-/// nearest-neighbour when k >= #known; cheaper lookups for large databases.
+/// K-means alternative: fit() clusters the known signatures (Lloyd's
+/// algorithm, deterministic given the seed) and groups member indices per
+/// cluster; classify() finds the nearest centroid, then the nearest member
+/// within that cluster. Equivalent to nearest-neighbour when k >= #known;
+/// O(k·dims + cluster) lookups instead of a full rebuild per query.
 class KMeansClassifier final : public Classifier {
  public:
+  using Classifier::classify;
+
   explicit KMeansClassifier(std::size_t k, std::uint64_t seed = 42,
                             int max_iterations = 50);
-  std::size_t classify(const WorkloadSignature& observed,
-                       const std::vector<WorkloadSignature>& known)
-      const override;
+  void fit(const SignatureView& view) override;
+  std::size_t classify(const WorkloadSignature& observed) const override;
   std::string name() const override { return "k-means"; }
 
  private:
   std::size_t k_;
   std::uint64_t seed_;
   int max_iterations_;
+
+  SignatureView view_{};
+  std::size_t k_eff_ = 0;
+  std::vector<double> centroids_;            // k_eff_ * dims
+  std::vector<std::size_t> cluster_begin_;   // k_eff_ + 1 CSR offsets
+  std::vector<std::size_t> cluster_members_; // record indices, ascending
 };
 
 /// Decision-tree alternative (Figure 2 lists it next to k-means): a k-d
 /// style axis-aligned tree over the known signatures — split on the
 /// dimension with the largest spread at its median until leaves hold at
 /// most `leaf_size` signatures — with nearest-neighbour resolution inside
-/// the reached leaf plus a bounded backtrack so results match exact
-/// nearest-neighbour on well-separated data at a fraction of the lookups.
+/// the reached leaf plus a bounded backtrack, exact for the Euclidean
+/// metric. fit() builds the tree once; classify() is a logarithmic descent.
 class DecisionTreeClassifier final : public Classifier {
  public:
+  using Classifier::classify;
+
   explicit DecisionTreeClassifier(std::size_t leaf_size = 4);
-  std::size_t classify(const WorkloadSignature& observed,
-                       const std::vector<WorkloadSignature>& known)
-      const override;
+  void fit(const SignatureView& view) override;
+  std::size_t classify(const WorkloadSignature& observed) const override;
   std::string name() const override { return "decision-tree"; }
 
  private:
+  struct Node {
+    // split
+    std::size_t dim = 0;
+    double threshold = 0.0;
+    int left = -1;  // node indices; -1 means none
+    int right = -1;
+    // leaf: slice of members_
+    std::uint32_t members_begin = 0;
+    std::uint32_t members_end = 0;
+    [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  int build(std::vector<std::size_t> members, std::size_t dims);
+  void search(int idx, const double* q, std::size_t& best,
+              double& best_d) const;
+
   std::size_t leaf_size_;
+  SignatureView view_{};
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> members_;  // leaf member pool
+  int root_ = -1;
 };
 
-/// Front door combining characterization and retrieval.
+/// Front door combining characterization and retrieval. Lazily refits its
+/// classifier whenever the database's version stamp changes, so repeated
+/// classifications against a stable database reuse the built model. Not
+/// safe for concurrent classify() calls on a shared instance (the lazy
+/// refit mutates the classifier); give each thread its own analyzer.
 class DataAnalyzer {
  public:
   /// Uses the paper's least-square classifier by default.
   DataAnalyzer();
-  explicit DataAnalyzer(std::shared_ptr<const Classifier> classifier);
+  explicit DataAnalyzer(std::shared_ptr<Classifier> classifier);
 
   /// Observes `samples` requests via the user-supplied extraction function
   /// and averages the resulting characteristic vectors into a signature
@@ -102,7 +242,7 @@ class DataAnalyzer {
       const HistoryDatabase& db, const WorkloadSignature& observed) const;
 
  private:
-  std::shared_ptr<const Classifier> classifier_;
+  std::shared_ptr<Classifier> classifier_;
 };
 
 }  // namespace harmony

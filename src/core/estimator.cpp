@@ -14,7 +14,11 @@ PerformanceEstimator::PerformanceEstimator(const ParameterSpace& space)
 
 void PerformanceEstimator::add(const Configuration& config,
                                double performance) {
-  points_.push_back({space_.snap(config), performance});
+  Configuration snapped = space_.snap(config);
+  const auto norm = space_.normalize(snapped);
+  norm_.insert(norm_.end(), norm.begin(), norm.end());
+  exact_[snapped] = performance;  // latest value wins
+  points_.push_back({std::move(snapped), performance});
 }
 
 void PerformanceEstimator::add_all(
@@ -24,11 +28,9 @@ void PerformanceEstimator::add_all(
 
 std::optional<double> PerformanceEstimator::exact(
     const Configuration& c) const {
-  const Configuration snapped = space_.snap(c);
-  for (auto it = points_.rbegin(); it != points_.rend(); ++it) {
-    if (it->config == snapped) return it->value;
-  }
-  return std::nullopt;
+  const auto it = exact_.find(space_.snap(c));
+  if (it == exact_.end()) return std::nullopt;
+  return it->second;
 }
 
 EstimateResult PerformanceEstimator::estimate(
@@ -42,38 +44,60 @@ EstimateResult PerformanceEstimator::estimate(
   HARMONY_REQUIRE(k >= 2, "estimator needs k >= 2");
 
   const Configuration t = space_.snap(target);
+  const auto tn = space_.normalize(t);
 
-  std::vector<std::size_t> order(points_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::size_t> order;
+  order.reserve(k);
   if (selection == VertexSelection::kNearest) {
-    // k nearest points by normalized Euclidean distance.
-    std::vector<double> dist(points_.size());
+    // Bounded top-k max-heap over (squared distance, index): keeps the k
+    // smallest under a deterministic lexicographic order (lower index wins
+    // distance ties) without materializing or sorting all n candidates.
+    using Cand = std::pair<double, std::size_t>;
+    const auto closer = [](const Cand& a, const Cand& b) {
+      return a.first < b.first ||
+             (a.first == b.first && a.second < b.second);
+    };
+    std::vector<Cand> heap;
+    heap.reserve(k);
     for (std::size_t i = 0; i < points_.size(); ++i) {
-      dist[i] = space_.normalized_distance(points_[i].config, t);
+      const double* row = norm_.data() + i * n;
+      double d = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        const double diff = row[c] - tn[c];
+        d += diff * diff;
+      }
+      const Cand cand{d, i};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), closer);
+      } else if (closer(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), closer);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), closer);
+      }
     }
-    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
-                      order.end(), [&](std::size_t a, std::size_t b) {
-                        return dist[a] < dist[b];
-                      });
+    std::sort(heap.begin(), heap.end(), closer);
+    for (const Cand& c : heap) order.push_back(c.second);
   } else {
     // k most recent points (points_ is in recording order).
-    std::reverse(order.begin(), order.end());
+    for (std::size_t r = 0; r < k; ++r) {
+      order.push_back(points_.size() - 1 - r);
+    }
   }
-  order.resize(k);
 
   // Fit P ≈ [C 1] x over the selected points, on normalized coordinates so
-  // the fit is well-conditioned across heterogeneous parameter ranges.
+  // the fit is well-conditioned across heterogeneous parameter ranges. The
+  // coordinates come straight from the add-time cache.
   linalg::Matrix a(k, n + 1);
   std::vector<double> b(k);
   for (std::size_t r = 0; r < k; ++r) {
-    const auto norm = space_.normalize(points_[order[r]].config);
-    for (std::size_t c = 0; c < n; ++c) a(r, c) = norm[c];
+    const double* row = norm_.data() + order[r] * n;
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = row[c];
     a(r, n) = 1.0;
     b[r] = points_[order[r]].value;
   }
   const auto fit = linalg::least_squares(a, b);
 
-  const auto tn = space_.normalize(t);
   double value = fit.x[n];
   for (std::size_t c = 0; c < n; ++c) value += fit.x[c] * tn[c];
 
@@ -87,7 +111,7 @@ EstimateResult PerformanceEstimator::estimate(
   for (std::size_t c = 0; c < n && !out.extrapolated; ++c) {
     double lo = 1.0, hi = 0.0;
     for (std::size_t r = 0; r < k; ++r) {
-      const double v = space_.param(c).normalize(points_[order[r]].config[c]);
+      const double v = norm_[order[r] * n + c];
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }

@@ -11,12 +11,20 @@
 //
 // and evaluate it at the target configuration — interpolation inside the
 // simplex, extrapolation outside.
+//
+// Scale design: normalized coordinates are cached once at add() time in a
+// flat array (no per-estimate re-normalization of every stored point), the
+// k nearest points are selected with a bounded top-k heap (O(n log k), no
+// n-sized scratch vector per call), and exact() is answered from a
+// configuration-hash index in O(1) instead of a reverse linear scan.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "core/objective.hpp"
 #include "core/parameter.hpp"
 #include "core/tuner.hpp"
 
@@ -44,7 +52,8 @@ struct EstimateResult {
 /// Store of (configuration, performance) points with plane-fit estimation.
 class PerformanceEstimator {
  public:
-  /// The space must outlive the estimator (used for normalization).
+  /// The space must outlive the estimator and keep its parameter set
+  /// unchanged (normalized coordinates are cached against it at add time).
   explicit PerformanceEstimator(const ParameterSpace& space);
 
   /// Adds one historical point (snapped on entry).
@@ -55,7 +64,8 @@ class PerformanceEstimator {
 
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
 
-  /// If the exact configuration was recorded, its (latest) value.
+  /// If the exact configuration was recorded, its (latest) value. O(1):
+  /// served from a ConfigurationHash index maintained at add() time.
   [[nodiscard]] std::optional<double> exact(const Configuration& c) const;
 
   /// Estimates the performance at `target` using `k` recorded points
@@ -72,6 +82,10 @@ class PerformanceEstimator {
     double value;
   };
   std::vector<Point> points_;
+  // Normalized coordinates of points_[i] at [i*space_.size(), (i+1)*...).
+  std::vector<double> norm_;
+  // Latest recorded value per exact (snapped) configuration.
+  std::unordered_map<Configuration, double, ConfigurationHash> exact_;
 };
 
 }  // namespace harmony

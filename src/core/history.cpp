@@ -1,8 +1,10 @@
 #include "core/history.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -25,26 +27,73 @@ double signature_distance(const WorkloadSignature& a,
   return std::sqrt(signature_distance_sq(a, b));
 }
 
+std::uint64_t next_signature_version() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 std::vector<Measurement> ExperienceRecord::best(std::size_t n) const {
-  std::vector<Measurement> sorted = measurements;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const Measurement& a, const Measurement& b) {
-                     return a.performance > b.performance;
-                   });
   std::vector<Measurement> out;
-  for (const auto& m : sorted) {
+  if (n == 0 || measurements.empty()) return out;
+  // Index heap ordered exactly like the old stable sort: higher performance
+  // first, earlier measurement first on ties. Popping until n distinct
+  // configurations are collected touches only the selected prefix instead
+  // of copying and sorting the whole vector.
+  std::vector<std::size_t> heap(measurements.size());
+  std::iota(heap.begin(), heap.end(), std::size_t{0});
+  const auto before = [&](std::size_t a, std::size_t b) {
+    const double pa = measurements[a].performance;
+    const double pb = measurements[b].performance;
+    return pa < pb || (pa == pb && a > b);
+  };
+  std::make_heap(heap.begin(), heap.end(), before);
+  out.reserve(std::min(n, measurements.size()));
+  while (!heap.empty() && out.size() < n) {
+    std::pop_heap(heap.begin(), heap.end(), before);
+    const Measurement& m = measurements[heap.back()];
+    heap.pop_back();
     const bool dup = std::any_of(out.begin(), out.end(), [&](const auto& o) {
       return o.config == m.config;
     });
-    if (dup) continue;
-    out.push_back(m);
-    if (out.size() == n) break;
+    if (!dup) out.push_back(m);
   }
   return out;
 }
 
+HistoryDatabase::HistoryDatabase(const HistoryDatabase& other)
+    : records_(other.records_),
+      sig_data_(other.sig_data_),
+      sig_offsets_(other.sig_offsets_),
+      sig_dims_(other.sig_dims_),
+      sig_mixed_(other.sig_mixed_),
+      version_(next_signature_version()) {}
+
+HistoryDatabase& HistoryDatabase::operator=(const HistoryDatabase& other) {
+  if (this != &other) {
+    records_ = other.records_;
+    sig_data_ = other.sig_data_;
+    sig_offsets_ = other.sig_offsets_;
+    sig_dims_ = other.sig_dims_;
+    sig_mixed_ = other.sig_mixed_;
+    version_ = next_signature_version();
+  }
+  return *this;
+}
+
+void HistoryDatabase::append_flat(const WorkloadSignature& sig) {
+  if (sig_offsets_.size() == 1) {
+    sig_dims_ = sig.size();
+  } else if (sig.size() != sig_dims_) {
+    sig_mixed_ = true;
+  }
+  sig_data_.insert(sig_data_.end(), sig.begin(), sig.end());
+  sig_offsets_.push_back(sig_data_.size());
+}
+
 void HistoryDatabase::add(ExperienceRecord record) {
+  append_flat(record.signature);
   records_.push_back(std::move(record));
+  version_ = next_signature_version();
 }
 
 const ExperienceRecord& HistoryDatabase::record(std::size_t i) const {
@@ -57,6 +106,16 @@ std::vector<WorkloadSignature> HistoryDatabase::signatures() const {
   out.reserve(records_.size());
   for (const auto& r : records_) out.push_back(r.signature);
   return out;
+}
+
+SignatureView HistoryDatabase::signature_view() const noexcept {
+  SignatureView v;
+  v.data = sig_data_.data();
+  v.offsets = sig_offsets_.data();
+  v.count = records_.size();
+  v.dims = sig_mixed_ ? SignatureView::kMixedDims : sig_dims_;
+  v.version = version_;
+  return v;
 }
 
 namespace {
@@ -146,6 +205,13 @@ void HistoryDatabase::load(std::istream& is) {
     records.push_back(std::move(rec));
   }
   records_ = std::move(records);
+  // Rebuild the flat mirror to match the replaced contents.
+  sig_data_.clear();
+  sig_offsets_.assign(1, 0);
+  sig_dims_ = 0;
+  sig_mixed_ = false;
+  for (const auto& rec : records_) append_flat(rec.signature);
+  version_ = next_signature_version();
 }
 
 void HistoryDatabase::save_file(const std::string& path) const {

@@ -7,8 +7,16 @@
 // Later runs retrieve the experience whose signature is closest to the
 // observed one and warm-start the tuner from it. The database persists to a
 // versioned line-oriented text format.
+//
+// Classification hot path: signatures are mirrored into a flat contiguous
+// store (one double array plus record offsets) exposed as a SignatureView,
+// so classifiers scan cache-line-dense rows instead of chasing a
+// vector-of-vectors. A monotonically increasing, process-unique version
+// stamps every mutation; fitted classifiers compare it to decide when their
+// model must be rebuilt.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -28,18 +36,60 @@ using WorkloadSignature = std::vector<double>;
 [[nodiscard]] double signature_distance(const WorkloadSignature& a,
                                         const WorkloadSignature& b);
 
+/// Process-unique version stamp. Every HistoryDatabase mutation (and every
+/// ad-hoc signature set built outside a database) draws a fresh value, so a
+/// version can never collide across database instances.
+[[nodiscard]] std::uint64_t next_signature_version() noexcept;
+
+/// Zero-copy window over a flat signature store: `count` records whose
+/// values live back to back in `data`, record i occupying
+/// [offsets[i], offsets[i+1]). The view borrows the backing storage — it is
+/// valid until the owner mutates or dies; consumers detect staleness by
+/// comparing `version` (never 0) against the owner's current version.
+struct SignatureView {
+  /// Sentinel for `dims` when records disagree on arity.
+  static constexpr std::size_t kMixedDims = static_cast<std::size_t>(-1);
+
+  const double* data = nullptr;
+  const std::size_t* offsets = nullptr;  ///< count + 1 entries, offsets[0]==0
+  std::size_t count = 0;
+  std::size_t dims = 0;  ///< uniform record arity, or kMixedDims
+  std::uint64_t version = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count; }
+  [[nodiscard]] std::size_t arity(std::size_t i) const noexcept {
+    return offsets[i + 1] - offsets[i];
+  }
+  [[nodiscard]] const double* row(std::size_t i) const noexcept {
+    return data + offsets[i];
+  }
+};
+
 /// One prior run: its workload signature and everything measured during it.
 struct ExperienceRecord {
   std::string label;  ///< human-readable tag ("shopping", "ordering", ...)
   WorkloadSignature signature;
   std::vector<Measurement> measurements;
 
-  /// The best `n` distinct measurements, best first.
+  /// The best `n` distinct measurements, best first (ties resolved toward
+  /// the earlier measurement). Partial selection: cost O(N + n log N), no
+  /// full copy/sort of the measurement vector.
   [[nodiscard]] std::vector<Measurement> best(std::size_t n) const;
 };
 
 class HistoryDatabase {
  public:
+  HistoryDatabase() = default;
+  // Copies get a fresh version: a classifier fitted against the source must
+  // not treat views into the copy (different buffers) as already fitted.
+  HistoryDatabase(const HistoryDatabase& other);
+  HistoryDatabase& operator=(const HistoryDatabase& other);
+  // Moves keep the version: the heap buffers (and thus outstanding view
+  // pointers) travel with the object.
+  HistoryDatabase(HistoryDatabase&&) noexcept = default;
+  HistoryDatabase& operator=(HistoryDatabase&&) noexcept = default;
+
   void add(ExperienceRecord record);
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
@@ -49,8 +99,16 @@ class HistoryDatabase {
     return records_;
   }
 
-  /// All stored signatures, in record order (classifier input).
+  /// All stored signatures, in record order. Compatibility accessor: this
+  /// copies every signature; the classify hot path uses signature_view().
   [[nodiscard]] std::vector<WorkloadSignature> signatures() const;
+
+  /// Zero-copy view of the flat signature store, stamped with the current
+  /// version. Valid until the next mutating call (or destruction).
+  [[nodiscard]] SignatureView signature_view() const noexcept;
+
+  /// Current version stamp; changes on every mutation.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   /// Serializes to the versioned text format.
   void save(std::ostream& os) const;
@@ -63,7 +121,15 @@ class HistoryDatabase {
   void load_file(const std::string& path);
 
  private:
+  void append_flat(const WorkloadSignature& sig);
+
   std::vector<ExperienceRecord> records_;
+  // Flat mirror of the record signatures (SoA hot path).
+  std::vector<double> sig_data_;
+  std::vector<std::size_t> sig_offsets_ = {0};
+  std::size_t sig_dims_ = 0;  ///< arity of the first record
+  bool sig_mixed_ = false;    ///< records disagree on arity
+  std::uint64_t version_ = next_signature_version();
 };
 
 }  // namespace harmony

@@ -106,6 +106,41 @@ TEST(Estimator, ExactLookupReturnsLatestValue) {
   EXPECT_FALSE(est.exact({5.0}).has_value());
 }
 
+TEST(Estimator, ExactHashIndexAgreesWithReverseScan) {
+  // The O(1) hash index must behave exactly like the old reverse linear
+  // scan: the latest value recorded for a (snapped) configuration wins.
+  const ParameterSpace space = grid_space(2);
+  PerformanceEstimator est(space);
+  Rng rng(11);
+  std::vector<std::pair<Configuration, double>> log;  // recording order
+  for (int i = 0; i < 200; ++i) {
+    // A 4x4 grid forces heavy duplication across the 200 adds.
+    const Configuration c = {static_cast<double>(rng.uniform_int(0, 3)),
+                             static_cast<double>(rng.uniform_int(0, 3))};
+    const double v = rng.uniform01();
+    est.add(c, v);
+    log.emplace_back(space.snap(c), v);
+  }
+  for (double x = 0.0; x <= 3.0; x += 1.0) {
+    for (double y = 0.0; y <= 3.0; y += 1.0) {
+      const Configuration q = space.snap({x, y});
+      std::optional<double> ref;
+      for (auto it = log.rbegin(); it != log.rend(); ++it) {
+        if (it->first == q) {
+          ref = it->second;
+          break;
+        }
+      }
+      const auto got = est.exact(q);
+      ASSERT_EQ(got.has_value(), ref.has_value());
+      if (ref) {
+        EXPECT_DOUBLE_EQ(*got, *ref);
+      }
+    }
+  }
+  EXPECT_FALSE(est.exact({9.0, 9.0}).has_value());
+}
+
 TEST(Estimator, AddAllFromTrace) {
   const ParameterSpace space = grid_space(2);
   PerformanceEstimator est(space);

@@ -1,0 +1,309 @@
+// Coverage for the scaled experience store: flat signature index, blocked /
+// sharded least-square scan determinism, fit-once/classify-many lifecycle
+// (auto-refit on database version bumps), and partial-selection best().
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/history.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace harmony {
+namespace {
+
+std::vector<double> random_rows(Rng& rng, std::size_t count,
+                                std::size_t dims) {
+  std::vector<double> data(count * dims);
+  for (double& v : data) v = rng.uniform01();
+  return data;
+}
+
+TEST(SignatureKernels, BlockedMatchesScalarBitForBit) {
+  Rng rng(123);
+  // Dims below, at and above the early-exit chunk size; counts that are not
+  // multiples of the 4-row block.
+  for (const std::size_t dims : {1u, 3u, 7u, 16u, 64u, 70u, 130u}) {
+    for (const std::size_t count : {1u, 2u, 5u, 257u, 1024u}) {
+      std::vector<double> data = random_rows(rng, count, dims);
+      // Plant exact duplicates so ties genuinely occur.
+      if (count >= 8) {
+        std::copy(data.begin(), data.begin() + static_cast<long>(dims),
+                  data.begin() + static_cast<long>(5 * dims));
+      }
+      std::vector<double> query(dims);
+      for (double& v : query) v = rng.uniform01();
+
+      double ds = 0.0, db = 0.0;
+      const std::size_t is =
+          nearest_signature_scalar(data.data(), count, dims, query.data(), &ds);
+      const std::size_t ib = nearest_signature_blocked(data.data(), count,
+                                                       dims, query.data(), &db);
+      ASSERT_EQ(is, ib) << "dims=" << dims << " count=" << count;
+      ASSERT_EQ(ds, db);  // exact double equality, not NEAR
+
+      // Query equal to a stored row: distance 0, first occurrence wins.
+      if (count >= 2) {
+        const std::vector<double> hit(
+            data.begin() + static_cast<long>(dims),
+            data.begin() + static_cast<long>(2 * dims));
+        EXPECT_EQ(
+            nearest_signature_scalar(data.data(), count, dims, hit.data()),
+            nearest_signature_blocked(data.data(), count, dims, hit.data()));
+      }
+    }
+  }
+}
+
+TEST(SignatureKernels, ExactTiesPickLowestIndex) {
+  // Identical rows everywhere: every distance ties; index 0 must win.
+  const std::size_t dims = 5;
+  std::vector<double> data;
+  for (int i = 0; i < 23; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) data.push_back(0.25);
+  }
+  std::vector<double> query(dims, 0.7);
+  EXPECT_EQ(nearest_signature_scalar(data.data(), 23, dims, query.data()), 0u);
+  EXPECT_EQ(nearest_signature_blocked(data.data(), 23, dims, query.data()), 0u);
+
+  // Mirrored rows around the query: equal distances, lowest index wins even
+  // when the tying rows land in different 4-row blocks.
+  std::vector<double> mirror((8 + 2) * 1);
+  for (std::size_t i = 0; i < mirror.size(); ++i) {
+    mirror[i] = 100.0 + static_cast<double>(i);
+  }
+  mirror[3] = 1.0;    // distance 1 from query 0
+  mirror[9] = -1.0;   // also distance 1
+  const double q0 = 0.0;
+  EXPECT_EQ(nearest_signature_scalar(mirror.data(), mirror.size(), 1, &q0),
+            3u);
+  EXPECT_EQ(nearest_signature_blocked(mirror.data(), mirror.size(), 1, &q0),
+            3u);
+}
+
+TEST(LeastSquareClassifier, SketchPrunedScanMatchesScalarAcrossDims) {
+  // The sketch bound (exact prefix + deflated norm of the rest) must never
+  // change the winner — including clustered data where pruning is heavy and
+  // narrow rows where the sketch is disabled entirely.
+  Rng rng(31);
+  for (const std::size_t dims : {1u, 2u, 3u, 4u, 16u, 40u}) {
+    HistoryDatabase db;
+    for (std::size_t i = 0; i < 600; ++i) {
+      ExperienceRecord rec;
+      rec.signature.resize(dims);
+      // Tight clusters around a handful of anchors: most rows prune away.
+      const double anchor = static_cast<double>(i % 5);
+      for (double& v : rec.signature) {
+        v = anchor + rng.uniform(-0.01, 0.01);
+      }
+      db.add(std::move(rec));
+    }
+    LeastSquareClassifier ls;
+    ls.fit(db.signature_view());
+    const SignatureView view = db.signature_view();
+    for (int q = 0; q < 50; ++q) {
+      WorkloadSignature obs(dims);
+      const double anchor = static_cast<double>(q % 5);
+      for (double& v : obs) v = anchor + rng.uniform(-0.02, 0.02);
+      EXPECT_EQ(ls.classify(obs),
+                nearest_signature_scalar(view.data, view.count, view.dims,
+                                         obs.data()))
+          << "dims=" << dims;
+    }
+  }
+}
+
+TEST(LeastSquareClassifier, ShardedScanBitIdenticalAtAnyThreadCount) {
+  // Enough records to cross kParallelThreshold and span several shards.
+  const std::size_t dims = 6;
+  const std::size_t count = 3 * LeastSquareClassifier::kShardSize + 37;
+  Rng rng(7);
+  HistoryDatabase db;
+  for (std::size_t i = 0; i < count; ++i) {
+    ExperienceRecord rec;
+    rec.signature.resize(dims);
+    for (double& v : rec.signature) v = rng.uniform01();
+    db.add(std::move(rec));
+  }
+  // Exact tie spanning shard 0 and shard 2: the copy at the lower index
+  // must win regardless of which shard scans first.
+  {
+    ExperienceRecord dup;
+    dup.signature = db.record(100).signature;
+    db.add(std::move(dup));  // index count (last), ties with index 100
+  }
+  const WorkloadSignature tie_query = db.record(100).signature;
+
+  std::vector<WorkloadSignature> queries;
+  for (int q = 0; q < 16; ++q) {
+    WorkloadSignature obs(dims);
+    for (double& v : obs) v = rng.uniform01();
+    queries.push_back(std::move(obs));
+  }
+
+  const SignatureView view = db.signature_view();
+  for (const unsigned threads : {1u, 8u}) {
+    set_thread_count(threads);
+    LeastSquareClassifier ls;
+    ls.fit(view);
+    for (const auto& obs : queries) {
+      EXPECT_EQ(ls.classify(obs),
+                nearest_signature_scalar(view.data, view.count, view.dims,
+                                         obs.data()));
+    }
+    EXPECT_EQ(ls.classify(tie_query), 100u);
+  }
+  set_thread_count(0);  // restore environment/hardware default
+}
+
+TEST(HistoryDatabase, FlatViewMirrorsRecords) {
+  HistoryDatabase db;
+  EXPECT_TRUE(db.signature_view().empty());
+  for (int i = 0; i < 5; ++i) {
+    ExperienceRecord rec;
+    rec.signature = {static_cast<double>(i), 2.0 * i, 3.0};
+    db.add(std::move(rec));
+  }
+  const SignatureView v = db.signature_view();
+  ASSERT_EQ(v.count, 5u);
+  EXPECT_EQ(v.dims, 3u);
+  EXPECT_EQ(v.version, db.version());
+  for (std::size_t i = 0; i < v.count; ++i) {
+    ASSERT_EQ(v.arity(i), 3u);
+    const auto& sig = db.record(i).signature;
+    for (std::size_t d = 0; d < 3; ++d) EXPECT_EQ(v.row(i)[d], sig[d]);
+  }
+}
+
+TEST(HistoryDatabase, ViewTracksMutationsAndLoad) {
+  HistoryDatabase db;
+  ExperienceRecord rec;
+  rec.signature = {1.0, 2.0};
+  db.add(rec);
+  const std::uint64_t v1 = db.version();
+  db.add(rec);
+  EXPECT_NE(db.version(), v1);
+
+  std::stringstream ss;
+  db.save(ss);
+  HistoryDatabase loaded;
+  loaded.load(ss);
+  const SignatureView lv = loaded.signature_view();
+  ASSERT_EQ(lv.count, 2u);
+  EXPECT_EQ(lv.dims, 2u);
+  EXPECT_EQ(lv.row(1)[1], 2.0);
+
+  // Copies carry the data but a fresh version: a classifier fitted against
+  // the original must refit (the copy's buffers are different memory).
+  const HistoryDatabase copy = db;
+  EXPECT_NE(copy.version(), db.version());
+  EXPECT_EQ(copy.signature_view().count, db.signature_view().count);
+}
+
+TEST(HistoryDatabase, MixedArityIsFlaggedInView) {
+  HistoryDatabase db;
+  ExperienceRecord a;
+  a.signature = {1.0, 2.0};
+  db.add(a);
+  ExperienceRecord b;
+  b.signature = {1.0};
+  db.add(b);
+  EXPECT_EQ(db.signature_view().dims, SignatureView::kMixedDims);
+  LeastSquareClassifier ls;
+  ls.fit(db.signature_view());
+  EXPECT_THROW((void)ls.classify({1.0, 2.0}), Error);
+}
+
+// The fit-once/classify-many lifecycle: a fitted classifier must refit
+// itself (through DataAnalyzer) when the database version moves, and keep
+// serving the cached model while the database is stable.
+class ClassifierRefit : public ::testing::TestWithParam<int> {
+ protected:
+  std::shared_ptr<Classifier> make() const {
+    switch (GetParam()) {
+      case 0: return std::make_shared<LeastSquareClassifier>();
+      case 1: return std::make_shared<KMeansClassifier>(4, 7);
+      default: return std::make_shared<DecisionTreeClassifier>(2);
+    }
+  }
+};
+
+TEST_P(ClassifierRefit, AutoRefitsOnVersionBump) {
+  auto classifier = make();
+  DataAnalyzer analyzer(classifier);
+  HistoryDatabase db;
+  ExperienceRecord r0;
+  r0.signature = {0.0, 0.0};
+  db.add(r0);
+  ExperienceRecord r1;
+  r1.signature = {10.0, 10.0};
+  db.add(r1);
+
+  EXPECT_EQ(analyzer.classify(db, {9.0, 9.0}).value(), 1u);
+  const std::uint64_t fitted = classifier->fitted_version();
+  EXPECT_EQ(fitted, db.version());
+
+  // Stable database: repeated classifies reuse the fitted model.
+  EXPECT_EQ(analyzer.classify(db, {0.5, 0.2}).value(), 0u);
+  EXPECT_EQ(classifier->fitted_version(), fitted);
+
+  // Version bump: the new record must be visible immediately.
+  ExperienceRecord r2;
+  r2.signature = {9.0, 9.0};
+  db.add(r2);
+  EXPECT_EQ(analyzer.classify(db, {9.0, 9.0}).value(), 2u);
+  EXPECT_NE(classifier->fitted_version(), fitted);
+  EXPECT_EQ(classifier->fitted_version(), db.version());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, ClassifierRefit,
+                         ::testing::Values(0, 1, 2));
+
+TEST(ExperienceRecord, BestPartialSelectionMatchesFullSort) {
+  Rng rng(19);
+  for (int trial = 0; trial < 25; ++trial) {
+    ExperienceRecord rec;
+    const int n = 1 + trial * 3;
+    for (int i = 0; i < n; ++i) {
+      // Coarse values and configs force performance ties and duplicate
+      // configurations.
+      const double cfg = static_cast<double>(rng.uniform_int(0, 4));
+      const double perf = static_cast<double>(rng.uniform_int(0, 6));
+      rec.measurements.push_back({{cfg}, perf, false});
+    }
+    // Reference: the old full copy + stable sort + dedup.
+    std::vector<Measurement> sorted = rec.measurements;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Measurement& a, const Measurement& b) {
+                       return a.performance > b.performance;
+                     });
+    for (const std::size_t want : {std::size_t{1}, std::size_t{3},
+                                   static_cast<std::size_t>(n + 2)}) {
+      std::vector<Measurement> ref;
+      for (const auto& m : sorted) {
+        const bool dup =
+            std::any_of(ref.begin(), ref.end(), [&](const auto& o) {
+              return o.config == m.config;
+            });
+        if (dup) continue;
+        ref.push_back(m);
+        if (ref.size() == want) break;
+      }
+      const auto got = rec.best(want);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].config, ref[i].config);
+        EXPECT_EQ(got[i].performance, ref[i].performance);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony

@@ -27,7 +27,8 @@ BENCHES="fig4_perf_distribution fig5_sensitivity_synth fig6_topn_synth \
 fig7_history_distance fig8_sensitivity_web fig9_topn_web \
 table1_search_refinement table2_prior_histories appb_param_restriction \
 headline_combined ablation_estimator ablation_baselines \
-ablation_classifiers ablation_factorial websim_events_per_sec"
+ablation_classifiers ablation_factorial websim_events_per_sec \
+history_scale"
 
 JSON="$OUT_DIR/BENCH_timings.json"
 threads=${HARMONY_THREADS:-auto}
