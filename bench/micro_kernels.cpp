@@ -6,6 +6,7 @@
 
 #include "core/analyzer.hpp"
 #include "core/estimator.hpp"
+#include "core/objective.hpp"
 #include "core/rsl.hpp"
 #include "core/sensitivity.hpp"
 #include "core/simplex.hpp"
@@ -90,6 +91,34 @@ void BM_SimplexSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexSearch)->Arg(4)->Arg(8)->Arg(15);
+
+// Memoized objective under a full simplex run: the discrete search revisits
+// grid points, so the cache absorbs a sizable share of the measurements.
+// The hit/miss/insert counters come straight from CachingObjective::stats();
+// the map is pre-sized from the evaluation budget so the run never rehashes.
+void BM_CachingObjectiveSearch(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const ParameterSpace space = synth::symmetric_space(dims, 20.0, 1.0);
+  auto objective = synth::sphere_objective(7.0);
+  SimplexOptions opts;
+  opts.max_evaluations = 200;
+  CachingObjective::Stats last;
+  for (auto _ : state) {
+    CachingObjective cache(objective,
+                           static_cast<std::size_t>(opts.max_evaluations));
+    SimplexSearch search(space, opts);
+    EvenSpreadStrategy strategy;
+    const auto r = search.maximize(
+        [&](const Configuration& c) { return cache.measure(c); },
+        strategy.vertices(space, space.defaults()));
+    benchmark::DoNotOptimize(r.best_value);
+    last = cache.stats();
+  }
+  state.counters["hits"] = static_cast<double>(last.hits);
+  state.counters["misses"] = static_cast<double>(last.misses);
+  state.counters["inserts"] = static_cast<double>(last.inserts);
+}
+BENCHMARK(BM_CachingObjectiveSearch)->Arg(4)->Arg(8)->Arg(15);
 
 void BM_EstimatorSolve(benchmark::State& state) {
   synth::SyntheticSystem system;

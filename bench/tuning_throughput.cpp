@@ -1,0 +1,229 @@
+// Tuning-throughput bench: speculative frontier evaluation and concurrent
+// multi-session serving against a measurement-latency-dominated objective
+// (1 ms per measurement — the regime the Harmony server lives in, where a
+// "measurement" is a client application run, not an arithmetic kernel).
+//
+// Two scenarios, both checked for bit-identical results before any timing
+// is reported:
+//   single   one tuning session, serial kernel vs speculative frontier
+//            batching at 8 threads (same trajectory, measurements
+//            overlapped) — reports the speculation hit/waste rates
+//   serve    HarmonyServer::serve_batch over 8 concurrent workloads at
+//            1 vs 8 threads (PR gate: >= 3x wall-clock speedup)
+//
+// Prints `SPECULATION_<key> <value>` marker lines that tools/run_benches.sh
+// scrapes into BENCH_timings.json, plus the usual table/CSV output.
+// Exits nonzero when a determinism check fails or the serve gate misses.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/objective.hpp"
+#include "core/server.hpp"
+#include "core/tuner.hpp"
+#include "synth/ecommerce.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace harmony;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kMeasurementLatency = std::chrono::milliseconds(1);
+constexpr int kSingleBudget = 100;
+constexpr int kServeBudget = 60;
+constexpr std::size_t kServeWorkloads = 8;
+constexpr int kRepeats = 3;
+constexpr double kServeGate = 3.0;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The synthetic system behind a 1 ms measurement latency: deterministic
+/// values, so the speculative trajectory must be bit-identical to the
+/// serial kernel, and concurrent, so batches fan out across the pool.
+class SlowObjective final : public Objective {
+ public:
+  SlowObjective(const synth::SyntheticSystem& system,
+                WorkloadSignature workload)
+      : system_(system), workload_(std::move(workload)) {}
+  double measure(const Configuration& config) override {
+    std::this_thread::sleep_for(kMeasurementLatency);
+    return system_.measure(config, workload_);
+  }
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override {
+    parallel_for(configs.size(), [&](std::size_t i) {
+      std::this_thread::sleep_for(kMeasurementLatency);
+      out[i] = system_.measure(configs[i], workload_);
+    });
+  }
+  std::string metric_name() const override { return "WIPS"; }
+
+ private:
+  const synth::SyntheticSystem& system_;
+  WorkloadSignature workload_;
+};
+
+std::string trace_hex(const std::vector<Measurement>& trace) {
+  std::string s;
+  char buf[64];
+  for (const Measurement& m : trace) {
+    for (double v : m.config) {
+      std::snprintf(buf, sizeof buf, "%a,", v);
+      s += buf;
+    }
+    std::snprintf(buf, sizeof buf, "=%a;", m.performance);
+    s += buf;
+  }
+  return s;
+}
+
+struct SingleRun {
+  double seconds = 0.0;
+  std::string trace;
+  SpeculationStats stats;
+};
+
+SingleRun run_single(const synth::SyntheticSystem& system, unsigned threads,
+                     bool speculative) {
+  SingleRun best;
+  for (int r = 0; r < kRepeats; ++r) {
+    set_thread_count(threads);
+    SlowObjective objective(system, system.shopping_workload());
+    TuningOptions opts;
+    opts.simplex.max_evaluations = kSingleBudget;
+    opts.speculative = speculative;
+    TuningSession session(system.space(), objective, opts);
+    const auto start = Clock::now();
+    const TuningResult res = session.run();
+    const double secs = seconds_since(start);
+    if (r == 0 || secs < best.seconds) best.seconds = secs;
+    best.trace = trace_hex(res.trace);
+    best.stats = res.speculation;
+  }
+  return best;
+}
+
+struct ServeRun {
+  double seconds = 0.0;
+  std::vector<std::string> traces;
+};
+
+ServeRun run_serve(const synth::SyntheticSystem& system, unsigned threads) {
+  // Eight workloads: the three presets plus signatures at increasing
+  // distances from them — distinct tuning problems, one per request.
+  std::vector<WorkloadSignature> sigs = {system.browsing_workload(),
+                                         system.shopping_workload(),
+                                         system.ordering_workload()};
+  for (std::size_t i = 3; i < kServeWorkloads; ++i) {
+    sigs.push_back(system.workload_at_distance(
+        sigs[i % 3], 0.05 * static_cast<double>(i)));
+  }
+
+  ServeRun best;
+  for (int r = 0; r < kRepeats; ++r) {
+    set_thread_count(threads);
+    // A fresh server per repeat: every repeat serves the identical batch
+    // cold, so timings are comparable and results must match exactly.
+    ServerOptions sopts;
+    sopts.tuning.simplex.max_evaluations = kServeBudget;
+    HarmonyServer server(system.space(), sopts);
+    std::vector<SlowObjective> objectives;
+    objectives.reserve(sigs.size());
+    for (const auto& sig : sigs) objectives.emplace_back(system, sig);
+    std::vector<ServeRequest> requests;
+    requests.reserve(sigs.size());
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      requests.push_back(
+          {&objectives[i], sigs[i], "wl-" + std::to_string(i)});
+    }
+    const auto start = Clock::now();
+    const std::vector<ServedTuningResult> results =
+        server.serve_batch(requests);
+    const double secs = seconds_since(start);
+    if (r == 0 || secs < best.seconds) best.seconds = secs;
+    best.traces.clear();
+    for (const ServedTuningResult& res : results) {
+      best.traces.push_back(trace_hex(res.tuning.trace));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("tuning throughput (speculation + concurrent serving)");
+  bench::expectation(
+      "frontier speculation and multi-session serving overlap 1 ms "
+      "measurements across 8 threads without changing any measured value; "
+      "serve_batch reaches >= 3x the serial wall clock");
+
+  synth::SyntheticSystem system;
+  // Warm up the pool so thread spawning is not billed to the first run.
+  set_thread_count(8);
+  parallel_for(8, [](std::size_t) {});
+
+  const SingleRun serial = run_single(system, 1, false);
+  const SingleRun spec = run_single(system, 8, true);
+  const ServeRun serve1 = run_serve(system, 1);
+  const ServeRun serve8 = run_serve(system, 8);
+  set_thread_count(0);
+
+  const double single_speedup = serial.seconds / spec.seconds;
+  const double serve_speedup = serve1.seconds / serve8.seconds;
+
+  Table table({"scenario", "wall_ms", "speedup", "hit_rate", "waste_rate"});
+  table.add_row({"single_serial_1t", Table::num(serial.seconds * 1e3, 1),
+                 "1.00", "-", "-"});
+  table.add_row({"single_speculative_8t", Table::num(spec.seconds * 1e3, 1),
+                 Table::num(single_speedup, 2),
+                 Table::num(spec.stats.hit_rate(), 3),
+                 Table::num(spec.stats.waste_rate(), 3)});
+  table.add_row({"serve8_1t", Table::num(serve1.seconds * 1e3, 1), "1.00",
+                 "-", "-"});
+  table.add_row({"serve8_8t", Table::num(serve8.seconds * 1e3, 1),
+                 Table::num(serve_speedup, 2), "-", "-"});
+  bench::print_table(table, "tuning_throughput");
+
+  bool ok = true;
+  const bool single_identical = spec.trace == serial.trace;
+  bench::finding(single_identical,
+                 "speculative trajectory bit-identical to the serial kernel");
+  ok = ok && single_identical;
+
+  const bool serve_identical = serve8.traces == serve1.traces;
+  bench::finding(serve_identical,
+                 "serve_batch results bit-identical at 1 and 8 threads");
+  ok = ok && serve_identical;
+
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "serve_batch speedup at 8 threads: %.2fx (gate >= %.1fx)",
+                serve_speedup, kServeGate);
+  const bool serve_fast = serve_speedup >= kServeGate;
+  bench::finding(serve_fast, line);
+  ok = ok && serve_fast;
+
+  std::snprintf(line, sizeof line,
+                "single-session speculation at 8 threads: %.2fx, hit rate "
+                "%.0f%%, waste rate %.0f%%",
+                single_speedup, 100.0 * spec.stats.hit_rate(),
+                100.0 * spec.stats.waste_rate());
+  bench::finding(single_speedup > 1.0, line);
+  ok = ok && single_speedup > 1.0;
+
+  // Marker lines scraped by tools/run_benches.sh into BENCH_timings.json.
+  std::printf("SPECULATION_single_speedup_8t %.2f\n", single_speedup);
+  std::printf("SPECULATION_serve_speedup_8t %.2f\n", serve_speedup);
+  std::printf("SPECULATION_hit_rate %.3f\n", spec.stats.hit_rate());
+  std::printf("SPECULATION_waste_rate %.3f\n", spec.stats.waste_rate());
+  return ok ? 0 : 1;
+}

@@ -526,11 +526,16 @@ WorkloadSignature DataAnalyzer::characterize(
   return acc;
 }
 
+void DataAnalyzer::ensure_fitted(const HistoryDatabase& db) const {
+  if (db.empty()) return;
+  const SignatureView view = db.signature_view();
+  if (classifier_->fitted_version() != view.version) classifier_->fit(view);
+}
+
 std::optional<std::size_t> DataAnalyzer::classify(
     const HistoryDatabase& db, const WorkloadSignature& observed) const {
   if (db.empty()) return std::nullopt;
-  const SignatureView view = db.signature_view();
-  if (classifier_->fitted_version() != view.version) classifier_->fit(view);
+  ensure_fitted(db);
   return classifier_->classify(observed);
 }
 

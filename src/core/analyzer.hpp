@@ -232,6 +232,14 @@ class DataAnalyzer {
       const std::function<WorkloadSignature()>& sample_request,
       int samples);
 
+  /// Refits the classifier if the database's version stamp moved since the
+  /// last fit (no-op otherwise, and for an empty database). Call once
+  /// before issuing classify()/retrieve() from several threads against a
+  /// stable database: with the model already fitted, those calls are pure
+  /// reads of the fitted state and therefore safe to run concurrently.
+  /// HarmonyServer::serve_batch uses exactly this protocol.
+  void ensure_fitted(const HistoryDatabase& db) const;
+
   /// Index of the best-matching experience, or nullopt when the database is
   /// empty (the paper's "never seen before" case — tune from scratch).
   [[nodiscard]] std::optional<std::size_t> classify(

@@ -109,12 +109,13 @@ void RecordingObjective::measure_batch(std::span<const Configuration> configs,
 double CachingObjective::measure(const Configuration& config) {
   auto it = cache_.find(config);
   if (it != cache_.end()) {
-    ++hits_;
+    ++stats_.hits;
     return it->second;
   }
-  ++misses_;
+  ++stats_.misses;
   const double v = inner_.measure(config);
   cache_.emplace(config, v);
+  ++stats_.inserts;
   return v;
 }
 
@@ -135,17 +136,17 @@ void CachingObjective::measure_batch(std::span<const Configuration> configs,
   for (std::size_t i = 0; i < configs.size(); ++i) {
     auto it = cache_.find(configs[i]);
     if (it != cache_.end()) {
-      ++hits_;
+      ++stats_.hits;
       out[i] = it->second;
       continue;
     }
     auto [pit, inserted] = pending.emplace(configs[i], miss_configs.size());
     if (inserted) {
-      ++misses_;
+      ++stats_.misses;
       miss_configs.push_back(configs[i]);
     } else {
       // Serially the first occurrence would already have filled the cache.
-      ++hits_;
+      ++stats_.hits;
     }
     is_miss[i] = true;
     slot_to_miss[i] = pit->second;
@@ -154,6 +155,7 @@ void CachingObjective::measure_batch(std::span<const Configuration> configs,
   inner_.measure_batch(miss_configs, miss_values);
   for (std::size_t m = 0; m < miss_configs.size(); ++m) {
     cache_.emplace(miss_configs[m], miss_values[m]);
+    ++stats_.inserts;
   }
   for (std::size_t i = 0; i < configs.size(); ++i) {
     if (is_miss[i]) out[i] = miss_values[slot_to_miss[i]];

@@ -113,6 +113,11 @@ class RecordingObjective final : public Objective {
     return trace_;
   }
   void clear() noexcept { trace_.clear(); }
+  /// Pre-sizes the trace (callers that know their evaluation budget avoid
+  /// regrowth during the measurement loop).
+  void reserve(std::size_t expected_measurements) {
+    trace_.reserve(expected_measurements);
+  }
 
  private:
   Objective& inner_;
@@ -124,11 +129,24 @@ class RecordingObjective final : public Objective {
 /// would not use this since repeated measurements carry information.
 class CachingObjective final : public Objective {
  public:
-  explicit CachingObjective(Objective& inner) : inner_(inner) {
-    // A tuning run re-measures a few hundred configurations at most;
-    // seeding the bucket array up front keeps the table from rehashing
-    // (and invalidating iterators mid-batch) during the common case.
-    cache_.reserve(kInitialCacheBuckets);
+  /// Counter snapshot: hits (measurements answered from the cache), misses
+  /// (forwarded to the inner objective) and inserts (entries added — equals
+  /// misses unless an external path ever pre-seeds the cache).
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t inserts = 0;
+  };
+
+  explicit CachingObjective(Objective& inner)
+      : CachingObjective(inner, kDefaultExpectedEvaluations) {}
+
+  /// `expected_evaluations` pre-sizes the bucket array so the table never
+  /// rehashes (and never invalidates iterators mid-batch) until the cache
+  /// outgrows the hint — pass the tuning budget when it is known.
+  CachingObjective(Objective& inner, std::size_t expected_evaluations)
+      : inner_(inner) {
+    cache_.reserve(std::max<std::size_t>(expected_evaluations, 1));
   }
   double measure(const Configuration& config) override;
   /// Resolves hits from the cache, batches the unique misses through the
@@ -137,16 +155,18 @@ class CachingObjective final : public Objective {
   void measure_batch(std::span<const Configuration> configs,
                      std::span<double> out) override;
   std::string metric_name() const override { return inner_.metric_name(); }
-  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return stats_.hits; }
+  [[nodiscard]] std::size_t misses() const noexcept { return stats_.misses; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
 
  private:
-  static constexpr std::size_t kInitialCacheBuckets = 256;
+  // A tuning run re-measures a few hundred configurations at most.
+  static constexpr std::size_t kDefaultExpectedEvaluations = 256;
 
   Objective& inner_;
   std::unordered_map<Configuration, double, ConfigurationHash> cache_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  Stats stats_;
 };
 
 /// Projects a sub-space configuration into the full space: kept parameters

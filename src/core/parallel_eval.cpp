@@ -9,6 +9,11 @@ std::vector<double> ParallelEvaluator::evaluate(
   return objective_.measure_all(configs);
 }
 
+void ParallelEvaluator::evaluate_into(std::span<const Configuration> configs,
+                                      std::span<double> out) {
+  objective_.measure_batch(configs, out);
+}
+
 std::vector<std::vector<double>> ParallelEvaluator::evaluate_repeated(
     std::span<const Configuration> configs, int repeats) {
   HARMONY_REQUIRE(repeats >= 1, "repeats must be >= 1");

@@ -26,6 +26,12 @@ class ParallelEvaluator {
   [[nodiscard]] std::vector<double> evaluate(
       std::span<const Configuration> configs);
 
+  /// Allocation-free form of evaluate(): writes configs[i]'s value into
+  /// out[i] (sizes must match). The speculative simplex driver calls this
+  /// every kernel step with reused buffers.
+  void evaluate_into(std::span<const Configuration> configs,
+                     std::span<double> out);
+
   /// Evaluates each config `repeats` times — flattened config-major,
   /// repeat-minor, exactly the order a serial repeat loop issues — and
   /// returns the raw samples: result[i] holds config i's repeats in draw

@@ -170,8 +170,8 @@ Message ServerSession::handle_fetch() {
   if (outstanding_.has_value()) {
     return error("REPORT the previous configuration first");
   }
-  const auto next = kernel_->next();
-  if (!next.has_value()) {
+  const Configuration* next = kernel_->peek();
+  if (next == nullptr) {
     const SimplexResult& r = kernel_->result();
     store_experience();
     Message reply{"DONE", {}};

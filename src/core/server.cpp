@@ -1,6 +1,7 @@
 #include "core/server.hpp"
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace harmony {
 
@@ -12,22 +13,49 @@ HarmonyServer::HarmonyServer(const ParameterSpace& space, ServerOptions options)
 ServedTuningResult HarmonyServer::tune(Objective& objective,
                                        const WorkloadSignature& signature,
                                        const std::string& label) {
-  ServedTuningResult out;
+  const ServeRequest request{&objective, signature, label};
+  return std::move(serve_batch({&request, 1}).front());
+}
 
-  TuningSession session(space_, objective, opts_.tuning);
-  if (const ExperienceRecord* exp = analyzer_.retrieve(db_, signature)) {
-    session.seed(exp->best(space_.size() + 1), opts_.use_recorded_values);
-    out.experience_label = exp->label;
-    out.experience_distance = signature_distance(signature, exp->signature);
+std::vector<ServedTuningResult> HarmonyServer::serve_batch(
+    std::span<const ServeRequest> requests) {
+  std::vector<ServedTuningResult> out(requests.size());
+  if (requests.empty()) return out;
+  for (const ServeRequest& rq : requests) {
+    HARMONY_REQUIRE(rq.objective != nullptr, "serve_batch: null objective");
   }
-  out.tuning = session.run();
 
+  // Fit the classifier to the entry-state database once, serially. The
+  // parallel retrievals below then only read the fitted model (the version
+  // stamps match, so the lazy-refit branch never fires) and the database's
+  // stable record storage — no synchronization needed, and every request
+  // sees the same experience set a serial loop over this batch would.
+  analyzer_.ensure_fitted(db_);
+
+  parallel_for(requests.size(), [&](std::size_t i) {
+    const ServeRequest& rq = requests[i];
+    ServedTuningResult& res = out[i];
+    TuningSession session(space_, *rq.objective, opts_.tuning);
+    if (const ExperienceRecord* exp = analyzer_.retrieve(db_, rq.signature)) {
+      session.seed(exp->best(space_.size() + 1), opts_.use_recorded_values);
+      res.experience_label = exp->label;
+      res.experience_distance =
+          signature_distance(rq.signature, exp->signature);
+    }
+    res.tuning = session.run();
+  });
+
+  // Experience writes are batched at run completion, in request order: the
+  // database (and its version stamp) moves only after the whole batch is
+  // done, which is what makes the concurrent read path above safe.
   if (opts_.record_experience) {
-    ExperienceRecord rec;
-    rec.label = label;
-    rec.signature = signature;
-    rec.measurements = out.tuning.trace;
-    db_.add(std::move(rec));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ExperienceRecord rec;
+      rec.label = requests[i].label;
+      rec.signature = requests[i].signature;
+      rec.measurements = out[i].tuning.trace;
+      db_.add(std::move(rec));
+    }
   }
   return out;
 }

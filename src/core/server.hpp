@@ -8,7 +8,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/analyzer.hpp"
 #include "core/history.hpp"
@@ -37,6 +39,16 @@ struct ServedTuningResult {
   double experience_distance = 0.0;
 };
 
+/// One workload to serve: the live objective (must stay valid for the whole
+/// serve_batch call, and must not be shared between requests unless its
+/// measure path is thread-safe), its observed characteristics signature and
+/// the label its experience is stored under.
+struct ServeRequest {
+  Objective* objective = nullptr;
+  WorkloadSignature signature;
+  std::string label;
+};
+
 class HarmonyServer {
  public:
   /// The space must outlive the server.
@@ -50,9 +62,22 @@ class HarmonyServer {
 
   /// Tunes `objective` for a workload with the given observed signature.
   /// `label` tags the experience stored back into the database.
+  /// Equivalent to serve_batch with a single request.
   [[nodiscard]] ServedTuningResult tune(Objective& objective,
                                         const WorkloadSignature& signature,
                                         const std::string& label);
+
+  /// Serves N workloads concurrently across the global thread pool
+  /// (HARMONY_THREADS; 1 runs the exact serial loop inline). Every request
+  /// retrieves its warm-start experience against the database as it stood
+  /// at entry — the classifier is fitted once up front (version-stamped
+  /// fit-once model), after which concurrent retrievals are pure reads —
+  /// and the finished runs are stored back in request order only after all
+  /// of them completed. Results are bit-identical at every thread count:
+  /// requests share no mutable state while running, so placement changes
+  /// wall-clock time, never values. Entries with a null objective throw.
+  [[nodiscard]] std::vector<ServedTuningResult> serve_batch(
+      std::span<const ServeRequest> requests);
 
  private:
   const ParameterSpace& space_;

@@ -98,9 +98,9 @@ void StepwiseSimplex::finish(bool converged, std::string reason) {
   }
 }
 
-std::optional<Configuration> StepwiseSimplex::next() {
-  if (state_ == State::kDone) return std::nullopt;
-  if (awaiting_submit_) return pending_;  // idempotent until submit()
+const Configuration* StepwiseSimplex::peek() {
+  if (state_ == State::kDone) return nullptr;
+  if (awaiting_submit_) return &*pending_;  // idempotent until submit()
 
   if (state_ == State::kInit) {
     // Consume seeded vertices (no live measurement), then serve the rest.
@@ -115,21 +115,128 @@ std::optional<Configuration> StepwiseSimplex::next() {
     if (init_index_ < init_configs_.size()) {
       if (evals_ >= opts_.max_evaluations) {
         finish(false, "budget");
-        return std::nullopt;
+        return nullptr;
       }
       pending_ = init_configs_[init_index_];
       awaiting_submit_ = true;
-      return pending_;
+      return &*pending_;
     }
     state_ = State::kPlan;
     plan();
-    if (state_ == State::kDone) return std::nullopt;
-    return pending_;
+    if (state_ == State::kDone) return nullptr;
+    return &*pending_;
   }
 
   // kPlan with no pending measurement cannot happen: plan() either sets a
   // pending proposal or finishes.
-  return pending_;
+  return pending_.has_value() ? &*pending_ : nullptr;
+}
+
+std::optional<Configuration> StepwiseSimplex::next() {
+  const Configuration* c = peek();
+  if (c == nullptr) return std::nullopt;
+  return *c;
+}
+
+namespace {
+
+/// Appends `c` unless an equal configuration is already present (the
+/// frontier is small — linear scan beats hashing here).
+void push_unique(std::vector<Configuration>& out, Configuration c) {
+  for (const Configuration& o : out) {
+    if (o == c) return;
+  }
+  out.push_back(std::move(c));
+}
+
+}  // namespace
+
+void StepwiseSimplex::append_shrink_targets(std::vector<Configuration>& out,
+                                            std::size_t from) const {
+  // Mirrors continue_shrink(): every remaining vertex's shrink destination,
+  // computed from the current best vertex (index 0 is kept by a shrink, so
+  // the targets are exact even while a shrink is in flight).
+  if (verts_.empty()) return;
+  const std::size_t n = space_.size();
+  const Configuration& xb = verts_.front().config;
+  for (std::size_t v = std::max<std::size_t>(from, 1); v < verts_.size();
+       ++v) {
+    Configuration c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = xb[i] + opts_.sigma * (verts_[v].config[i] - xb[i]);
+    }
+    c = space_.snap(std::move(c));
+    if (c == verts_[v].config) continue;  // cannot move: never requested
+    push_unique(out, std::move(c));
+  }
+}
+
+void StepwiseSimplex::append_reseed_targets(std::vector<Configuration>& out,
+                                            std::size_t from) const {
+  // Mirrors continue_reseed(): unit-step displacements of the best vertex
+  // along the dimension each restart vertex cycles through.
+  if (verts_.empty()) return;
+  const std::size_t n = space_.size();
+  const Configuration& xb = verts_.front().config;
+  for (std::size_t idx = std::max<std::size_t>(from, 1); idx < verts_.size();
+       ++idx) {
+    const std::size_t dim = (idx - 1) % n;
+    for (const double sign : {+1.0, -1.0}) {
+      Configuration c = xb;
+      c[dim] += sign * space_.param(dim).step;
+      c = space_.snap(std::move(c));
+      if (c == xb) continue;
+      push_unique(out, std::move(c));
+    }
+  }
+}
+
+std::vector<Configuration> StepwiseSimplex::frontier() {
+  std::vector<Configuration> out;
+  const Configuration* pending = peek();  // materializes the pending slot
+  if (pending == nullptr) return out;
+  out.reserve(4 + 3 * verts_.size());
+  out.push_back(*pending);
+  const bool may_reseed = restarts_ < opts_.max_restarts;
+  switch (state_) {
+    case State::kInit:
+      // The remaining live initial vertices are requested unconditionally;
+      // the first post-init move depends on their values and is not
+      // speculated.
+      for (std::size_t j = init_index_; j < init_configs_.size(); ++j) {
+        if (std::isnan(init_seeded_[j])) push_unique(out, init_configs_[j]);
+      }
+      break;
+    case State::kReflect:
+      // Depending on f(xr): expansion, outside or inside contraction; a
+      // collided contraction (or a duplicate accept) falls through to a
+      // shrink, and a stuck shrink to a unit-step restart.
+      push_unique(out, affine(opts_.gamma));
+      push_unique(out, affine(opts_.beta));
+      push_unique(out, affine(-opts_.beta));
+      append_shrink_targets(out, 1);
+      if (may_reseed) append_reseed_targets(out, 1);
+      break;
+    case State::kExpand:
+    case State::kContract:
+      // Acceptance ends the move; a duplicate accept (kExpand) or a failed
+      // contraction (kContract) shrinks the current simplex.
+      append_shrink_targets(out, 1);
+      if (may_reseed) append_reseed_targets(out, 1);
+      break;
+    case State::kShrink:
+      append_shrink_targets(out, shrink_index_);
+      if (may_reseed) append_reseed_targets(out, 1);
+      break;
+    case State::kReseed:
+      // begin_reseed() already consumed a restart slot for this pass, so
+      // the remaining targets are reachable regardless of restarts_.
+      append_reseed_targets(out, reseed_index_);
+      break;
+    default:
+      break;
+  }
+  return out;
 }
 
 void StepwiseSimplex::plan() {
@@ -414,7 +521,7 @@ SimplexResult SimplexSearch::maximize(
     const std::vector<double>& seeded_values) {
   StepwiseSimplex machine(space_, opts_, std::move(initial_vertices),
                           seeded_values);
-  while (auto c = machine.next()) {
+  while (const Configuration* c = machine.peek()) {
     machine.submit(evaluate(*c));
   }
   return machine.result();

@@ -77,12 +77,32 @@ class StepwiseSimplex {
                   std::vector<Configuration> initial_vertices,
                   std::vector<double> seeded_values = {});
 
+  /// The configuration to measure next; nullptr when finished. The pointer
+  /// refers to the machine's pending slot — it stays valid (and repeated
+  /// calls return it unchanged) until the next submit(). Zero-copy form of
+  /// next(); the drivers poll this every step.
+  [[nodiscard]] const Configuration* peek();
+
   /// The configuration to measure next; nullopt when finished. Repeated
   /// calls without an intervening submit() return the same configuration.
+  /// Copying shim over peek(), kept for existing callers.
   [[nodiscard]] std::optional<Configuration> next();
 
+  /// Every configuration the state machine may request before its next
+  /// planning decision, from the current state: the pending configuration
+  /// first, then — depending on the state — the reflection's expansion and
+  /// both contractions, the remaining shrink vertices, and the unit-step
+  /// restart vertices. All snapped and deduplicated. This is the
+  /// speculation frontier: a driver that pre-measures it can serve most
+  /// upcoming peek()s from a cache. A superset in spirit ("may", not
+  /// "will"): entries that the trajectory never requests are wasted
+  /// measurements, and a request outside the frontier (possible only after
+  /// the next planning decision) is simply a cache miss — never an error.
+  /// Empty when finished.
+  [[nodiscard]] std::vector<Configuration> frontier();
+
   /// Reports the measured performance of the configuration last returned by
-  /// next(). Throws when no measurement is outstanding.
+  /// peek()/next(). Throws when no measurement is outstanding.
   void submit(double performance);
 
   [[nodiscard]] bool finished() const noexcept { return state_ == State::kDone; }
@@ -117,6 +137,10 @@ class StepwiseSimplex {
   void finish(bool converged, std::string reason);
   [[nodiscard]] Configuration affine(double t) const;
   [[nodiscard]] double simplex_diameter() const;
+  void append_shrink_targets(std::vector<Configuration>& out,
+                             std::size_t from) const;
+  void append_reseed_targets(std::vector<Configuration>& out,
+                             std::size_t from) const;
 
   const ParameterSpace& space_;
   SimplexOptions opts_;

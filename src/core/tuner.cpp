@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "core/estimator.hpp"
+#include "core/parallel_eval.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -51,6 +53,9 @@ void TuningSession::seed(const std::vector<Measurement>& history,
 
 TuningResult TuningSession::run() {
   RecordingObjective recorder(objective_);
+  // The kernel issues at most max_evaluations live measurements; size the
+  // recording (and later the result trace) once from that budget.
+  recorder.reserve(static_cast<std::size_t>(opts_.simplex.max_evaluations));
 
   std::vector<Configuration> vertices;
   std::vector<double> seeded_values;
@@ -81,6 +86,10 @@ TuningResult TuningSession::run() {
     vertices = opts_.strategy->vertices(space_, start_);
   }
 
+  if (opts_.speculative) {
+    return run_speculative(std::move(vertices), std::move(seeded_values));
+  }
+
   SimplexSearch search(space_, opts_.simplex);
   const SimplexResult sr = search.maximize(
       [&](const Configuration& c) { return recorder.measure(c); },
@@ -91,6 +100,79 @@ TuningResult TuningSession::run() {
   for (const auto& s : recorder.trace()) {
     out.trace.push_back({s.config, s.value, /*estimated=*/false});
   }
+  out.best_config = sr.best;
+  out.best_performance = sr.best_value;
+  out.evaluations = sr.evaluations;
+  out.converged = sr.converged;
+  out.stop_reason = sr.stop_reason;
+  return out;
+}
+
+TuningResult TuningSession::run_speculative(
+    std::vector<Configuration> vertices, std::vector<double> seeded_values) {
+  StepwiseSimplex machine(space_, opts_.simplex, std::move(vertices),
+                          std::move(seeded_values));
+  ParallelEvaluator evaluator(objective_);
+
+  // Speculation cache: every live measurement lands here keyed by its
+  // snapped configuration; the kernel's requests are served from it. An
+  // entry is "consumed" once the trajectory submits its value — entries
+  // that never are were wasted speculation.
+  struct CacheEntry {
+    double value = 0.0;
+    bool consumed = false;
+  };
+  std::unordered_map<Configuration, CacheEntry, ConfigurationHash> cache;
+  const auto budget = static_cast<std::size_t>(opts_.simplex.max_evaluations);
+  cache.reserve(4 * budget);
+
+  TuningResult out;
+  out.trace.reserve(budget);
+  SpeculationStats& stats = out.speculation;
+
+  std::vector<Configuration> to_measure;
+  std::vector<double> values;
+  while (const Configuration* c = machine.peek()) {
+    auto it = cache.find(*c);
+    if (it == cache.end()) {
+      // Miss: measure the whole frontier in one batch. The pending
+      // configuration comes first, so it is always covered even after the
+      // waste bound truncates the tail.
+      std::vector<Configuration> frontier = machine.frontier();
+      to_measure.clear();
+      to_measure.reserve(frontier.size());
+      for (Configuration& f : frontier) {
+        if (cache.find(f) == cache.end()) to_measure.push_back(std::move(f));
+      }
+      // The kernel asks for at most budget - evals_ more values; measuring
+      // beyond that bound could only ever be waste.
+      const std::size_t remaining = budget > static_cast<std::size_t>(
+                                                 machine.evaluations())
+                                        ? budget - machine.evaluations()
+                                        : 1;
+      if (to_measure.size() > remaining) to_measure.resize(remaining);
+      values.resize(to_measure.size());
+      evaluator.evaluate_into(to_measure, values);
+      ++stats.batches;
+      stats.measured += to_measure.size();
+      for (std::size_t i = 0; i < to_measure.size(); ++i) {
+        cache.emplace(std::move(to_measure[i]), CacheEntry{values[i], false});
+      }
+      it = cache.find(*c);
+    } else {
+      ++stats.cache_hits;
+    }
+    it->second.consumed = true;
+    const double v = it->second.value;
+    out.trace.push_back({*c, v, /*estimated=*/false});
+    ++stats.consumed;
+    machine.submit(v);
+  }
+  for (const auto& [config, entry] : cache) {
+    if (!entry.consumed) ++stats.wasted;
+  }
+
+  const SimplexResult& sr = machine.result();
   out.best_config = sr.best;
   out.best_performance = sr.best_value;
   out.evaluations = sr.evaluations;

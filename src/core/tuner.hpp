@@ -37,15 +37,49 @@ struct TuningOptions {
   /// ExtremeCornerStrategy to reproduce the original behaviour.
   std::shared_ptr<const InitialSimplexStrategy> strategy =
       std::make_shared<EvenSpreadStrategy>();
+  /// Speculative frontier evaluation: at every kernel step the session
+  /// measures the whole candidate frontier (StepwiseSimplex::frontier) in
+  /// one Objective::measure_batch call — fanning out across the thread pool
+  /// when the objective supports it — and parks the values the trajectory
+  /// does not consume immediately in a configuration-keyed cache for later
+  /// steps. The search trajectory is bit-identical to the serial kernel for
+  /// deterministic objectives: speculation changes *when* measurements
+  /// happen, never *which* values the search consumes. Stochastic
+  /// objectives draw their noise in frontier order instead of trajectory
+  /// order, so their traces differ from the serial kernel (but stay
+  /// thread-count invariant under the measure_batch contract).
+  bool speculative = false;
+};
+
+/// Accounting of one speculative run (zeroes when speculation is off).
+struct SpeculationStats {
+  std::size_t batches = 0;     ///< frontier measure_batch calls issued
+  std::size_t measured = 0;    ///< configurations measured live
+  std::size_t consumed = 0;    ///< values submitted to the kernel
+  std::size_t cache_hits = 0;  ///< submits served without a new batch
+  std::size_t wasted = 0;      ///< measured configurations never consumed
+  /// Fraction of kernel steps served from already-measured values.
+  [[nodiscard]] double hit_rate() const noexcept {
+    return consumed == 0 ? 0.0
+                         : static_cast<double>(cache_hits) /
+                               static_cast<double>(consumed);
+  }
+  /// Fraction of live measurements the trajectory never consumed.
+  [[nodiscard]] double waste_rate() const noexcept {
+    return measured == 0 ? 0.0
+                         : static_cast<double>(wasted) /
+                               static_cast<double>(measured);
+  }
 };
 
 struct TuningResult {
-  std::vector<Measurement> trace;  ///< live explorations, in order
+  std::vector<Measurement> trace;  ///< consumed explorations, in order
   Configuration best_config;
   double best_performance = 0.0;
   int evaluations = 0;   ///< live measurements (== trace.size())
   bool converged = false;
   std::string stop_reason;
+  SpeculationStats speculation;  ///< frontier accounting (speculative runs)
 };
 
 class TuningSession {
@@ -77,6 +111,9 @@ class TuningSession {
   [[nodiscard]] TuningResult run();
 
  private:
+  [[nodiscard]] TuningResult run_speculative(
+      std::vector<Configuration> vertices, std::vector<double> seeded_values);
+
   const ParameterSpace& space_;
   Objective& objective_;
   TuningOptions opts_;

@@ -1,0 +1,362 @@
+// Speculative batched simplex: the frontier/cache driver must change when
+// measurements happen, never which values the search consumes. These tests
+// pin that contract with hexfloat-rendered traces (bit-identity, readable
+// diffs) across initial-simplex strategies, warm starts and thread counts,
+// check the frontier's structural invariants against hand-computed
+// candidates, audit the speculation accounting, and pin serve_batch's
+// thread-count determinism and write ordering.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/objective.hpp"
+#include "core/server.hpp"
+#include "core/simplex.hpp"
+#include "core/strategies.hpp"
+#include "core/tuner.hpp"
+#include "synth/ecommerce.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace harmony {
+namespace {
+
+/// Hexfloat rendering of a trace: every configuration value and measured
+/// performance, exactly as bits. Two traces compare equal iff they are
+/// byte-identical.
+std::string trace_hex(const std::vector<Measurement>& trace) {
+  std::string s;
+  char buf[64];
+  for (const Measurement& m : trace) {
+    for (double v : m.config) {
+      std::snprintf(buf, sizeof buf, "%a,", v);
+      s += buf;
+    }
+    std::snprintf(buf, sizeof buf, "=%a;", m.performance);
+    s += buf;
+  }
+  return s;
+}
+
+class SpeculationTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(0); }
+};
+
+TuningResult run_tuning(bool speculative, unsigned threads,
+                        std::shared_ptr<const InitialSimplexStrategy> strategy,
+                        int budget = 120) {
+  set_thread_count(threads);
+  synth::SyntheticSystem system;
+  synth::SyntheticObjective objective(system, system.shopping_workload());
+  TuningOptions opts;
+  opts.simplex.max_evaluations = budget;
+  opts.strategy = std::move(strategy);
+  opts.speculative = speculative;
+  TuningSession session(system.space(), objective, opts);
+  return session.run();
+}
+
+TEST_F(SpeculationTest, TraceBitIdenticalToSerialAcrossStrategiesAndThreads) {
+  const std::vector<std::shared_ptr<const InitialSimplexStrategy>> strategies =
+      {std::make_shared<EvenSpreadStrategy>(),
+       std::make_shared<ExtremeCornerStrategy>()};
+  for (const auto& strategy : strategies) {
+    const TuningResult serial = run_tuning(false, 1, strategy);
+    const TuningResult spec1 = run_tuning(true, 1, strategy);
+    const TuningResult spec8 = run_tuning(true, 8, strategy);
+    SCOPED_TRACE(strategy->name());
+    // The golden: the serial kernel's trace in hexfloat. Speculation must
+    // reproduce it byte for byte at every thread count.
+    const std::string golden = trace_hex(serial.trace);
+    EXPECT_EQ(trace_hex(spec1.trace), golden);
+    EXPECT_EQ(trace_hex(spec8.trace), golden);
+    EXPECT_EQ(spec8.best_performance, serial.best_performance);
+    EXPECT_EQ(spec8.best_config, serial.best_config);
+    EXPECT_EQ(spec8.evaluations, serial.evaluations);
+    EXPECT_EQ(spec8.stop_reason, serial.stop_reason);
+  }
+}
+
+TuningResult run_warm(bool speculative, unsigned threads,
+                      bool use_recorded_values, bool estimate_missing) {
+  set_thread_count(threads);
+  synth::SyntheticSystem system;
+  synth::SyntheticObjective objective(system, system.shopping_workload());
+  // Deterministic history: a handful of measured configurations.
+  Rng rng(17);
+  std::vector<Measurement> history;
+  for (int i = 0; i < 4; ++i) {
+    const Configuration c = system.space().random_configuration(rng);
+    history.push_back({c, objective.measure(c), false});
+  }
+  TuningOptions opts;
+  opts.simplex.max_evaluations = 120;
+  opts.speculative = speculative;
+  TuningSession session(system.space(), objective, opts);
+  session.seed(history, use_recorded_values, estimate_missing);
+  return session.run();
+}
+
+TEST_F(SpeculationTest, TraceBitIdenticalToSerialAcrossWarmStarts) {
+  for (const bool recorded : {true, false}) {
+    for (const bool estimate : {true, false}) {
+      SCOPED_TRACE(testing::Message() << "recorded=" << recorded
+                                      << " estimate=" << estimate);
+      const TuningResult serial = run_warm(false, 1, recorded, estimate);
+      const TuningResult spec8 = run_warm(true, 8, recorded, estimate);
+      EXPECT_EQ(trace_hex(spec8.trace), trace_hex(serial.trace));
+      EXPECT_EQ(spec8.best_performance, serial.best_performance);
+      EXPECT_EQ(spec8.stop_reason, serial.stop_reason);
+    }
+  }
+}
+
+TEST_F(SpeculationTest, NoisyObjectiveIsThreadCountInvariant) {
+  // A stochastic objective draws its noise in frontier order, so the
+  // speculative trace differs from the serial kernel — but the batch
+  // contract keeps it bit-identical across thread counts.
+  auto run = [](unsigned threads) {
+    set_thread_count(threads);
+    synth::SyntheticSystem system;
+    synth::SyntheticObjective truth(system, system.shopping_workload());
+    PerturbedObjective noisy(truth, 0.10, Rng(42));
+    TuningOptions opts;
+    opts.simplex.max_evaluations = 80;
+    opts.speculative = true;
+    TuningSession session(system.space(), noisy, opts);
+    return session.run();
+  };
+  const TuningResult one = run(1);
+  const TuningResult eight = run(8);
+  EXPECT_EQ(trace_hex(one.trace), trace_hex(eight.trace));
+}
+
+TEST_F(SpeculationTest, FrontierMatchesHandComputedCandidates) {
+  // Two parameters on [0,10] step 1. Initial vertices chosen so every
+  // Nelder-Mead candidate lands exactly on the grid: sorted simplex
+  // [(0,8)=10, (8,0)=5, (0,0)=1], centroid of the best two (4,4), worst
+  // (0,0).
+  ParameterSpace space({{"x", 0, 10, 1}, {"y", 0, 10, 1}});
+  StepwiseSimplex machine(space, SimplexOptions{},
+                          {{0, 8}, {8, 0}, {0, 0}});
+  for (const double v : {10.0, 5.0, 1.0}) {
+    ASSERT_NE(machine.peek(), nullptr);
+    machine.submit(v);
+  }
+  const Configuration* pending = machine.peek();
+  ASSERT_NE(pending, nullptr);
+  EXPECT_EQ(*pending, Configuration({8, 8}));  // reflection (4,4)+(4,4)
+
+  const std::vector<Configuration> frontier = machine.frontier();
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_EQ(frontier.front(), *pending);
+
+  const std::set<Configuration> got(frontier.begin(), frontier.end());
+  const std::set<Configuration> want = {
+      {8, 8},    // reflection (pending)
+      {10, 10},  // expansion (4,4)+2*(4,4) = (12,12), snapped to the grid
+      {6, 6},    // outside contraction (4,4)+0.5*(4,4)
+      {2, 2},    // inside contraction (4,4)-0.5*(4,4)
+      {4, 4},    // shrink of (8,0) toward best (0,8)
+      {0, 4},    // shrink of (0,0) toward best (0,8)
+      {1, 8},    // restart vertex: best +1 along x (-1 clamps onto best)
+      {0, 9},    // restart vertex: best +1 along y
+      {0, 7},    // restart vertex: best -1 along y
+  };
+  EXPECT_EQ(got, want);
+  // Deduplicated and snapped throughout.
+  EXPECT_EQ(got.size(), frontier.size());
+  for (const Configuration& c : frontier) {
+    EXPECT_TRUE(space.feasible(c));
+  }
+}
+
+TEST_F(SpeculationTest, FrontierInvariantsHoldAlongAFullRun) {
+  synth::SyntheticSystem system;
+  synth::SyntheticObjective objective(system, system.shopping_workload());
+  SimplexOptions opts;
+  opts.max_evaluations = 150;
+  EvenSpreadStrategy strategy;
+  StepwiseSimplex machine(
+      system.space(), opts,
+      strategy.vertices(system.space(), system.space().defaults()));
+  while (const Configuration* c = machine.peek()) {
+    const Configuration pending = *c;
+    const std::vector<Configuration> frontier = machine.frontier();
+    ASSERT_FALSE(frontier.empty());
+    EXPECT_EQ(frontier.front(), pending);
+    std::set<Configuration> seen;
+    for (const Configuration& f : frontier) {
+      EXPECT_TRUE(system.space().feasible(f))
+          << "frontier configuration not snapped/feasible";
+      EXPECT_TRUE(seen.insert(f).second) << "duplicate in frontier";
+    }
+    machine.submit(objective.measure(pending));
+  }
+  EXPECT_TRUE(machine.frontier().empty());
+}
+
+TEST_F(SpeculationTest, SpeculationAccountingIsConsistent) {
+  set_thread_count(8);
+  synth::SyntheticSystem system;
+  synth::SyntheticObjective truth(system, system.shopping_workload());
+  RecordingObjective recorder(truth);  // counts actual live measurements
+  TuningOptions opts;
+  opts.simplex.max_evaluations = 120;
+  opts.speculative = true;
+  TuningSession session(system.space(), recorder, opts);
+  const TuningResult r = session.run();
+  const SpeculationStats& s = r.speculation;
+
+  // Every kernel step consumed exactly one value.
+  EXPECT_EQ(s.consumed, r.trace.size());
+  EXPECT_EQ(static_cast<int>(s.consumed), r.evaluations);
+  // Each batch was triggered by exactly one cache miss.
+  EXPECT_EQ(s.batches, s.consumed - s.cache_hits);
+  // The stats' measurement count is the objective's ground truth.
+  EXPECT_EQ(s.measured, recorder.count());
+  // Wasted = measured but never consumed; the consumed remainder is the
+  // distinct configuration set of the trace.
+  std::set<Configuration> distinct;
+  for (const Measurement& m : r.trace) distinct.insert(m.config);
+  EXPECT_EQ(s.measured - s.wasted, distinct.size());
+  // Speculation must actually speculate on this landscape.
+  EXPECT_GT(s.cache_hits, 0u);
+  EXPECT_GT(s.measured, s.consumed - s.cache_hits);
+  EXPECT_EQ(s.hit_rate(), static_cast<double>(s.cache_hits) /
+                              static_cast<double>(s.consumed));
+  EXPECT_EQ(s.waste_rate(), static_cast<double>(s.wasted) /
+                                static_cast<double>(s.measured));
+}
+
+TEST_F(SpeculationTest, SerialRunReportsZeroSpeculation) {
+  const TuningResult serial =
+      run_tuning(false, 1, std::make_shared<EvenSpreadStrategy>());
+  EXPECT_EQ(serial.speculation.batches, 0u);
+  EXPECT_EQ(serial.speculation.measured, 0u);
+  EXPECT_EQ(serial.speculation.consumed, 0u);
+  EXPECT_EQ(serial.speculation.hit_rate(), 0.0);
+  EXPECT_EQ(serial.speculation.waste_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// serve_batch
+
+struct ServeOutcome {
+  std::vector<std::string> traces;
+  std::vector<std::string> labels;
+  std::vector<std::string> db_labels;
+};
+
+ServeOutcome run_serve_batch(unsigned threads, bool speculative) {
+  set_thread_count(threads);
+  synth::SyntheticSystem system;
+
+  ServerOptions sopts;
+  sopts.tuning.simplex.max_evaluations = 60;
+  sopts.tuning.speculative = speculative;
+  HarmonyServer server(system.space(), sopts);
+
+  // Prior experience for two of the three workload families.
+  const std::vector<WorkloadSignature> prior = {system.browsing_workload(),
+                                                system.ordering_workload()};
+  for (std::size_t i = 0; i < prior.size(); ++i) {
+    synth::SyntheticObjective obj(system, prior[i]);
+    (void)server.tune(obj, prior[i], "prior-" + std::to_string(i));
+  }
+
+  // Four concurrent workloads, each with its own objective instance.
+  std::vector<WorkloadSignature> sigs = {
+      system.browsing_workload(), system.shopping_workload(),
+      system.ordering_workload(),
+      system.workload_at_distance(system.shopping_workload(), 0.05)};
+  std::vector<synth::SyntheticObjective> objectives;
+  objectives.reserve(sigs.size());
+  for (const auto& sig : sigs) objectives.emplace_back(system, sig);
+  std::vector<ServeRequest> requests;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    requests.push_back(
+        {&objectives[i], sigs[i], "batch-" + std::to_string(i)});
+  }
+
+  const std::vector<ServedTuningResult> results =
+      server.serve_batch(requests);
+  ServeOutcome out;
+  for (const ServedTuningResult& r : results) {
+    out.traces.push_back(trace_hex(r.tuning.trace));
+    out.labels.push_back(r.experience_label.value_or("<cold>"));
+  }
+  for (const ExperienceRecord& rec : server.database().records()) {
+    out.db_labels.push_back(rec.label);
+  }
+  return out;
+}
+
+TEST_F(SpeculationTest, ServeBatchBitIdenticalAcrossThreadCounts) {
+  for (const bool speculative : {false, true}) {
+    SCOPED_TRACE(testing::Message() << "speculative=" << speculative);
+    const ServeOutcome one = run_serve_batch(1, speculative);
+    const ServeOutcome eight = run_serve_batch(8, speculative);
+    EXPECT_EQ(one.traces, eight.traces);
+    EXPECT_EQ(one.labels, eight.labels);
+    EXPECT_EQ(one.db_labels, eight.db_labels);
+  }
+}
+
+TEST_F(SpeculationTest, ServeBatchRetrievesAgainstEntryStateAndWritesInOrder) {
+  set_thread_count(4);
+  synth::SyntheticSystem system;
+  ServerOptions sopts;
+  sopts.tuning.simplex.max_evaluations = 40;
+  HarmonyServer server(system.space(), sopts);
+
+  // Two identical-signature requests in one batch: both must tune cold
+  // (the batch's own writes are not visible during the batch), and both
+  // records must land in request order afterwards.
+  const WorkloadSignature sig = system.shopping_workload();
+  synth::SyntheticObjective a(system, sig);
+  synth::SyntheticObjective b(system, sig);
+  const std::vector<ServeRequest> requests = {{&a, sig, "first"},
+                                              {&b, sig, "second"}};
+  const auto results = server.serve_batch(requests);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].experience_label.has_value());
+  EXPECT_FALSE(results[1].experience_label.has_value());
+  ASSERT_EQ(server.database().size(), 2u);
+  EXPECT_EQ(server.database().record(0).label, "first");
+  EXPECT_EQ(server.database().record(1).label, "second");
+
+  // A follow-up batch sees the first batch's experience.
+  synth::SyntheticObjective c(system, sig);
+  const std::vector<ServeRequest> warm = {{&c, sig, "third"}};
+  const auto warm_results = server.serve_batch(warm);
+  ASSERT_TRUE(warm_results[0].experience_label.has_value());
+  EXPECT_EQ(*warm_results[0].experience_label, "first");
+}
+
+TEST_F(SpeculationTest, TuneMatchesSingleRequestServeBatch) {
+  synth::SyntheticSystem system;
+  const WorkloadSignature sig = system.shopping_workload();
+  auto run_one = [&](bool via_batch) {
+    set_thread_count(1);
+    ServerOptions sopts;
+    sopts.tuning.simplex.max_evaluations = 50;
+    HarmonyServer server(system.space(), sopts);
+    synth::SyntheticObjective obj(system, sig);
+    if (via_batch) {
+      const std::vector<ServeRequest> rq = {{&obj, sig, "solo"}};
+      return trace_hex(server.serve_batch(rq)[0].tuning.trace);
+    }
+    return trace_hex(server.tune(obj, sig, "solo").tuning.trace);
+  };
+  EXPECT_EQ(run_one(false), run_one(true));
+}
+
+}  // namespace
+}  // namespace harmony

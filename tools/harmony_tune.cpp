@@ -18,7 +18,10 @@
 //   --signature <v,...>  workload characteristics for experience matching
 //   --label <name>       label stored with this run's experience
 //   --trace <file.csv>   write the exploration trace as CSV
+//   --threads <n>        worker threads; n > 1 turns on speculative frontier
+//                        evaluation (command runs overlap across threads)
 //   --quiet              only print the final configuration line
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +37,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -47,6 +51,7 @@ struct CliOptions {
   WorkloadSignature signature;
   std::string label = "harmony_tune";
   std::string trace_path;
+  int threads = 1;
   bool quiet = false;
   std::vector<std::string> command;
 };
@@ -55,7 +60,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s --rsl <file> [--budget n] [--strategy even|extreme]"
                " [--history db] [--signature v,...] [--label name]"
-               " [--trace out.csv] [--quiet] -- command [args...]\n",
+               " [--trace out.csv] [--threads n] [--quiet]"
+               " -- command [args...]\n",
                argv0);
   std::exit(2);
 }
@@ -85,6 +91,8 @@ CliOptions parse_cli(int argc, char** argv) {
       o.label = value();
     } else if (arg == "--trace") {
       o.trace_path = value();
+    } else if (arg == "--threads") {
+      o.threads = static_cast<int>(parse_long(value()));
     } else if (arg == "--quiet") {
       o.quiet = true;
     } else if (arg == "--") {
@@ -95,7 +103,10 @@ CliOptions parse_cli(int argc, char** argv) {
     }
   }
   for (; i < argc; ++i) o.command.emplace_back(argv[i]);
-  if (o.rsl_path.empty() || o.command.empty() || o.budget < 3) usage(argv[0]);
+  if (o.rsl_path.empty() || o.command.empty() || o.budget < 3 ||
+      o.threads < 1) {
+    usage(argv[0]);
+  }
   return o;
 }
 
@@ -119,6 +130,24 @@ class CommandObjective final : public Objective {
       : space_(space), command_(std::move(command)), quiet_(quiet) {}
 
   double measure(const Configuration& config) override {
+    const double perf = run_command(config);
+    log(config, perf);
+    return perf;
+  }
+
+  /// Launches the commands concurrently across the thread pool (each one is
+  /// an independent child process; popen/pclose are thread-safe), then logs
+  /// the results serially in index order so the progress stream stays
+  /// readable under --threads > 1.
+  void measure_batch(std::span<const Configuration> configs,
+                     std::span<double> out) override {
+    parallel_for(configs.size(),
+                 [&](std::size_t i) { out[i] = run_command(configs[i]); });
+    for (std::size_t i = 0; i < configs.size(); ++i) log(configs[i], out[i]);
+  }
+
+ private:
+  double run_command(const Configuration& config) const {
     std::string cmd;
     for (std::size_t i = 0; i < space_.size(); ++i) {
       cmd += "HARMONY_" + space_.param(i).name + "=" +
@@ -140,23 +169,25 @@ class CommandObjective final : public Objective {
       if (!trim(line).empty()) last = std::string(trim(line));
     }
     HARMONY_REQUIRE(!last.empty(), "command produced no output");
-    const double perf = parse_double(last);
-    if (!quiet_) {
-      std::fprintf(stderr, "[%3d] perf %-12g", ++iteration_, perf);
-      for (std::size_t i = 0; i < space_.size(); ++i) {
-        std::fprintf(stderr, " %s=%g", space_.param(i).name.c_str(),
-                     config[i]);
-      }
-      std::fprintf(stderr, "\n");
-    }
-    return perf;
+    return parse_double(last);
   }
 
- private:
+  void log(const Configuration& config, double perf) {
+    if (quiet_) return;
+    std::fprintf(stderr, "[%3d] perf %-12g",
+                 iteration_.fetch_add(1, std::memory_order_relaxed) + 1,
+                 perf);
+    for (std::size_t i = 0; i < space_.size(); ++i) {
+      std::fprintf(stderr, " %s=%g", space_.param(i).name.c_str(),
+                   config[i]);
+    }
+    std::fprintf(stderr, "\n");
+  }
+
   const ParameterSpace& space_;
   std::vector<std::string> command_;
   bool quiet_;
-  int iteration_ = 0;
+  std::atomic<int> iteration_{0};
 };
 
 }  // namespace
@@ -174,8 +205,13 @@ int main(int argc, char** argv) {
 
     CommandObjective objective(space, cli.command, cli.quiet);
 
+    set_thread_count(static_cast<unsigned>(cli.threads));
+
     ServerOptions sopts;
     sopts.tuning.simplex.max_evaluations = cli.budget;
+    // With more than one worker, speculate: measure the kernel's whole
+    // candidate frontier concurrently and serve later steps from the cache.
+    sopts.tuning.speculative = cli.threads > 1;
     if (cli.strategy == "extreme") {
       sopts.tuning.strategy = std::make_shared<ExtremeCornerStrategy>();
     } else {
@@ -221,6 +257,14 @@ int main(int argc, char** argv) {
     if (run.experience_label && !cli.quiet) {
       std::fprintf(stderr, "warm-started from experience '%s'\n",
                    run.experience_label->c_str());
+    }
+    if (sopts.tuning.speculative && !cli.quiet) {
+      const SpeculationStats& s = run.tuning.speculation;
+      std::fprintf(stderr,
+                   "speculation: %zu runs for %zu consumed values "
+                   "(hit rate %.0f%%, waste %.0f%%)\n",
+                   s.measured, s.consumed, 100.0 * s.hit_rate(),
+                   100.0 * s.waste_rate());
     }
     std::printf("best performance %s after %d runs (%s):",
                 format_double(run.tuning.best_performance).c_str(),

@@ -28,7 +28,7 @@ fig7_history_distance fig8_sensitivity_web fig9_topn_web \
 table1_search_refinement table2_prior_histories appb_param_restriction \
 headline_combined ablation_estimator ablation_baselines \
 ablation_classifiers ablation_factorial websim_events_per_sec \
-history_scale"
+history_scale tuning_throughput"
 
 JSON="$OUT_DIR/BENCH_timings.json"
 threads=${HARMONY_THREADS:-auto}
@@ -68,19 +68,23 @@ for b in $BENCHES; do
   echo "$status  ${secs}s"
   [ $first -eq 1 ] || printf ',\n' >> "$JSON"
   first=0
-  # Benches report throughput on EVENTS_PER_SEC <name> <rate> marker lines;
-  # fold any such rates into the bench's JSON entry.
+  # Benches report throughput on EVENTS_PER_SEC <name> <rate> marker lines
+  # and speculation metrics on SPECULATION_<key> <value> lines; fold any
+  # such markers into the bench's JSON entry.
   rates=$(awk '/^EVENTS_PER_SEC / {
                  if (n++) printf ", ";
                  printf "\"%s\": %s", $2, $3
                }' "$OUT_DIR/$b.log")
-  if [ -n "$rates" ]; then
-    printf '    "%s": {"seconds": %s, "status": "%s", "events_per_sec": {%s}}' \
-      "$b" "$secs" "$status" "$rates" >> "$JSON"
-  else
-    printf '    "%s": {"seconds": %s, "status": "%s"}' \
-      "$b" "$secs" "$status" >> "$JSON"
-  fi
+  spec=$(awk '/^SPECULATION_/ {
+                key = substr($1, length("SPECULATION_") + 1);
+                if (n++) printf ", ";
+                printf "\"%s\": %s", key, $2
+              }' "$OUT_DIR/$b.log")
+  extra=""
+  [ -n "$rates" ] && extra="$extra, \"events_per_sec\": {$rates}"
+  [ -n "$spec" ] && extra="$extra, \"speculation\": {$spec}"
+  printf '    "%s": {"seconds": %s, "status": "%s"%s}' \
+    "$b" "$secs" "$status" "$extra" >> "$JSON"
 done
 
 total_end=$(date +%s%N)

@@ -32,6 +32,20 @@ warm=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
 echo "warm: $warm"
 echo "$warm" | grep -q "x=12" || { echo "FAIL: warm run missed optimum"; exit 1; }
 
+# Speculative multi-threaded run: same optimum, measurements overlapped.
+spec=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet --threads 2 \
+       -- "$DIR/app.sh")
+echo "spec: $spec"
+echo "$spec" | grep -q "x=12" || {
+  echo "FAIL: --threads 2 run missed optimum"; exit 1; }
+
+# The objective is deterministic, so the speculative trajectory must report
+# exactly the serial cold run's result line (same best, runs, stop reason).
+nohist=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet -- "$DIR/app.sh")
+[ "$spec" = "$nohist" ] || {
+  echo "FAIL: --threads 2 diverged from the serial run";
+  echo "  serial: $nohist"; echo "  spec:   $spec"; exit 1; }
+
 cold_runs=$(echo "$cold" | sed 's/.*after \([0-9]*\) runs.*/\1/')
 warm_runs=$(echo "$warm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
 [ "$warm_runs" -le "$cold_runs" ] || {
