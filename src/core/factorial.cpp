@@ -29,16 +29,17 @@ namespace {
 std::vector<double> run_design(const ParameterSpace& space,
                                Objective& objective,
                                std::vector<Configuration> raw_runs,
-                               int repeats) {
+                               int repeats, const RetryPolicy& retry) {
   for (Configuration& c : raw_runs) c = space.snap(std::move(c));
-  ParallelEvaluator evaluator(objective);
+  ParallelEvaluator evaluator(objective, retry);
   return evaluator.evaluate_means(raw_runs, repeats);
 }
 
 }  // namespace
 
 FactorialResult full_factorial(const ParameterSpace& space,
-                               Objective& objective, int repeats) {
+                               Objective& objective, int repeats,
+                               const RetryPolicy& retry) {
   const std::size_t k = space.size();
   HARMONY_REQUIRE(k >= 1, "empty parameter space");
   HARMONY_REQUIRE(k <= 20, "full factorial beyond 2^20 runs refused");
@@ -56,7 +57,7 @@ FactorialResult full_factorial(const ParameterSpace& space,
     design_runs.push_back(std::move(c));
   }
   const std::vector<double> response =
-      run_design(space, objective, std::move(design_runs), repeats);
+      run_design(space, objective, std::move(design_runs), repeats, retry);
 
   FactorialResult out;
   out.runs = static_cast<int>(runs) * repeats;
@@ -147,7 +148,8 @@ std::vector<std::vector<int>> plackett_burman_matrix(std::size_t runs) {
 }
 
 FactorialResult plackett_burman(const ParameterSpace& space,
-                                Objective& objective, int repeats) {
+                                Objective& objective, int repeats,
+                                const RetryPolicy& retry) {
   const std::size_t k = space.size();
   HARMONY_REQUIRE(k >= 1, "empty parameter space");
   HARMONY_REQUIRE(repeats >= 1, "repeats must be >= 1");
@@ -168,7 +170,7 @@ FactorialResult plackett_burman(const ParameterSpace& space,
     design_runs.push_back(std::move(c));
   }
   const std::vector<double> response =
-      run_design(space, objective, std::move(design_runs), repeats);
+      run_design(space, objective, std::move(design_runs), repeats, retry);
 
   FactorialResult out;
   out.runs = static_cast<int>(runs) * repeats;

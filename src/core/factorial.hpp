@@ -45,17 +45,23 @@ struct FactorialResult {
 
 /// Full 2^k factorial over the parameters' min/max levels, holding nothing
 /// back: 2^k measurements (throws when k > 20). `repeats` averages each
-/// run against measurement noise.
+/// run against measurement noise. A `retry.enabled()` policy runs the
+/// design through the fault-tolerant path: failed runs retry per the
+/// policy and exhausted runs contribute the censored penalty to their
+/// contrasts (the default policy reproduces the infallible design
+/// bit-exactly).
 [[nodiscard]] FactorialResult full_factorial(const ParameterSpace& space,
                                              Objective& objective,
-                                             int repeats = 1);
+                                             int repeats = 1,
+                                             const RetryPolicy& retry = {});
 
 /// Plackett–Burman screening design with N runs, where N is the smallest
 /// multiple of 4 greater than the parameter count (supported N: 4, 8, 12,
-/// 16, 20, 24). Estimates main effects only.
+/// 16, 20, 24). Estimates main effects only. `retry` as in full_factorial.
 [[nodiscard]] FactorialResult plackett_burman(const ParameterSpace& space,
                                               Objective& objective,
-                                              int repeats = 1);
+                                              int repeats = 1,
+                                              const RetryPolicy& retry = {});
 
 /// The +-1 design matrix used by plackett_burman (exposed for tests:
 /// columns must be orthogonal). rows x columns = N x (N-1).

@@ -1,0 +1,131 @@
+#include "core/faults.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace harmony {
+
+FaultInjectingObjective::FaultInjectingObjective(Objective& inner,
+                                                 FaultInjectionOptions options)
+    : inner_(inner), opts_(options) {
+  HARMONY_REQUIRE(opts_.timeout_rate >= 0.0 && opts_.error_rate >= 0.0 &&
+                      opts_.invalid_rate >= 0.0,
+                  "fault rates must be non-negative");
+  HARMONY_REQUIRE(
+      opts_.timeout_rate + opts_.error_rate + opts_.invalid_rate <= 1.0,
+      "fault rates must sum to at most 1");
+}
+
+void FaultInjectingObjective::reset() {
+  counters_ = {};
+  calls_ = 0;
+  attempts_.clear();
+  faults_per_config_.clear();
+  faults_per_stream_ = 0;
+}
+
+MeasurementStatus FaultInjectingObjective::draw(const Configuration& config) {
+  ++counters_.calls;
+  std::uint64_t state;
+  std::size_t* fault_count;
+  if (opts_.mode == FaultInjectionOptions::Mode::kPerCall) {
+    state = opts_.seed ^ (0x9e3779b97f4a7c15ULL * (calls_ + 1));
+    ++calls_;
+    fault_count = &faults_per_stream_;
+  } else {
+    const std::uint64_t attempt = ++attempts_[config];
+    state = opts_.seed ^ ConfigurationHash{}(config) ^
+            (0xbf58476d1ce4e5b9ULL * attempt);
+    fault_count = &faults_per_config_[config];
+  }
+  if (*fault_count >= opts_.max_faults_per_key) return MeasurementStatus::kOk;
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  double bound = opts_.timeout_rate;
+  if (u < bound) {
+    ++counters_.timeouts;
+    ++*fault_count;
+    return MeasurementStatus::kTimeout;
+  }
+  bound += opts_.error_rate;
+  if (u < bound) {
+    ++counters_.errors;
+    ++*fault_count;
+    return MeasurementStatus::kError;
+  }
+  bound += opts_.invalid_rate;
+  if (u < bound) {
+    ++counters_.invalids;
+    ++*fault_count;
+    return MeasurementStatus::kInvalid;
+  }
+  return MeasurementStatus::kOk;
+}
+
+double FaultInjectingObjective::measure(const Configuration& config) {
+  switch (draw(config)) {
+    case MeasurementStatus::kTimeout:
+      throw Error("injected timeout");
+    case MeasurementStatus::kError:
+      throw Error("injected error");
+    case MeasurementStatus::kInvalid:
+      return std::numeric_limits<double>::quiet_NaN();
+    default:
+      return inner_.measure(config);
+  }
+}
+
+MeasurementOutcome FaultInjectingObjective::try_measure(
+    const Configuration& config) {
+  switch (draw(config)) {
+    case MeasurementStatus::kTimeout:
+      return MeasurementOutcome::timed_out("injected timeout");
+    case MeasurementStatus::kError:
+      return MeasurementOutcome::failed("injected error");
+    case MeasurementStatus::kInvalid:
+      return MeasurementOutcome::invalid("injected NaN");
+    default:
+      return inner_.try_measure(config);
+  }
+}
+
+void FaultInjectingObjective::try_measure_batch(
+    std::span<const Configuration> configs,
+    std::span<MeasurementOutcome> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "try_measure_batch size mismatch");
+  // The schedule is drawn serially in index order — the only consumer of
+  // the injector's state — then the surviving configurations go through the
+  // inner batch, whose contract keeps values thread-count invariant.
+  std::vector<std::size_t> pass_idx;
+  std::vector<Configuration> pass_configs;
+  pass_idx.reserve(configs.size());
+  pass_configs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    switch (draw(configs[i])) {
+      case MeasurementStatus::kTimeout:
+        out[i] = MeasurementOutcome::timed_out("injected timeout");
+        break;
+      case MeasurementStatus::kError:
+        out[i] = MeasurementOutcome::failed("injected error");
+        break;
+      case MeasurementStatus::kInvalid:
+        out[i] = MeasurementOutcome::invalid("injected NaN");
+        break;
+      default:
+        pass_idx.push_back(i);
+        pass_configs.push_back(configs[i]);
+        break;
+    }
+  }
+  std::vector<MeasurementOutcome> pass_out(pass_configs.size());
+  inner_.try_measure_batch(pass_configs, pass_out);
+  for (std::size_t k = 0; k < pass_idx.size(); ++k) {
+    out[pass_idx[k]] = std::move(pass_out[k]);
+  }
+}
+
+}  // namespace harmony

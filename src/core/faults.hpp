@@ -1,0 +1,111 @@
+// Deterministic fault injection for the fault-tolerant measurement path.
+//
+// A live measurement is a real system run (the paper tunes a three-tier
+// TPC-W cluster) that can hang, crash or answer with garbage. To test and
+// bench every layer above Objective::try_measure* against those failures,
+// FaultInjectingObjective wraps any objective with a *seeded schedule* of
+// injected timeouts / errors / invalid-NaN answers:
+//
+//   * per-config mode — the fault decision is a pure function of
+//     (seed, configuration, per-configuration attempt number). The schedule
+//     is independent of measurement order, so the serial kernel and the
+//     speculative frontier driver see identical faults for the same
+//     configurations, and retries advance the attempt number exactly the
+//     same way on both paths.
+//   * per-call mode — the decision is keyed on a global call counter:
+//     order-sensitive (like a machine that degrades over time), but still
+//     deterministic for a fixed driving order and bit-identical at every
+//     HARMONY_THREADS setting, because the schedule is drawn serially in
+//     index order before a batch fans out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "core/objective.hpp"
+#include "core/parameter.hpp"
+
+namespace harmony {
+
+struct FaultInjectionOptions {
+  /// Per-attempt injection probabilities (summed; their total must stay
+  /// <= 1). Drawn deterministically from the seed — the same seed and
+  /// driving order always produce the same schedule.
+  double timeout_rate = 0.0;
+  double error_rate = 0.0;
+  double invalid_rate = 0.0;
+  std::uint64_t seed = 1;
+
+  enum class Mode : std::uint8_t {
+    kPerConfig,  ///< decision = f(seed, config, attempt#) — order-free
+    kPerCall,    ///< decision = f(seed, global call#) — order-sensitive
+  };
+  Mode mode = Mode::kPerConfig;
+
+  /// Cap on injected faults per key (configuration in per-config mode; the
+  /// whole stream in per-call mode): once a key has absorbed this many
+  /// faults, further attempts pass through. Lets tests build schedules
+  /// that are guaranteed to recover under retry (cap < max_attempts) or
+  /// guaranteed to exhaust (rate 1, unlimited cap).
+  std::size_t max_faults_per_key = std::numeric_limits<std::size_t>::max();
+};
+
+/// Wraps `inner` with the seeded fault schedule above. The fallible path
+/// (try_measure / try_measure_batch) reports injected faults as
+/// MeasurementOutcome statuses; the legacy infallible path surfaces them
+/// the way a non-fault-aware objective would experience a real failure —
+/// measure() throws harmony::Error for timeouts/errors and returns NaN for
+/// invalid answers (and measure_batch, per its contract, is the serial
+/// loop, so the first injected fault poisons the whole batch).
+class FaultInjectingObjective final : public Objective {
+ public:
+  /// Counters of what was actually injected (after the per-key cap).
+  struct Counters {
+    std::size_t calls = 0;  ///< measurement attempts observed
+    std::size_t timeouts = 0;
+    std::size_t errors = 0;
+    std::size_t invalids = 0;
+    [[nodiscard]] std::size_t faults() const noexcept {
+      return timeouts + errors + invalids;
+    }
+  };
+
+  FaultInjectingObjective(Objective& inner, FaultInjectionOptions options);
+
+  double measure(const Configuration& config) override;
+  MeasurementOutcome try_measure(const Configuration& config) override;
+  /// Draws the whole batch's fault schedule serially in index order, then
+  /// batches the non-faulted configurations through the inner objective —
+  /// the fan-out (if any) happens inside inner.measure_batch, so results
+  /// are bit-identical at every thread count.
+  void try_measure_batch(std::span<const Configuration> configs,
+                         std::span<MeasurementOutcome> out) override;
+  std::string metric_name() const override { return inner_.metric_name(); }
+
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  /// Resets the schedule position (per-key attempt numbers, call counter)
+  /// and the counters — a fresh run over the same seed replays the same
+  /// faults.
+  void reset();
+
+ private:
+  /// Decides the next attempt's fate for `config` (advancing the schedule)
+  /// and returns the fault to inject, or kOk to pass through.
+  [[nodiscard]] MeasurementStatus draw(const Configuration& config);
+
+  Objective& inner_;
+  FaultInjectionOptions opts_;
+  Counters counters_;
+  std::uint64_t calls_ = 0;  // per-call mode position
+  std::unordered_map<Configuration, std::uint64_t, ConfigurationHash>
+      attempts_;  // per-config mode position
+  std::unordered_map<Configuration, std::size_t, ConfigurationHash>
+      faults_per_config_;
+  std::size_t faults_per_stream_ = 0;  // per-call mode cap accounting
+};
+
+}  // namespace harmony

@@ -1,7 +1,12 @@
 #include "core/objective.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -40,6 +45,199 @@ std::vector<double> Objective::measure_all(
   return out;
 }
 
+MeasurementOutcome Objective::try_measure(const Configuration& config) {
+  try {
+    const double v = measure(config);
+    if (std::isnan(v)) {
+      return MeasurementOutcome::invalid("measurement returned NaN");
+    }
+    return MeasurementOutcome::measured(v);
+  } catch (const std::exception& e) {
+    return MeasurementOutcome::failed(e.what());
+  }
+}
+
+void Objective::try_measure_batch(std::span<const Configuration> configs,
+                                  std::span<MeasurementOutcome> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "try_measure_batch size mismatch");
+  std::vector<double> values(configs.size());
+  try {
+    measure_batch(configs, values);
+  } catch (const std::exception& e) {
+    // The infallible batch cannot attribute the throw to one item.
+    for (MeasurementOutcome& o : out) o = MeasurementOutcome::failed(e.what());
+    return;
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    out[i] = std::isnan(values[i])
+                 ? MeasurementOutcome::invalid("measurement returned NaN")
+                 : MeasurementOutcome::measured(values[i]);
+  }
+}
+
+double RetryPolicy::backoff_ms(const Configuration& config,
+                               int attempt) const {
+  if (backoff_initial_ms <= 0.0) return 0.0;
+  double delay = backoff_initial_ms;
+  for (int a = 2; a < attempt; ++a) delay *= backoff_multiplier;
+  if (backoff_jitter > 0.0) {
+    std::uint64_t state = seed ^ ConfigurationHash{}(config) ^
+                          (0x9e3779b97f4a7c15ULL *
+                           static_cast<std::uint64_t>(attempt));
+    const double u =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    delay *= 1.0 - backoff_jitter + 2.0 * backoff_jitter * u;
+  }
+  return delay;
+}
+
+void RetryStats::merge(const RetryStats& other) noexcept {
+  attempts += other.attempts;
+  successes += other.successes;
+  retries += other.retries;
+  exhausted += other.exhausted;
+  timeouts += other.timeouts;
+  errors += other.errors;
+  invalids += other.invalids;
+}
+
+namespace {
+
+using RetryClock = std::chrono::steady_clock;
+
+double elapsed_ms(RetryClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(RetryClock::now() - start)
+      .count();
+}
+
+void count_failure(RetryStats& stats, MeasurementStatus status) {
+  switch (status) {
+    case MeasurementStatus::kTimeout:
+      ++stats.timeouts;
+      break;
+    case MeasurementStatus::kInvalid:
+      ++stats.invalids;
+      break;
+    default:
+      ++stats.errors;
+      break;
+  }
+}
+
+void backoff_sleep(double delay_ms) {
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+}
+
+}  // namespace
+
+MeasurementOutcome measure_with_retry(Objective& objective,
+                                      const Configuration& config,
+                                      const RetryPolicy& policy,
+                                      RetryStats& stats) {
+  HARMONY_REQUIRE(policy.max_attempts >= 1, "max_attempts must be >= 1");
+  const bool finite_deadline = std::isfinite(policy.deadline_ms);
+  const auto start = finite_deadline ? RetryClock::now()
+                                     : RetryClock::time_point{};
+  for (int attempt = 1;; ++attempt) {
+    MeasurementOutcome outcome = objective.try_measure(config);
+    ++stats.attempts;
+    if (outcome.ok()) {
+      ++stats.successes;
+      return outcome;
+    }
+    count_failure(stats, outcome.status);
+    const bool budget_left =
+        attempt < policy.max_attempts &&
+        (!finite_deadline || elapsed_ms(start) < policy.deadline_ms);
+    if (!budget_left) {
+      ++stats.exhausted;
+      return outcome;
+    }
+    ++stats.retries;
+    backoff_sleep(policy.backoff_ms(config, attempt + 1));
+  }
+}
+
+void measure_batch_with_retry(Objective& objective,
+                              std::span<const Configuration> configs,
+                              const RetryPolicy& policy, std::span<double> out,
+                              std::vector<std::uint8_t>* censored,
+                              RetryStats& stats) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "measure_batch size mismatch");
+  HARMONY_REQUIRE(policy.max_attempts >= 1, "max_attempts must be >= 1");
+  if (censored != nullptr) censored->assign(configs.size(), 0);
+  if (configs.empty()) return;
+  if (!policy.enabled()) {
+    objective.measure_batch(configs, out);
+    stats.attempts += configs.size();
+    stats.successes += configs.size();
+    return;
+  }
+
+  const bool finite_deadline = std::isfinite(policy.deadline_ms);
+  const auto start = finite_deadline ? RetryClock::now()
+                                     : RetryClock::time_point{};
+  std::vector<MeasurementOutcome> outcomes(configs.size());
+  objective.try_measure_batch(configs, outcomes);
+  stats.attempts += configs.size();
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (outcomes[i].ok()) {
+      out[i] = outcomes[i].value;
+      ++stats.successes;
+    } else {
+      count_failure(stats, outcomes[i].status);
+      pending.push_back(i);
+    }
+  }
+
+  std::vector<Configuration> retry_configs;
+  std::vector<MeasurementOutcome> retry_outcomes;
+  std::vector<std::size_t> still_failing;
+  for (int attempt = 2;
+       attempt <= policy.max_attempts && !pending.empty(); ++attempt) {
+    if (finite_deadline && elapsed_ms(start) >= policy.deadline_ms) break;
+    stats.retries += pending.size();
+    if (policy.backoff_initial_ms > 0.0) {
+      // Batch semantics: one wait per round, long enough for every item.
+      double delay = 0.0;
+      for (std::size_t idx : pending) {
+        delay = std::max(delay, policy.backoff_ms(configs[idx], attempt));
+      }
+      backoff_sleep(delay);
+    }
+    retry_configs.clear();
+    for (std::size_t idx : pending) retry_configs.push_back(configs[idx]);
+    retry_outcomes.assign(pending.size(), {});
+    objective.try_measure_batch(retry_configs, retry_outcomes);
+    stats.attempts += pending.size();
+    still_failing.clear();
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const std::size_t i = pending[k];
+      if (retry_outcomes[k].ok()) {
+        out[i] = retry_outcomes[k].value;
+        ++stats.successes;
+      } else {
+        count_failure(stats, retry_outcomes[k].status);
+        still_failing.push_back(i);
+      }
+    }
+    pending.swap(still_failing);
+  }
+
+  for (std::size_t idx : pending) {
+    out[idx] = policy.censored_value;
+    if (censored != nullptr) (*censored)[idx] = 1;
+    ++stats.exhausted;
+  }
+}
+
 FunctionObjective::FunctionObjective(Fn fn, std::string metric,
                                      bool concurrent)
     : fn_(std::move(fn)), metric_(std::move(metric)), concurrent_(concurrent) {
@@ -56,6 +254,23 @@ void FunctionObjective::measure_batch(std::span<const Configuration> configs,
   }
   parallel_for(configs.size(),
                [&](std::size_t i) { out[i] = fn_(configs[i]); });
+}
+
+void FunctionObjective::try_measure_batch(
+    std::span<const Configuration> configs,
+    std::span<MeasurementOutcome> out) {
+  HARMONY_REQUIRE(configs.size() == out.size(),
+                  "try_measure_batch size mismatch");
+  if (!concurrent_) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      out[i] = try_measure(configs[i]);
+    }
+    return;
+  }
+  // try_measure contains each exception in its own slot, so the fan-out is
+  // as safe as the infallible one.
+  parallel_for(configs.size(),
+               [&](std::size_t i) { out[i] = try_measure(configs[i]); });
 }
 
 PerturbedObjective::PerturbedObjective(Objective& inner, double perturbation,

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -33,6 +35,41 @@ struct ConfigurationHash {
       const Configuration& config) const noexcept;
 };
 
+/// Terminal status of one measurement attempt. A live measurement is a real
+/// system run that can hang, crash or answer with garbage; the fallible
+/// measurement path (Objective::try_measure*) reports which happened instead
+/// of assuming success.
+enum class MeasurementStatus : std::uint8_t {
+  kOk = 0,   ///< value holds a real measurement
+  kTimeout,  ///< the run did not answer within its deadline
+  kError,    ///< the run crashed, exited nonzero, or threw
+  kInvalid,  ///< the run answered, but with garbage (NaN)
+};
+
+/// Result of one fallible measurement attempt. `value` is meaningful only
+/// when ok(); `message` optionally carries a diagnostic for failures.
+struct MeasurementOutcome {
+  double value = 0.0;
+  MeasurementStatus status = MeasurementStatus::kOk;
+  std::string message;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == MeasurementStatus::kOk;
+  }
+  [[nodiscard]] static MeasurementOutcome measured(double value) {
+    return {value, MeasurementStatus::kOk, {}};
+  }
+  [[nodiscard]] static MeasurementOutcome timed_out(std::string msg = {}) {
+    return {0.0, MeasurementStatus::kTimeout, std::move(msg)};
+  }
+  [[nodiscard]] static MeasurementOutcome failed(std::string msg = {}) {
+    return {0.0, MeasurementStatus::kError, std::move(msg)};
+  }
+  [[nodiscard]] static MeasurementOutcome invalid(std::string msg = {}) {
+    return {0.0, MeasurementStatus::kInvalid, std::move(msg)};
+  }
+};
+
 /// Interface to the system being tuned.
 class Objective {
  public:
@@ -48,11 +85,106 @@ class Objective {
   /// Convenience wrapper around measure_batch.
   [[nodiscard]] std::vector<double> measure_all(
       std::span<const Configuration> configs);
+  /// Fallible form of measure(): reports timeouts / crashes / garbage as a
+  /// MeasurementOutcome instead of assuming success. The default wraps the
+  /// infallible path — a thrown harmony::Error becomes kError and a NaN
+  /// return becomes kInvalid — so every existing objective is usable on the
+  /// fault-tolerant path unchanged. Objectives that can observe failures
+  /// directly (external commands, live protocols) should override.
+  [[nodiscard]] virtual MeasurementOutcome try_measure(
+      const Configuration& config);
+  /// Fallible form of measure_batch, same index-order contract. The default
+  /// routes values through measure_batch (keeping any parallel fan-out an
+  /// override provides); since the infallible batch cannot attribute a
+  /// thrown error to one item, an exception marks the whole batch kError —
+  /// objectives with per-item failure knowledge should override.
+  virtual void try_measure_batch(std::span<const Configuration> configs,
+                                 std::span<MeasurementOutcome> out);
   /// Name of the performance metric, for reports ("WIPS", "throughput", ...).
   [[nodiscard]] virtual std::string metric_name() const {
     return "performance";
   }
 };
+
+/// Retry/backoff policy for fallible measurements. The defaults describe
+/// the legacy infallible contract (one attempt, nothing tolerated), so a
+/// default-constructed policy leaves every existing code path — and its
+/// bit-exact results — untouched; enabled() gates the fault-tolerant path.
+struct RetryPolicy {
+  /// Total attempts per measurement (>= 1); 1 means no retries.
+  int max_attempts = 1;
+  /// Wall-clock budget for one measurement including its retries, in
+  /// milliseconds; once exceeded no further retry is issued. Infinite by
+  /// default — a finite deadline trades determinism (whether a retry
+  /// happens depends on timing) for boundedness, so tests keep it infinite.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  /// First retry delay in milliseconds (0 = retry immediately). Each
+  /// further retry multiplies the delay by backoff_multiplier.
+  double backoff_initial_ms = 0.0;
+  double backoff_multiplier = 2.0;
+  /// Jitter fraction in [0, 1): each delay is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter]. The draw is a pure function
+  /// of (seed, configuration, attempt) — deterministic regardless of thread
+  /// interleaving, unlike clock- or rand()-based jitter.
+  double backoff_jitter = 0.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Value substituted for a measurement whose retries were exhausted: a
+  /// censored worst-case penalty. Finite (not -inf) so the simplex keeps
+  /// valid geometry — the vertex sorts worst and is reflected away from,
+  /// exactly how Nelder-Mead treats a genuinely terrible configuration.
+  double censored_value = -1.0e30;
+  /// Master switch for the fault-tolerant path when max_attempts == 1:
+  /// failures are still censored instead of thrown, just never retried.
+  bool tolerate_failures = false;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return tolerate_failures || max_attempts > 1;
+  }
+  /// Deterministic backoff delay before `attempt` (2-based: the wait
+  /// between attempt N-1 and attempt N) of measuring `config`.
+  [[nodiscard]] double backoff_ms(const Configuration& config,
+                                  int attempt) const;
+};
+
+/// Accounting of fallible measurements driven through a RetryPolicy.
+/// Invariant: attempts == successes + retries + exhausted (every attempt
+/// either produced the value, was followed by another attempt, or ended the
+/// measurement censored), and retries + successes' failures split into the
+/// per-kind counters: timeouts + errors + invalids == attempts - successes.
+struct RetryStats {
+  std::size_t attempts = 0;   ///< try_measure calls issued
+  std::size_t successes = 0;  ///< measurements that produced a value
+  std::size_t retries = 0;    ///< failed attempts that were retried
+  std::size_t exhausted = 0;  ///< measurements censored after the last attempt
+  std::size_t timeouts = 0;   ///< failed attempts by kind
+  std::size_t errors = 0;
+  std::size_t invalids = 0;
+
+  void merge(const RetryStats& other) noexcept;
+  [[nodiscard]] bool operator==(const RetryStats&) const noexcept = default;
+};
+
+/// Measures one configuration under `policy`: up to max_attempts tries with
+/// deterministic backoff, accounting into `stats`. Returns the first ok
+/// outcome, or the last failure once attempts/deadline are exhausted (the
+/// caller maps that to policy.censored_value).
+[[nodiscard]] MeasurementOutcome measure_with_retry(Objective& objective,
+                                                    const Configuration& config,
+                                                    const RetryPolicy& policy,
+                                                    RetryStats& stats);
+
+/// Batch form: one try_measure_batch over the whole batch, then retry
+/// rounds over the still-failing subset (index order) until every item
+/// succeeded or the policy is exhausted. Exhausted items get
+/// policy.censored_value in out[i] and, when `censored` is non-null, a 1 in
+/// (*censored)[i] (resized to the batch). Bit-identical at any thread count
+/// for objectives honouring the batch contract: the retry rounds are a pure
+/// function of the outcomes, never of timing.
+void measure_batch_with_retry(Objective& objective,
+                              std::span<const Configuration> configs,
+                              const RetryPolicy& policy, std::span<double> out,
+                              std::vector<std::uint8_t>* censored,
+                              RetryStats& stats);
 
 /// Wraps a callable as an Objective. Pass concurrent = true when the
 /// callable is a pure function safe to invoke from several threads at once;
@@ -65,6 +197,10 @@ class FunctionObjective final : public Objective {
   double measure(const Configuration& config) override { return fn_(config); }
   void measure_batch(std::span<const Configuration> configs,
                      std::span<double> out) override;
+  /// Items are independent callable invocations, so a failure is attributed
+  /// to its own item — one crashing configuration never poisons the batch.
+  void try_measure_batch(std::span<const Configuration> configs,
+                         std::span<MeasurementOutcome> out) override;
   std::string metric_name() const override { return metric_; }
 
  private:

@@ -6,12 +6,27 @@ namespace harmony {
 
 std::vector<double> ParallelEvaluator::evaluate(
     std::span<const Configuration> configs) {
-  return objective_.measure_all(configs);
+  std::vector<double> out(configs.size());
+  evaluate_into(configs, out);
+  return out;
 }
 
 void ParallelEvaluator::evaluate_into(std::span<const Configuration> configs,
                                       std::span<double> out) {
-  objective_.measure_batch(configs, out);
+  evaluate_into(configs, out, nullptr);
+}
+
+void ParallelEvaluator::evaluate_into(std::span<const Configuration> configs,
+                                      std::span<double> out,
+                                      std::vector<std::uint8_t>* censored) {
+  if (!policy_.enabled()) {
+    // Legacy infallible path, bit for bit and allocation for allocation.
+    if (censored != nullptr) censored->assign(configs.size(), 0);
+    objective_.measure_batch(configs, out);
+    return;
+  }
+  measure_batch_with_retry(objective_, configs, policy_, out, censored,
+                           stats_);
 }
 
 std::vector<std::vector<double>> ParallelEvaluator::evaluate_repeated(
@@ -22,7 +37,8 @@ std::vector<std::vector<double>> ParallelEvaluator::evaluate_repeated(
   for (const Configuration& c : configs) {
     for (int r = 0; r < repeats; ++r) flat.push_back(c);
   }
-  const std::vector<double> values = objective_.measure_all(flat);
+  std::vector<double> values(flat.size());
+  evaluate_into(flat, values);
   std::vector<std::vector<double>> out(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const std::size_t base = i * static_cast<std::size_t>(repeats);

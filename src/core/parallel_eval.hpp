@@ -10,6 +10,7 @@
 // at any HARMONY_THREADS setting.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,15 @@ class ParallelEvaluator {
  public:
   explicit ParallelEvaluator(Objective& objective) : objective_(objective) {}
 
+  /// Fault-tolerant evaluator: when `policy.enabled()`, every batch goes
+  /// through the fallible path (Objective::try_measure_batch) with retry
+  /// rounds per the policy, and measurements whose retries are exhausted
+  /// come back as policy.censored_value. Retry accounting accumulates in
+  /// retry_stats(). A default policy reproduces the infallible path
+  /// bit-exactly (and skips the outcome machinery entirely).
+  ParallelEvaluator(Objective& objective, RetryPolicy policy)
+      : objective_(objective), policy_(policy) {}
+
   /// Batch-evaluates configs (index order, like a serial measure() loop).
   [[nodiscard]] std::vector<double> evaluate(
       std::span<const Configuration> configs);
@@ -31,6 +41,13 @@ class ParallelEvaluator {
   /// every kernel step with reused buffers.
   void evaluate_into(std::span<const Configuration> configs,
                      std::span<double> out);
+
+  /// evaluate_into plus per-index censoring flags: (*censored)[i] is 1 when
+  /// configs[i] exhausted its retries and out[i] is the censored penalty
+  /// (always all-zero under a default policy). `censored` may be null.
+  void evaluate_into(std::span<const Configuration> configs,
+                     std::span<double> out,
+                     std::vector<std::uint8_t>* censored);
 
   /// Evaluates each config `repeats` times — flattened config-major,
   /// repeat-minor, exactly the order a serial repeat loop issues — and
@@ -44,8 +61,15 @@ class ParallelEvaluator {
   [[nodiscard]] std::vector<double> evaluate_means(
       std::span<const Configuration> configs, int repeats);
 
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const RetryStats& retry_stats() const noexcept {
+    return stats_;
+  }
+
  private:
   Objective& objective_;
+  RetryPolicy policy_{};
+  RetryStats stats_;
 };
 
 }  // namespace harmony

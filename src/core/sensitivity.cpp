@@ -61,7 +61,7 @@ std::vector<ParameterSensitivity> analyze_sensitivity(
     out.push_back(std::move(s));
   }
 
-  ParallelEvaluator evaluator(objective);
+  ParallelEvaluator evaluator(objective, options.retry);
   const auto samples =
       evaluator.evaluate_repeated(sweep_configs, options.repeats);
 

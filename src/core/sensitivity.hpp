@@ -45,6 +45,14 @@ struct SensitivityOptions {
   /// (it would amplify pure noise when argmax/argmin happen to land on
   /// adjacent grid points). Set to 0 to disable.
   double noise_guard_sigmas = 5.5;
+  /// Fault tolerance for the sweep's measurements: when `retry.enabled()`,
+  /// every point goes through the fallible path with the policy's retry
+  /// rounds, and points whose retries are exhausted contribute the censored
+  /// penalty to their parameter's response (pulling its sensitivity toward
+  /// the failure, which is the honest reading of a point that cannot be
+  /// measured). The default policy reproduces the infallible sweep
+  /// bit-exactly.
+  RetryPolicy retry;
 };
 
 /// Runs the one-at-a-time sweep around `base` (typically the defaults).

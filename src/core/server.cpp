@@ -1,5 +1,7 @@
 #include "core/server.hpp"
 
+#include <exception>
+
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,21 +37,38 @@ std::vector<ServedTuningResult> HarmonyServer::serve_batch(
   parallel_for(requests.size(), [&](std::size_t i) {
     const ServeRequest& rq = requests[i];
     ServedTuningResult& res = out[i];
-    TuningSession session(space_, *rq.objective, opts_.tuning);
-    if (const ExperienceRecord* exp = analyzer_.retrieve(db_, rq.signature)) {
-      session.seed(exp->best(space_.size() + 1), opts_.use_recorded_values);
-      res.experience_label = exp->label;
-      res.experience_distance =
-          signature_distance(rq.signature, exp->signature);
+    // A request failure is contained here: the pool rethrows escaped
+    // exceptions after the drain, which would poison the whole batch, so
+    // the failing run is marked and its siblings finish untouched (they
+    // share no mutable state with it).
+    try {
+      TuningSession session(space_, *rq.objective, opts_.tuning);
+      if (const ExperienceRecord* exp =
+              analyzer_.retrieve(db_, rq.signature)) {
+        session.seed(exp->best(space_.size() + 1), opts_.use_recorded_values);
+        res.experience_label = exp->label;
+        res.experience_distance =
+            signature_distance(rq.signature, exp->signature);
+      }
+      res.tuning = session.run();
+      if (res.tuning.retry.exhausted > 0) {
+        res.failed = true;
+        res.failure = "retries exhausted (censored measurements in trace)";
+      }
+    } catch (const std::exception& e) {
+      res.failed = true;
+      res.failure = e.what();
     }
-    res.tuning = session.run();
   });
 
   // Experience writes are batched at run completion, in request order: the
   // database (and its version stamp) moves only after the whole batch is
-  // done, which is what makes the concurrent read path above safe.
+  // done, which is what makes the concurrent read path above safe. Failed
+  // runs are skipped — censored penalties and partial traces must not
+  // become training data for future warm starts.
   if (opts_.record_experience) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (out[i].failed) continue;
       ExperienceRecord rec;
       rec.label = requests[i].label;
       rec.signature = requests[i].signature;

@@ -37,6 +37,15 @@ struct ServedTuningResult {
   std::optional<std::string> experience_label;
   /// Distance between the observed signature and the experience used.
   double experience_distance = 0.0;
+  /// True when this request did not produce a trustworthy run: its
+  /// objective threw out of the tuning loop (`failure` holds the message,
+  /// `tuning` whatever had accumulated), or its retry policy exhausted at
+  /// least one measurement (censored values sit in the trace). Failed
+  /// requests never write experience back to the database; sibling
+  /// requests in the same serve_batch are unaffected — their trajectories
+  /// are the ones a batch without the failing request would have produced.
+  bool failed = false;
+  std::string failure;
 };
 
 /// One workload to serve: the live objective (must stay valid for the whole

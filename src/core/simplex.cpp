@@ -259,7 +259,8 @@ void StepwiseSimplex::plan() {
   const double worst = verts_.back().value;
   const double spread =
       std::abs(best - worst) / std::max(std::abs(best), 1e-12);
-  if (spread < opts_.perf_rel_tolerance) {
+  const bool worst_censored = worst <= opts_.censored_threshold;
+  if (!worst_censored && spread < opts_.perf_rel_tolerance) {
     double plateau = opts_.plateau_diameter;
     if (plateau <= 0.0) {
       double max_step = 0.0;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +53,16 @@ struct SimplexOptions {
   /// the cluster), restart with a unit-step simplex around the best vertex
   /// instead of giving up, at most this many times.
   int max_restarts = 4;
+  /// A value at or below this marks its vertex as *censored*: a
+  /// fault-tolerant driver substituted a finite worst-case penalty
+  /// (RetryPolicy::censored_value) for a measurement whose retries were
+  /// exhausted. The penalty is finite, so reflection geometry still pushes
+  /// the simplex away from the failed point — but while the worst vertex
+  /// is censored the perf-spread convergence test is suspended (a simplex
+  /// of penalties must keep moving, never "converge"; with every vertex
+  /// censored the spread is zero and would otherwise stop the search on
+  /// garbage). Default -inf: no finite value is censored.
+  double censored_threshold = -std::numeric_limits<double>::infinity();
 };
 
 /// Result of one simplex run.

@@ -12,6 +12,22 @@
 
 namespace harmony {
 
+namespace {
+
+/// Simplex options the kernel actually runs with: a retry-enabled session
+/// marks the policy's censored penalty as the censoring threshold unless
+/// the caller pinned one explicitly.
+SimplexOptions effective_simplex_options(const TuningOptions& opts) {
+  SimplexOptions so = opts.simplex;
+  if (opts.retry.enabled() &&
+      so.censored_threshold == -std::numeric_limits<double>::infinity()) {
+    so.censored_threshold = opts.retry.censored_value;
+  }
+  return so;
+}
+
+}  // namespace
+
 TuningSession::TuningSession(const ParameterSpace& space, Objective& objective,
                              TuningOptions options)
     : space_(space), objective_(objective), opts_(std::move(options)) {
@@ -89,6 +105,9 @@ TuningResult TuningSession::run() {
   if (opts_.speculative) {
     return run_speculative(std::move(vertices), std::move(seeded_values));
   }
+  if (opts_.retry.enabled()) {
+    return run_fault_tolerant(std::move(vertices), std::move(seeded_values));
+  }
 
   SimplexSearch search(space_, opts_.simplex);
   const SimplexResult sr = search.maximize(
@@ -108,11 +127,37 @@ TuningResult TuningSession::run() {
   return out;
 }
 
+TuningResult TuningSession::run_fault_tolerant(
+    std::vector<Configuration> vertices, std::vector<double> seeded_values) {
+  // The serial kernel loop of SimplexSearch::maximize, driven through the
+  // fallible path: each step retries per the policy, and an exhausted step
+  // enters the kernel as the censored penalty instead of aborting the run.
+  StepwiseSimplex machine(space_, effective_simplex_options(opts_),
+                          std::move(vertices), std::move(seeded_values));
+  TuningResult out;
+  out.trace.reserve(static_cast<std::size_t>(opts_.simplex.max_evaluations));
+  while (const Configuration* c = machine.peek()) {
+    const MeasurementOutcome o =
+        measure_with_retry(objective_, *c, opts_.retry, out.retry);
+    const bool censored = !o.ok();
+    const double v = censored ? opts_.retry.censored_value : o.value;
+    out.trace.push_back({*c, v, /*estimated=*/false, censored});
+    machine.submit(v);
+  }
+  const SimplexResult& sr = machine.result();
+  out.best_config = sr.best;
+  out.best_performance = sr.best_value;
+  out.evaluations = sr.evaluations;
+  out.converged = sr.converged;
+  out.stop_reason = sr.stop_reason;
+  return out;
+}
+
 TuningResult TuningSession::run_speculative(
     std::vector<Configuration> vertices, std::vector<double> seeded_values) {
-  StepwiseSimplex machine(space_, opts_.simplex, std::move(vertices),
-                          std::move(seeded_values));
-  ParallelEvaluator evaluator(objective_);
+  StepwiseSimplex machine(space_, effective_simplex_options(opts_),
+                          std::move(vertices), std::move(seeded_values));
+  ParallelEvaluator evaluator(objective_, opts_.retry);
 
   // Speculation cache: every live measurement lands here keyed by its
   // snapped configuration; the kernel's requests are served from it. An
@@ -121,6 +166,7 @@ TuningResult TuningSession::run_speculative(
   struct CacheEntry {
     double value = 0.0;
     bool consumed = false;
+    bool censored = false;
   };
   std::unordered_map<Configuration, CacheEntry, ConfigurationHash> cache;
   const auto budget = static_cast<std::size_t>(opts_.simplex.max_evaluations);
@@ -132,6 +178,9 @@ TuningResult TuningSession::run_speculative(
 
   std::vector<Configuration> to_measure;
   std::vector<double> values;
+  std::vector<std::uint8_t> censored_flags;
+  std::vector<std::uint8_t>* const censored =
+      opts_.retry.enabled() ? &censored_flags : nullptr;
   while (const Configuration* c = machine.peek()) {
     auto it = cache.find(*c);
     if (it == cache.end()) {
@@ -152,11 +201,14 @@ TuningResult TuningSession::run_speculative(
                                         : 1;
       if (to_measure.size() > remaining) to_measure.resize(remaining);
       values.resize(to_measure.size());
-      evaluator.evaluate_into(to_measure, values);
+      evaluator.evaluate_into(to_measure, values, censored);
       ++stats.batches;
       stats.measured += to_measure.size();
       for (std::size_t i = 0; i < to_measure.size(); ++i) {
-        cache.emplace(std::move(to_measure[i]), CacheEntry{values[i], false});
+        cache.emplace(
+            std::move(to_measure[i]),
+            CacheEntry{values[i], false,
+                       censored != nullptr && censored_flags[i] != 0});
       }
       it = cache.find(*c);
     } else {
@@ -164,13 +216,14 @@ TuningResult TuningSession::run_speculative(
     }
     it->second.consumed = true;
     const double v = it->second.value;
-    out.trace.push_back({*c, v, /*estimated=*/false});
+    out.trace.push_back({*c, v, /*estimated=*/false, it->second.censored});
     ++stats.consumed;
     machine.submit(v);
   }
   for (const auto& [config, entry] : cache) {
     if (!entry.consumed) ++stats.wasted;
   }
+  out.retry = evaluator.retry_stats();
 
   const SimplexResult& sr = machine.result();
   out.best_config = sr.best;

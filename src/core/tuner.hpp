@@ -28,6 +28,9 @@ struct Measurement {
   /// True when the value came from history/estimation rather than a live
   /// measurement (training-stage entries).
   bool estimated = false;
+  /// True when the measurement exhausted its retries and `performance` is
+  /// the policy's censored worst-case penalty, not an observed value.
+  bool censored = false;
 };
 
 struct TuningOptions {
@@ -49,6 +52,15 @@ struct TuningOptions {
   /// order, so their traces differ from the serial kernel (but stay
   /// thread-count invariant under the measure_batch contract).
   bool speculative = false;
+  /// Fault tolerance: when `retry.enabled()`, measurements go through the
+  /// fallible path (Objective::try_measure / try_measure_batch) with the
+  /// policy's retry rounds, exhausted measurements enter the kernel as the
+  /// censored penalty (flagged in the trace), and the simplex suspends
+  /// perf-spread convergence while its worst vertex is censored (the
+  /// policy's censored_value is injected as SimplexOptions::
+  /// censored_threshold unless one was set explicitly). The default
+  /// (disabled) policy runs the legacy infallible path bit-exactly.
+  RetryPolicy retry;
 };
 
 /// Accounting of one speculative run (zeroes when speculation is off).
@@ -80,6 +92,7 @@ struct TuningResult {
   bool converged = false;
   std::string stop_reason;
   SpeculationStats speculation;  ///< frontier accounting (speculative runs)
+  RetryStats retry;  ///< fault-path accounting (zeroes when retry disabled)
 };
 
 class TuningSession {
@@ -112,6 +125,8 @@ class TuningSession {
 
  private:
   [[nodiscard]] TuningResult run_speculative(
+      std::vector<Configuration> vertices, std::vector<double> seeded_values);
+  [[nodiscard]] TuningResult run_fault_tolerant(
       std::vector<Configuration> vertices, std::vector<double> seeded_values);
 
   const ParameterSpace& space_;

@@ -20,7 +20,16 @@
 //   --trace <file.csv>   write the exploration trace as CSV
 //   --threads <n>        worker threads; n > 1 turns on speculative frontier
 //                        evaluation (command runs overlap across threads)
+//   --retries <n>        tolerate command failures: retry each measurement
+//                        up to n extra times; a measurement that still fails
+//                        enters the search as a censored worst-case penalty
+//                        instead of aborting the run (exit code 3 reports
+//                        that at least one measurement was censored)
+//   --timeout-ms <ms>    per-run wall-clock limit (coreutils timeout(1));
+//                        an expired run counts as a timeout failure
 //   --quiet              only print the final configuration line
+#include <sys/wait.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +61,8 @@ struct CliOptions {
   std::string label = "harmony_tune";
   std::string trace_path;
   int threads = 1;
+  int retries = -1;  // < 0: failures abort the run (legacy behaviour)
+  double timeout_ms = 0.0;  // <= 0: no per-run limit
   bool quiet = false;
   std::vector<std::string> command;
 };
@@ -60,7 +71,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s --rsl <file> [--budget n] [--strategy even|extreme]"
                " [--history db] [--signature v,...] [--label name]"
-               " [--trace out.csv] [--threads n] [--quiet]"
+               " [--trace out.csv] [--threads n] [--retries n]"
+               " [--timeout-ms ms] [--quiet]"
                " -- command [args...]\n",
                argv0);
   std::exit(2);
@@ -93,6 +105,12 @@ CliOptions parse_cli(int argc, char** argv) {
       o.trace_path = value();
     } else if (arg == "--threads") {
       o.threads = static_cast<int>(parse_long(value()));
+    } else if (arg == "--retries") {
+      o.retries = static_cast<int>(parse_long(value()));
+      if (o.retries < 0) usage(argv[0]);
+    } else if (arg == "--timeout-ms") {
+      o.timeout_ms = parse_double(value());
+      if (o.timeout_ms <= 0.0) usage(argv[0]);
     } else if (arg == "--quiet") {
       o.quiet = true;
     } else if (arg == "--") {
@@ -126,13 +144,24 @@ std::string shell_quote(const std::string& s) {
 class CommandObjective final : public Objective {
  public:
   CommandObjective(const ParameterSpace& space,
-                   std::vector<std::string> command, bool quiet)
-      : space_(space), command_(std::move(command)), quiet_(quiet) {}
+                   std::vector<std::string> command, bool quiet,
+                   double timeout_ms)
+      : space_(space),
+        command_(std::move(command)),
+        quiet_(quiet),
+        timeout_ms_(timeout_ms) {}
 
   double measure(const Configuration& config) override {
-    const double perf = run_command(config);
-    log(config, perf);
-    return perf;
+    const MeasurementOutcome o = run_command(config);
+    log(config, o);
+    if (!o.ok()) throw Error(o.message);
+    return o.value;
+  }
+
+  MeasurementOutcome try_measure(const Configuration& config) override {
+    MeasurementOutcome o = run_command(config);
+    log(config, o);
+    return o;
   }
 
   /// Launches the commands concurrently across the thread pool (each one is
@@ -141,42 +170,78 @@ class CommandObjective final : public Objective {
   /// readable under --threads > 1.
   void measure_batch(std::span<const Configuration> configs,
                      std::span<double> out) override {
+    std::vector<MeasurementOutcome> outcomes(configs.size());
+    try_measure_batch(configs, outcomes);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (!outcomes[i].ok()) throw Error(outcomes[i].message);
+      out[i] = outcomes[i].value;
+    }
+  }
+
+  void try_measure_batch(std::span<const Configuration> configs,
+                         std::span<MeasurementOutcome> out) override {
     parallel_for(configs.size(),
                  [&](std::size_t i) { out[i] = run_command(configs[i]); });
     for (std::size_t i = 0; i < configs.size(); ++i) log(configs[i], out[i]);
   }
 
  private:
-  double run_command(const Configuration& config) const {
+  MeasurementOutcome run_command(const Configuration& config) const {
     std::string cmd;
     for (std::size_t i = 0; i < space_.size(); ++i) {
       cmd += "HARMONY_" + space_.param(i).name + "=" +
              format_double(config[i]) + " ";
     }
+    if (timeout_ms_ > 0.0) {
+      // The env assignments prefix the timeout(1) command, which passes
+      // them through to the child it supervises.
+      cmd += "timeout " + format_double(timeout_ms_ / 1000.0) + " ";
+    }
     for (const std::string& part : command_) {
       cmd += shell_quote(part) + " ";
     }
     FILE* pipe = popen(cmd.c_str(), "r");
-    HARMONY_REQUIRE(pipe != nullptr, "failed to launch command");
+    if (pipe == nullptr) {
+      return MeasurementOutcome::failed("failed to launch command");
+    }
     std::string output;
     char buf[4096];
     while (std::fgets(buf, sizeof buf, pipe) != nullptr) output += buf;
     const int status = pclose(pipe);
-    HARMONY_REQUIRE(status == 0, "command exited with status " +
-                                     std::to_string(status));
+    if (status != 0) {
+      const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      if (timeout_ms_ > 0.0 && code == 124) {  // timeout(1)'s signal code
+        return MeasurementOutcome::timed_out("command timed out");
+      }
+      return MeasurementOutcome::failed("command exited with status " +
+                                        std::to_string(status));
+    }
     std::string last;
     for (const std::string& line : split(output, '\n')) {
       if (!trim(line).empty()) last = std::string(trim(line));
     }
-    HARMONY_REQUIRE(!last.empty(), "command produced no output");
-    return parse_double(last);
+    if (last.empty()) {
+      return MeasurementOutcome::invalid("command produced no output");
+    }
+    try {
+      return MeasurementOutcome::measured(parse_double(last));
+    } catch (const Error&) {
+      return MeasurementOutcome::invalid("command output not numeric: " +
+                                         last);
+    }
   }
 
-  void log(const Configuration& config, double perf) {
+  void log(const Configuration& config, const MeasurementOutcome& o) {
     if (quiet_) return;
-    std::fprintf(stderr, "[%3d] perf %-12g",
-                 iteration_.fetch_add(1, std::memory_order_relaxed) + 1,
-                 perf);
+    const int it = iteration_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (o.ok()) {
+      std::fprintf(stderr, "[%3d] perf %-12g", it, o.value);
+    } else {
+      const char* kind = o.status == MeasurementStatus::kTimeout ? "timeout"
+                         : o.status == MeasurementStatus::kError ? "error"
+                                                                 : "invalid";
+      std::fprintf(stderr, "[%3d] FAIL %-12s", it, kind);
+    }
     for (std::size_t i = 0; i < space_.size(); ++i) {
       std::fprintf(stderr, " %s=%g", space_.param(i).name.c_str(),
                    config[i]);
@@ -187,6 +252,7 @@ class CommandObjective final : public Objective {
   const ParameterSpace& space_;
   std::vector<std::string> command_;
   bool quiet_;
+  double timeout_ms_;
   std::atomic<int> iteration_{0};
 };
 
@@ -203,7 +269,8 @@ int main(int argc, char** argv) {
     const ParameterSpace space = parse_rsl(rsl_text.str());
     HARMONY_REQUIRE(!space.empty(), "RSL declares no bundles");
 
-    CommandObjective objective(space, cli.command, cli.quiet);
+    CommandObjective objective(space, cli.command, cli.quiet,
+                               cli.timeout_ms);
 
     set_thread_count(static_cast<unsigned>(cli.threads));
 
@@ -212,6 +279,13 @@ int main(int argc, char** argv) {
     // With more than one worker, speculate: measure the kernel's whole
     // candidate frontier concurrently and serve later steps from the cache.
     sopts.tuning.speculative = cli.threads > 1;
+    if (cli.retries >= 0) {
+      // Fault tolerance: each measurement may be retried, and one that
+      // still fails enters the search as a censored penalty instead of
+      // killing the run.
+      sopts.tuning.retry.max_attempts = cli.retries + 1;
+      sopts.tuning.retry.tolerate_failures = true;
+    }
     if (cli.strategy == "extreme") {
       sopts.tuning.strategy = std::make_shared<ExtremeCornerStrategy>();
     } else {
@@ -232,6 +306,12 @@ int main(int argc, char** argv) {
         cli.signature.empty() ? WorkloadSignature{0.0} : cli.signature;
     const ServedTuningResult run =
         server.tune(objective, signature, cli.label);
+    // Without --retries a command failure surfaces here (the server isolates
+    // it rather than letting the exception escape serve_batch).
+    if (run.failed && run.tuning.retry.exhausted == 0) {
+      std::fprintf(stderr, "harmony_tune: %s\n", run.failure.c_str());
+      return 1;
+    }
 
     if (!cli.history_path.empty()) {
       server.database().save_file(cli.history_path);
@@ -266,6 +346,14 @@ int main(int argc, char** argv) {
                    s.measured, s.consumed, 100.0 * s.hit_rate(),
                    100.0 * s.waste_rate());
     }
+    if (sopts.tuning.retry.enabled()) {
+      const RetryStats& r = run.tuning.retry;
+      std::fprintf(stderr,
+                   "retries: %zu attempts, %zu succeeded, %zu retried, "
+                   "%zu exhausted (%zu timeouts, %zu errors, %zu invalid)\n",
+                   r.attempts, r.successes, r.retries, r.exhausted,
+                   r.timeouts, r.errors, r.invalids);
+    }
     std::printf("best performance %s after %d runs (%s):",
                 format_double(run.tuning.best_performance).c_str(),
                 run.tuning.evaluations, run.tuning.stop_reason.c_str());
@@ -274,6 +362,13 @@ int main(int argc, char** argv) {
                   run.tuning.best_config[i]);
     }
     std::printf("\n");
+    if (run.tuning.retry.exhausted > 0) {
+      std::fprintf(stderr,
+                   "harmony_tune: %zu measurement(s) censored after "
+                   "exhausted retries\n",
+                   run.tuning.retry.exhausted);
+      return 3;
+    }
     return 0;
   } catch (const harmony::Error& e) {
     std::fprintf(stderr, "harmony_tune: %s\n", e.what());

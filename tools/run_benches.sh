@@ -68,9 +68,10 @@ for b in $BENCHES; do
   echo "$status  ${secs}s"
   [ $first -eq 1 ] || printf ',\n' >> "$JSON"
   first=0
-  # Benches report throughput on EVENTS_PER_SEC <name> <rate> marker lines
-  # and speculation metrics on SPECULATION_<key> <value> lines; fold any
-  # such markers into the bench's JSON entry.
+  # Benches report throughput on EVENTS_PER_SEC <name> <rate> marker lines,
+  # speculation metrics on SPECULATION_<key> <value> lines and fault-path
+  # metrics on FAULT_TOLERANCE_<key> <value> lines; fold any such markers
+  # into the bench's JSON entry.
   rates=$(awk '/^EVENTS_PER_SEC / {
                  if (n++) printf ", ";
                  printf "\"%s\": %s", $2, $3
@@ -80,9 +81,15 @@ for b in $BENCHES; do
                 if (n++) printf ", ";
                 printf "\"%s\": %s", key, $2
               }' "$OUT_DIR/$b.log")
+  fault=$(awk '/^FAULT_TOLERANCE_/ {
+                 key = substr($1, length("FAULT_TOLERANCE_") + 1);
+                 if (n++) printf ", ";
+                 printf "\"%s\": %s", key, $2
+               }' "$OUT_DIR/$b.log")
   extra=""
   [ -n "$rates" ] && extra="$extra, \"events_per_sec\": {$rates}"
   [ -n "$spec" ] && extra="$extra, \"speculation\": {$spec}"
+  [ -n "$fault" ] && extra="$extra, \"fault_tolerance\": {$fault}"
   printf '    "%s": {"seconds": %s, "status": "%s"%s}' \
     "$b" "$secs" "$status" "$extra" >> "$JSON"
 done

@@ -52,4 +52,93 @@ warm_runs=$(echo "$warm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
   echo "FAIL: warm run ($warm_runs) used more runs than cold ($cold_runs)";
   exit 1; }
 
-echo "OK (cold $cold_runs runs, warm $warm_runs runs)"
+# --- fault tolerance -------------------------------------------------------
+# A deterministically flaky app: the first run for each configuration fails,
+# every later run succeeds (marker files keyed by the configuration make
+# this safe under concurrent measurements — each config touches its own
+# file, and a retry of a config strictly follows its failed attempt).
+cat > "$DIR/flaky.sh" <<APP
+#!/bin/sh
+marker="$DIR/seen_\$HARMONY_x"
+if [ ! -e "\$marker" ]; then
+  : > "\$marker"
+  exit 7
+fi
+awk "BEGIN { print 100 - (\$HARMONY_x - 12)^2 }"
+APP
+chmod +x "$DIR/flaky.sh"
+
+# Without --retries the first failure kills the run with a nonzero status.
+set +e
+"$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+        -- "$DIR/flaky.sh" 2> "$DIR/nofr.err"
+nofr_status=$?
+set -e
+[ "$nofr_status" -ne 0 ] || {
+  echo "FAIL: failing command did not fail the run"; exit 1; }
+grep -q "command exited with status" "$DIR/nofr.err" || {
+  echo "FAIL: failure reason not reported"; cat "$DIR/nofr.err"; exit 1; }
+
+# With --retries 2 every fail-once configuration recovers; the run reaches
+# the optimum, exits 0 and reports its retry accounting on stderr.
+rm -f "$DIR"/seen_*
+flaky=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --retries 2 \
+        -- "$DIR/flaky.sh" 2> "$DIR/flaky.err")
+echo "flaky: $flaky"
+echo "$flaky" | grep -q "x=12" || {
+  echo "FAIL: --retries run missed optimum"; exit 1; }
+grep -q "retries:" "$DIR/flaky.err" || {
+  echo "FAIL: retry summary missing"; cat "$DIR/flaky.err"; exit 1; }
+grep -q " 0 exhausted" "$DIR/flaky.err" || {
+  echo "FAIL: fail-once schedule should exhaust nothing";
+  cat "$DIR/flaky.err"; exit 1; }
+
+# Same flaky command under speculative concurrency: still recovers.
+rm -f "$DIR"/seen_*
+flaky8=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet --retries 2 \
+         --threads 8 -- "$DIR/flaky.sh")
+echo "flaky8: $flaky8"
+echo "$flaky8" | grep -q "x=12" || {
+  echo "FAIL: --retries --threads 8 run missed optimum"; exit 1; }
+
+# A command that always fails: --retries keeps the run alive, every
+# measurement is censored, and the exit code (3) says the result is not
+# trustworthy.
+cat > "$DIR/dead.sh" <<'APP'
+#!/bin/sh
+exit 7
+APP
+chmod +x "$DIR/dead.sh"
+set +e
+"$TUNE" --rsl "$DIR/params.rsl" --budget 10 --quiet --retries 1 \
+        -- "$DIR/dead.sh" 2> "$DIR/dead.err"
+dead_status=$?
+set -e
+[ "$dead_status" -eq 3 ] || {
+  echo "FAIL: censored run should exit 3, got $dead_status";
+  cat "$DIR/dead.err"; exit 1; }
+grep -q "censored" "$DIR/dead.err" || {
+  echo "FAIL: censoring not reported"; cat "$DIR/dead.err"; exit 1; }
+
+# --timeout-ms: a hanging command is cut off and counted as a timeout.
+cat > "$DIR/hang.sh" <<'APP'
+#!/bin/sh
+sleep 10
+echo 1
+APP
+chmod +x "$DIR/hang.sh"
+set +e
+"$TUNE" --rsl "$DIR/params.rsl" --budget 10 --quiet --retries 0 \
+        --timeout-ms 100 -- "$DIR/hang.sh" 2> "$DIR/hang.err"
+hang_status=$?
+set -e
+[ "$hang_status" -eq 3 ] || {
+  echo "FAIL: hanging command should exit 3, got $hang_status";
+  cat "$DIR/hang.err"; exit 1; }
+grep -q "retries:" "$DIR/hang.err" || {
+  echo "FAIL: retry summary missing"; cat "$DIR/hang.err"; exit 1; }
+if grep "retries:" "$DIR/hang.err" | grep -q "(0 timeouts"; then
+  echo "FAIL: hang not classified as timeout"; cat "$DIR/hang.err"; exit 1
+fi
+
+echo "OK (cold $cold_runs runs, warm $warm_runs runs, retries recover)"
