@@ -2,6 +2,8 @@
 // the simulator sit on: DES event throughput, one full cluster simulation,
 // simplex search cost on an analytic landscape, the triangulation solve,
 // RSL parsing and the sensitivity sweep.
+#include <cmath>
+
 #include <benchmark/benchmark.h>
 
 #include "core/analyzer.hpp"
@@ -13,7 +15,10 @@
 #include "core/strategies.hpp"
 #include "synth/ecommerce.hpp"
 #include "synth/landscapes.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "websim/cluster.hpp"
 #include "websim/des.hpp"
 
@@ -173,6 +178,123 @@ void BM_SignatureScanBlocked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SignatureScanBlocked)->Arg(1 << 10)->Arg(1 << 17);
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch levels head to head. Arg(0/1/2) selects
+// kScalar/kAvx2/kAvx512; levels the host CPU lacks are skipped, so the same
+// binary reports whatever the machine supports.
+
+bool skip_unsupported(benchmark::State& state, SimdLevel level) {
+  if (simd_supported(level)) return false;
+  state.SkipWithError("SIMD level not supported on this CPU");
+  return true;
+}
+
+void BM_DistanceScanLevel(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  if (skip_unsupported(state, level)) return;
+  const auto count = static_cast<std::size_t>(state.range(1));
+  const std::size_t dims = 16;
+  Rng rng(11);
+  std::vector<double> data(count * dims);
+  for (double& v : data) v = rng.uniform01();
+  std::vector<double> query(dims);
+  for (double& v : query) v = rng.uniform01();
+  for (auto _ : state) {
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best_i = 0;
+    nearest_signature_scan_level(level, data.data(), dims, 0, count,
+                                 query.data(), best_d, best_i);
+    benchmark::DoNotOptimize(best_i);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+  state.SetLabel(simd_level_name(level));
+}
+BENCHMARK(BM_DistanceScanLevel)
+    ->Args({0, 1 << 17})->Args({1, 1 << 17})->Args({2, 1 << 17});
+
+void BM_SketchPrunedScanLevel(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  if (skip_unsupported(state, level)) return;
+  const auto count = static_cast<std::size_t>(state.range(1));
+  const std::size_t dims = 16;
+  constexpr std::size_t kPrefix = LeastSquareClassifier::kSketchPrefix;
+  Rng rng(11);
+  std::vector<double> data(count * dims);
+  for (double& v : data) v = rng.uniform01();
+  // Plane-major sketch, the layout LeastSquareClassifier::fit builds.
+  std::vector<double> sketch(count * (kPrefix + 1));
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* row = data.data() + i * dims;
+    for (std::size_t d = 0; d < kPrefix; ++d) sketch[d * count + i] = row[d];
+    double rest = 0.0;
+    for (std::size_t d = kPrefix; d < dims; ++d) rest += row[d] * row[d];
+    sketch[kPrefix * count + i] = std::sqrt(rest);
+  }
+  std::vector<double> query(dims);
+  for (double& v : query) v = rng.uniform01();
+  double qrest = 0.0;
+  for (std::size_t d = kPrefix; d < dims; ++d) qrest += query[d] * query[d];
+  qrest = std::sqrt(qrest);
+  for (auto _ : state) {
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best_i = 0;
+    sketch_pruned_scan_level(level, data.data(), dims, sketch.data(), count,
+                             0, count, query.data(), qrest, best_d, best_i);
+    benchmark::DoNotOptimize(best_i);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+  state.SetLabel(simd_level_name(level));
+}
+BENCHMARK(BM_SketchPrunedScanLevel)
+    ->Args({0, 1 << 17})->Args({1, 1 << 17})->Args({2, 1 << 17});
+
+// The k-means inner loop: assign every row to its nearest of 64 centroids.
+void BM_KMeansAssignLevel(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  if (skip_unsupported(state, level)) return;
+  const std::size_t rows = 1 << 14, dims = 16, k = 64;
+  Rng rng(21);
+  std::vector<double> data(rows * dims), centroids(k * dims);
+  for (double& v : data) v = rng.uniform01();
+  for (double& v : centroids) v = rng.uniform01();
+  for (auto _ : state) {
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      double best_d = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      nearest_signature_scan_level(level, centroids.data(), dims, 0, k,
+                                   data.data() + i * dims, best_d, best_c);
+      sink += best_c;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows));
+  state.SetLabel(simd_level_name(level));
+}
+BENCHMARK(BM_KMeansAssignLevel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LstsqSolveLevel(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  if (skip_unsupported(state, level)) return;
+  const SimdLevel before = simd_level();
+  set_simd_level(level);
+  const std::size_t rows = 200, cols = 8;
+  Rng rng(9);
+  linalg::Matrix a(rows, cols);
+  std::vector<double> b(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+    b[r] = rng.uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    const auto res = linalg::least_squares(a, b);
+    benchmark::DoNotOptimize(res.x.data());
+  }
+  set_simd_level(before);
+  state.SetLabel(simd_level_name(level));
+}
+BENCHMARK(BM_LstsqSolveLevel)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_RslParse(benchmark::State& state) {
   std::string spec;

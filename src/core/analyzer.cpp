@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "linalg/simd_kernels.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -12,20 +13,14 @@ namespace harmony {
 
 namespace {
 
-/// Forward-order partial squared distance over dims [d0, d1) — the exact
-/// accumulation order of signature_distance_sq, resumed from `acc`.
+/// Local shorthand for the shared forward-order accumulation primitive
+/// (analyzer.hpp detail) — the exact order of signature_distance_sq.
 inline double row_partial(const double* row, const double* q, std::size_t d0,
                           std::size_t d1, double acc) {
-  for (std::size_t d = d0; d < d1; ++d) {
-    const double t = row[d] - q[d];
-    acc += t * t;
-  }
-  return acc;
+  return detail::signature_partial_sq(row, q, d0, d1, acc);
 }
 
-/// Dim-chunk size between early-exit checks: small enough to abandon
-/// hopeless rows in long signatures, large enough to amortize the branch.
-constexpr std::size_t kDimChunk = 64;
+using detail::kDimChunk;
 
 }  // namespace
 
@@ -46,10 +41,10 @@ std::size_t nearest_signature_scalar(const double* data, std::size_t count,
   return best;
 }
 
-void nearest_signature_scan(const double* data, std::size_t dims,
-                            std::size_t first, std::size_t last,
-                            const double* query, double& best_dist_sq,
-                            std::size_t& best_index) {
+void nearest_signature_scan_scalar(const double* data, std::size_t dims,
+                                   std::size_t first, std::size_t last,
+                                   const double* query, double& best_dist_sq,
+                                   std::size_t& best_index) {
   std::size_t i = first;
   for (; i + 4 <= last; i += 4) {
     const double* r0 = data + i * dims;
@@ -153,35 +148,39 @@ void LeastSquareClassifier::fit(const SignatureView& view) {
   if (!view.empty() && view.dims != SignatureView::kMixedDims &&
       view.dims > kSketchPrefix + 1) {
     const std::size_t dims = view.dims;
-    sketch_.resize(view.count * (kSketchPrefix + 1));
-    for (std::size_t i = 0; i < view.count; ++i) {
+    const std::size_t count = view.count;
+    // Plane-major: coordinate planes first, rest-norm plane last, so the
+    // SIMD prefix filter reads contiguous runs of rows per plane.
+    sketch_.resize(count * (kSketchPrefix + 1));
+    for (std::size_t i = 0; i < count; ++i) {
       const double* row = view.row(i);
-      double* s = sketch_.data() + i * (kSketchPrefix + 1);
-      for (std::size_t d = 0; d < kSketchPrefix; ++d) s[d] = row[d];
+      for (std::size_t d = 0; d < kSketchPrefix; ++d) {
+        sketch_[d * count + i] = row[d];
+      }
       double rest = 0.0;
       for (std::size_t d = kSketchPrefix; d < dims; ++d) {
         rest += row[d] * row[d];
       }
-      s[kSketchPrefix] = std::sqrt(rest);
+      sketch_[kSketchPrefix * count + i] = std::sqrt(rest);
     }
   }
   set_fitted(view);
 }
 
-void LeastSquareClassifier::pruned_scan(std::size_t first, std::size_t last,
-                                        const double* query,
-                                        double query_rest_norm,
-                                        double& best_dist_sq,
-                                        std::size_t& best_index) const {
-  const std::size_t dims = view_.dims;
-  constexpr std::size_t stride = LeastSquareClassifier::kSketchPrefix + 1;
+void sketch_pruned_scan_scalar(const double* data, std::size_t dims,
+                               const double* sketch, std::size_t count,
+                               std::size_t first, std::size_t last,
+                               const double* query, double query_rest_norm,
+                               double& best_dist_sq,
+                               std::size_t& best_index) {
+  constexpr std::size_t kPrefix = LeastSquareClassifier::kSketchPrefix;
+  const double* norms = sketch + kPrefix * count;
   for (std::size_t i = first; i < last; ++i) {
-    const double* s = sketch_.data() + i * stride;
     // Exact forward prefix of the full accumulation: monotone partial sum,
     // so acc >= best can never be the winner (strict-< argmin).
     double acc = 0.0;
-    for (std::size_t d = 0; d < kSketchPrefix; ++d) {
-      const double t = s[d] - query[d];
+    for (std::size_t d = 0; d < kPrefix; ++d) {
+      const double t = sketch[d * count + i] - query[d];
       acc += t * t;
     }
     if (acc >= best_dist_sq) continue;
@@ -190,17 +189,27 @@ void LeastSquareClassifier::pruned_scan(std::size_t first, std::size_t last,
     // The deflation absorbs the few-ulp rounding of the two sqrt'd norms so
     // the computed bound never overshoots the true distance — skipping stays
     // provably safe.
-    const double lb = s[kSketchPrefix] - query_rest_norm;
+    const double lb = norms[i] - query_rest_norm;
     if (acc + lb * lb * (1.0 - 1e-9) >= best_dist_sq) continue;
     // Candidate row: resume the exact forward accumulation from the prefix
     // (same values, same operation order as the scalar reference).
-    const double d = row_partial(view_.data + i * dims, query, kSketchPrefix,
-                                 dims, acc);
+    const double d =
+        row_partial(data + i * dims, query, kPrefix, dims, acc);
     if (d < best_dist_sq) {
       best_dist_sq = d;
       best_index = i;
     }
   }
+}
+
+void LeastSquareClassifier::pruned_scan(std::size_t first, std::size_t last,
+                                        const double* query,
+                                        double query_rest_norm,
+                                        double& best_dist_sq,
+                                        std::size_t& best_index) const {
+  sketch_pruned_scan(view_.data, view_.dims, sketch_.data(), view_.count,
+                     first, last, query, query_rest_norm, best_dist_sq,
+                     best_index);
 }
 
 std::size_t LeastSquareClassifier::classify(
@@ -306,14 +315,12 @@ void KMeansClassifier::fit(const SignatureView& view) {
       const double* row = view.row(i);
       std::size_t best = 0;
       double best_d = std::numeric_limits<double>::infinity();
-      for (std::size_t c = 0; c < k; ++c) {
-        const double d =
-            row_partial(row, centroids_.data() + c * dims, 0, dims, 0.0);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
-        }
-      }
+      // Nearest centroid via the dispatched scan with the row as the query:
+      // (c_d - r_d)^2 and (r_d - c_d)^2 are the same IEEE double, so the
+      // distances — and the strict-< lowest-index argmin — are bit-identical
+      // to the direct loop at every SIMD level.
+      nearest_signature_scan(centroids_.data(), dims, 0, k, row, best_d,
+                             best);
       if (assignment[i] != best) {
         assignment[i] = best;
         changed = true;
@@ -325,8 +332,9 @@ void KMeansClassifier::fit(const SignatureView& view) {
     std::fill(counts.begin(), counts.end(), std::size_t{0});
     for (std::size_t i = 0; i < n; ++i) {
       const double* row = view.row(i);
-      double* sum = sums.data() + assignment[i] * dims;
-      for (std::size_t d = 0; d < dims; ++d) sum[d] += row[d];
+      // Element-wise adds: each coordinate is its own chain, so the
+      // vectorized accumulation rounds identically to the scalar loop.
+      linalg::vec_add_inplace(sums.data() + assignment[i] * dims, row, dims);
       ++counts[assignment[i]];
     }
     for (std::size_t c = 0; c < k; ++c) {
@@ -362,13 +370,8 @@ std::size_t KMeansClassifier::classify(
   // Nearest centroid to the observation, then nearest member within it.
   std::size_t best_c = 0;
   double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k_eff_; ++c) {
-    const double d = row_partial(q, centroids_.data() + c * dims, 0, dims, 0.0);
-    if (d < best_d) {
-      best_d = d;
-      best_c = c;
-    }
-  }
+  nearest_signature_scan(centroids_.data(), dims, 0, k_eff_, q, best_d,
+                         best_c);
   const std::size_t lo = cluster_begin_[best_c];
   const std::size_t hi = cluster_begin_[best_c + 1];
   if (lo == hi) {

@@ -27,8 +27,31 @@
 
 #include "core/history.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace harmony {
+
+namespace detail {
+
+/// Forward-order partial squared distance over dims [d0, d1), resumed from
+/// `acc` — the exact per-row accumulation order every optimized kernel must
+/// reproduce bit for bit.
+inline double signature_partial_sq(const double* row, const double* q,
+                                   std::size_t d0, std::size_t d1,
+                                   double acc) {
+  for (std::size_t d = d0; d < d1; ++d) {
+    const double t = row[d] - q[d];
+    acc += t * t;
+  }
+  return acc;
+}
+
+/// Dim-chunk size between early-exit checks: small enough to abandon
+/// hopeless rows in long signatures, large enough to amortize the branch.
+/// Shared by the scalar and SIMD kernels so their exit cadence matches.
+inline constexpr std::size_t kDimChunk = 64;
+
+}  // namespace detail
 
 /// Scalar reference scan: index of the row of `data` (`count` rows of
 /// `dims` contiguous doubles) nearest to `query` in squared Euclidean
@@ -39,24 +62,41 @@ namespace harmony {
     const double* data, std::size_t count, std::size_t dims,
     const double* query, double* best_dist_sq = nullptr);
 
-/// Blocked scan: processes rows in blocks of four independent accumulator
-/// chains (ILP-friendly, auto-vectorizable layout) with a running-argmin
-/// early exit that abandons a block as soon as every partial sum already
-/// exceeds the best distance. Each row keeps the scalar reference's exact
-/// forward accumulation order, so the result — including tie resolution —
-/// is bit-identical to nearest_signature_scalar. Requires count >= 1.
+/// Blocked scan over the level-dispatched range kernel, with a
+/// running-argmin early exit that abandons a block as soon as every partial
+/// sum already exceeds the best distance. Each row keeps the scalar
+/// reference's exact forward accumulation order, so the result — including
+/// tie resolution — is bit-identical to nearest_signature_scalar at every
+/// SIMD level. Requires count >= 1.
 [[nodiscard]] std::size_t nearest_signature_blocked(
     const double* data, std::size_t count, std::size_t dims,
     const double* query, double* best_dist_sq = nullptr);
 
 /// Range form used by the sharded scan: folds rows [first, last) into the
-/// running (best_dist_sq, best_index) pair using the blocked kernel.
-/// Skipped rows never update the pair, so folding disjoint ranges in index
-/// order reproduces the full serial scan exactly.
+/// running (best_dist_sq, best_index) pair. Skipped rows never update the
+/// pair, so folding disjoint ranges in index order reproduces the full
+/// serial scan exactly. Dispatches on simd_level(): the vector kernels run
+/// one row per lane (each lane is that row's entire forward accumulation
+/// chain), so every level returns bit-identical results.
 void nearest_signature_scan(const double* data, std::size_t dims,
                             std::size_t first, std::size_t last,
                             const double* query, double& best_dist_sq,
                             std::size_t& best_index);
+
+/// Scalar (blocked four-chain) implementation of the range fold.
+void nearest_signature_scan_scalar(const double* data, std::size_t dims,
+                                   std::size_t first, std::size_t last,
+                                   const double* query, double& best_dist_sq,
+                                   std::size_t& best_index);
+
+/// Explicit-level range fold (benches and differential tests); kScalar runs
+/// the blocked kernel, kAvx2/kAvx512 the in-register-transpose kernels.
+/// Falls back to scalar where the requested ISA is not compiled in.
+void nearest_signature_scan_level(SimdLevel level, const double* data,
+                                  std::size_t dims, std::size_t first,
+                                  std::size_t last, const double* query,
+                                  double& best_dist_sq,
+                                  std::size_t& best_index);
 
 /// Maps an observed signature to the index of the best-matching known
 /// signature. fit() builds the model over a flat SignatureView (the view's
@@ -125,8 +165,8 @@ class LeastSquareClassifier final : public Classifier {
   static constexpr std::size_t kParallelThreshold = 8192;
   /// Rows per shard of the parallel scan (fixed, thread-count independent).
   static constexpr std::size_t kShardSize = 8192;
-  /// Leading coordinates stored verbatim in the sketch; each sketch row is
-  /// kSketchPrefix + 1 doubles (prefix dims, then the norm of the rest).
+  /// Leading coordinates stored verbatim in the sketch; kSketchPrefix + 1
+  /// planes per fitted set (prefix dims, then the norm of the rest).
   static constexpr std::size_t kSketchPrefix = 2;
 
   void fit(const SignatureView& view) override;
@@ -143,10 +183,37 @@ class LeastSquareClassifier final : public Classifier {
                    std::size_t& best_index) const;
 
   SignatureView view_{};
-  // Packed sketch: (kSketchPrefix + 1) doubles per row, built by fit() when
-  // the view has uniform arity wider than the prefix. Empty otherwise.
+  // Plane-major sketch: kSketchPrefix + 1 contiguous planes of view.count
+  // doubles each (plane p < kSketchPrefix holds coordinate p of every row;
+  // the last plane holds the rest-norms), built by fit() when the view has
+  // uniform arity wider than the prefix. Empty otherwise. The plane layout
+  // keeps the SIMD prefix filter on contiguous loads.
   std::vector<double> sketch_;
 };
+
+/// Sketch-pruned range fold over a plane-major sketch (the layout
+/// LeastSquareClassifier::fit builds: kSketchPrefix coordinate planes of
+/// `count` doubles, then the rest-norm plane). Rows whose exact prefix
+/// distance, or prefix distance plus the deflated triangle-inequality
+/// bound, already reaches the running best are skipped; candidate rows
+/// resume the exact forward accumulation from the prefix. Same fold
+/// contract as nearest_signature_scan; bit-identical at every level.
+void sketch_pruned_scan(const double* data, std::size_t dims,
+                        const double* sketch, std::size_t count,
+                        std::size_t first, std::size_t last,
+                        const double* query, double query_rest_norm,
+                        double& best_dist_sq, std::size_t& best_index);
+void sketch_pruned_scan_scalar(const double* data, std::size_t dims,
+                               const double* sketch, std::size_t count,
+                               std::size_t first, std::size_t last,
+                               const double* query, double query_rest_norm,
+                               double& best_dist_sq, std::size_t& best_index);
+void sketch_pruned_scan_level(SimdLevel level, const double* data,
+                              std::size_t dims, const double* sketch,
+                              std::size_t count, std::size_t first,
+                              std::size_t last, const double* query,
+                              double query_rest_norm, double& best_dist_sq,
+                              std::size_t& best_index);
 
 /// K-means alternative: fit() clusters the known signatures (Lloyd's
 /// algorithm, deterministic given the seed) and groups member indices per

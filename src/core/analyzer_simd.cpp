@@ -1,0 +1,457 @@
+// SIMD row-lane kernels for the signature distance scans, plus the level
+// dispatchers for the scan entry points (DESIGN.md §11).
+//
+// Bit-identity strategy: vector lanes run ACROSS rows — lane L carries row
+// L's entire forward accumulation chain, one separately-rounded
+// (sub, mul, add) triple per dimension in dimension order — so every
+// per-row sum performs exactly the scalar reference's operations in the
+// scalar reference's order. The 4x4 (AVX2) and 8x8 (AVX-512) in-register
+// transposes only move data between lanes; they never touch a rounding.
+// Early-exit and prune masks are conservative in both directions: a
+// vector-computed row the scalar path would have skipped provably fails
+// the strict-< argmin update, and a vector-skipped row provably cannot
+// win, so the running (best, index) fold is identical at every level.
+//
+// Compiled with -ffp-contract=off (see core/CMakeLists.txt) so the
+// compiler cannot fuse the explicit mul+add pairs — or the scalar
+// remainder loops compiled under the avx512f target attribute — into FMAs.
+#include "core/analyzer.hpp"
+
+#include <cstddef>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HARMONY_X86 1
+#endif
+
+namespace harmony {
+
+namespace {
+
+using detail::kDimChunk;
+using detail::signature_partial_sq;
+
+#if HARMONY_X86
+
+// ----------------------------------------------------------------- AVX2
+
+/// One 4-row x 4-dim tile: half-row loads recombined via insertf128 (whose
+/// memory form stays off the shuffle port) and two unpacks per dimension
+/// pair put one dimension across the four rows in each register; the four
+/// dimensions then run through the row chains held in `acc`'s lanes, in
+/// dimension order. `qv` holds the four pre-broadcast query coordinates.
+__attribute__((target("avx2"))) inline __m256d tile4_avx2(
+    const double* rows, std::size_t dims, const __m256d* qv, std::size_t d,
+    __m256d acc) {
+  // Dims d, d+1 of rows 0/2 and 1/3.
+  __m256d m0 = _mm256_insertf128_pd(
+      _mm256_castpd128_pd256(_mm_loadu_pd(rows + d)),
+      _mm_loadu_pd(rows + 2 * dims + d), 1);
+  __m256d m1 = _mm256_insertf128_pd(
+      _mm256_castpd128_pd256(_mm_loadu_pd(rows + dims + d)),
+      _mm_loadu_pd(rows + 3 * dims + d), 1);
+  __m256d u;
+  u = _mm256_sub_pd(_mm256_unpacklo_pd(m0, m1), qv[0]);
+  acc = _mm256_add_pd(acc, _mm256_mul_pd(u, u));
+  u = _mm256_sub_pd(_mm256_unpackhi_pd(m0, m1), qv[1]);
+  acc = _mm256_add_pd(acc, _mm256_mul_pd(u, u));
+  // Dims d+2, d+3.
+  m0 = _mm256_insertf128_pd(
+      _mm256_castpd128_pd256(_mm_loadu_pd(rows + d + 2)),
+      _mm_loadu_pd(rows + 2 * dims + d + 2), 1);
+  m1 = _mm256_insertf128_pd(
+      _mm256_castpd128_pd256(_mm_loadu_pd(rows + dims + d + 2)),
+      _mm_loadu_pd(rows + 3 * dims + d + 2), 1);
+  u = _mm256_sub_pd(_mm256_unpacklo_pd(m0, m1), qv[2]);
+  acc = _mm256_add_pd(acc, _mm256_mul_pd(u, u));
+  u = _mm256_sub_pd(_mm256_unpackhi_pd(m0, m1), qv[3]);
+  acc = _mm256_add_pd(acc, _mm256_mul_pd(u, u));
+  return acc;
+}
+
+__attribute__((target("avx2"))) void scan_avx2(
+    const double* data, std::size_t dims, std::size_t first, std::size_t last,
+    const double* q, double& best_dist_sq, std::size_t& best_index) {
+  // Sixteen rows per iteration: four independent accumulator chains hide
+  // the add latency the single-chain-per-lane layout would otherwise
+  // serialize on.
+  constexpr std::size_t kRows = 16;
+  std::size_t i = first;
+  for (; i + kRows <= last; i += kRows) {
+    const double* base = data + i * dims;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    std::size_t d = 0;
+    bool alive = true;
+    // Full kDimChunk blocks with the scalar kernel's early-exit cadence.
+    while (d + kDimChunk <= dims) {
+      const std::size_t d1 = d + kDimChunk;
+      for (; d < d1; d += 4) {
+        __m256d qv[4];
+        qv[0] = _mm256_broadcast_sd(q + d);
+        qv[1] = _mm256_broadcast_sd(q + d + 1);
+        qv[2] = _mm256_broadcast_sd(q + d + 2);
+        qv[3] = _mm256_broadcast_sd(q + d + 3);
+        a0 = tile4_avx2(base, dims, qv, d, a0);
+        a1 = tile4_avx2(base + 4 * dims, dims, qv, d, a1);
+        a2 = tile4_avx2(base + 8 * dims, dims, qv, d, a2);
+        a3 = tile4_avx2(base + 12 * dims, dims, qv, d, a3);
+      }
+      // Monotone partials: once every row of the block is at or above the
+      // running best it cannot win under the strict-< update. NaN partials
+      // compare false and keep their rows alive, matching the scalar check.
+      const __m256d bestv = _mm256_set1_pd(best_dist_sq);
+      const int ge =
+          _mm256_movemask_pd(_mm256_cmp_pd(a0, bestv, _CMP_GE_OQ)) &
+          _mm256_movemask_pd(_mm256_cmp_pd(a1, bestv, _CMP_GE_OQ)) &
+          _mm256_movemask_pd(_mm256_cmp_pd(a2, bestv, _CMP_GE_OQ)) &
+          _mm256_movemask_pd(_mm256_cmp_pd(a3, bestv, _CMP_GE_OQ));
+      if (ge == 0xF) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    // Remaining full 4-dim tiles past the last chunk boundary.
+    for (; d + 4 <= dims; d += 4) {
+      __m256d qv[4];
+      qv[0] = _mm256_broadcast_sd(q + d);
+      qv[1] = _mm256_broadcast_sd(q + d + 1);
+      qv[2] = _mm256_broadcast_sd(q + d + 2);
+      qv[3] = _mm256_broadcast_sd(q + d + 3);
+      a0 = tile4_avx2(base, dims, qv, d, a0);
+      a1 = tile4_avx2(base + 4 * dims, dims, qv, d, a1);
+      a2 = tile4_avx2(base + 8 * dims, dims, qv, d, a2);
+      a3 = tile4_avx2(base + 12 * dims, dims, qv, d, a3);
+    }
+    if (d == dims) {
+      // All dims consumed: the lane sums are final, so if no lane beats the
+      // running best the whole block's scalar update loop can be skipped
+      // (the common case once the best has converged).
+      const __m256d bestv = _mm256_set1_pd(best_dist_sq);
+      const int lt =
+          _mm256_movemask_pd(_mm256_cmp_pd(a0, bestv, _CMP_LT_OQ)) |
+          _mm256_movemask_pd(_mm256_cmp_pd(a1, bestv, _CMP_LT_OQ)) |
+          _mm256_movemask_pd(_mm256_cmp_pd(a2, bestv, _CMP_LT_OQ)) |
+          _mm256_movemask_pd(_mm256_cmp_pd(a3, bestv, _CMP_LT_OQ));
+      if (lt == 0) continue;
+    }
+    alignas(32) double acc[kRows];
+    _mm256_store_pd(acc + 0, a0);
+    _mm256_store_pd(acc + 4, a1);
+    _mm256_store_pd(acc + 8, a2);
+    _mm256_store_pd(acc + 12, a3);
+    // Tail dims (< 4) and the index-order strict-< argmin update.
+    for (std::size_t r = 0; r < kRows; ++r) {
+      const double dist =
+          signature_partial_sq(base + r * dims, q, d, dims, acc[r]);
+      if (dist < best_dist_sq) {
+        best_dist_sq = dist;
+        best_index = i + r;
+      }
+    }
+  }
+  if (i < last) {
+    nearest_signature_scan_scalar(data, dims, i, last, q, best_dist_sq,
+                                  best_index);
+  }
+}
+
+// --------------------------------------------------------------- AVX-512
+
+// GCC's _mm512_unpack*/shuffle_f64x2 intrinsics pass the documented
+// _mm512_undefined_pd() merge operand, which -Wuninitialized flags at the
+// inline-expansion site; the value is masked out by the full writemask.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+/// One 8-row x 8-dim tile: full 8x8 in-register transpose (8 unpacks plus
+/// 16 cross-lane 128-bit shuffles), then the eight dimensions in order.
+__attribute__((target("avx512f"))) inline __m512d tile8_avx512(
+    const double* rows, std::size_t dims, const __m512d* qv, std::size_t d,
+    __m512d acc) {
+  const __m512d r0 = _mm512_loadu_pd(rows + d);
+  const __m512d r1 = _mm512_loadu_pd(rows + dims + d);
+  const __m512d r2 = _mm512_loadu_pd(rows + 2 * dims + d);
+  const __m512d r3 = _mm512_loadu_pd(rows + 3 * dims + d);
+  const __m512d r4 = _mm512_loadu_pd(rows + 4 * dims + d);
+  const __m512d r5 = _mm512_loadu_pd(rows + 5 * dims + d);
+  const __m512d r6 = _mm512_loadu_pd(rows + 6 * dims + d);
+  const __m512d r7 = _mm512_loadu_pd(rows + 7 * dims + d);
+  const __m512d t0 = _mm512_unpacklo_pd(r0, r1);
+  const __m512d t1 = _mm512_unpackhi_pd(r0, r1);
+  const __m512d t2 = _mm512_unpacklo_pd(r2, r3);
+  const __m512d t3 = _mm512_unpackhi_pd(r2, r3);
+  const __m512d t4 = _mm512_unpacklo_pd(r4, r5);
+  const __m512d t5 = _mm512_unpackhi_pd(r4, r5);
+  const __m512d t6 = _mm512_unpacklo_pd(r6, r7);
+  const __m512d t7 = _mm512_unpackhi_pd(r6, r7);
+  const __m512d u0 = _mm512_shuffle_f64x2(t0, t2, 0x44);
+  const __m512d u1 = _mm512_shuffle_f64x2(t0, t2, 0xEE);
+  const __m512d u2 = _mm512_shuffle_f64x2(t4, t6, 0x44);
+  const __m512d u3 = _mm512_shuffle_f64x2(t4, t6, 0xEE);
+  const __m512d v0 = _mm512_shuffle_f64x2(t1, t3, 0x44);
+  const __m512d v1 = _mm512_shuffle_f64x2(t1, t3, 0xEE);
+  const __m512d v2 = _mm512_shuffle_f64x2(t5, t7, 0x44);
+  const __m512d v3 = _mm512_shuffle_f64x2(t5, t7, 0xEE);
+  const __m512d c0 = _mm512_shuffle_f64x2(u0, u2, 0x88);
+  const __m512d c1 = _mm512_shuffle_f64x2(v0, v2, 0x88);
+  const __m512d c2 = _mm512_shuffle_f64x2(u0, u2, 0xDD);
+  const __m512d c3 = _mm512_shuffle_f64x2(v0, v2, 0xDD);
+  const __m512d c4 = _mm512_shuffle_f64x2(u1, u3, 0x88);
+  const __m512d c5 = _mm512_shuffle_f64x2(v1, v3, 0x88);
+  const __m512d c6 = _mm512_shuffle_f64x2(u1, u3, 0xDD);
+  const __m512d c7 = _mm512_shuffle_f64x2(v1, v3, 0xDD);
+  __m512d w;
+  w = _mm512_sub_pd(c0, qv[0]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  w = _mm512_sub_pd(c1, qv[1]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  w = _mm512_sub_pd(c2, qv[2]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  w = _mm512_sub_pd(c3, qv[3]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  w = _mm512_sub_pd(c4, qv[4]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  w = _mm512_sub_pd(c5, qv[5]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  w = _mm512_sub_pd(c6, qv[6]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  w = _mm512_sub_pd(c7, qv[7]);
+  acc = _mm512_add_pd(acc, _mm512_mul_pd(w, w));
+  return acc;
+}
+
+__attribute__((target("avx512f"))) void scan_avx512(
+    const double* data, std::size_t dims, std::size_t first, std::size_t last,
+    const double* q, double& best_dist_sq, std::size_t& best_index) {
+  constexpr std::size_t kRows = 16;  // two independent zmm chains
+  std::size_t i = first;
+  for (; i + kRows <= last; i += kRows) {
+    const double* base = data + i * dims;
+    __m512d a0 = _mm512_setzero_pd();
+    __m512d a1 = _mm512_setzero_pd();
+    std::size_t d = 0;
+    bool alive = true;
+    while (d + kDimChunk <= dims) {
+      const std::size_t d1 = d + kDimChunk;
+      for (; d < d1; d += 8) {
+        __m512d qv[8];
+        for (int j = 0; j < 8; ++j) qv[j] = _mm512_set1_pd(q[d + j]);
+        a0 = tile8_avx512(base, dims, qv, d, a0);
+        a1 = tile8_avx512(base + 8 * dims, dims, qv, d, a1);
+      }
+      const __m512d bestv = _mm512_set1_pd(best_dist_sq);
+      const __mmask8 ge = _mm512_cmp_pd_mask(a0, bestv, _CMP_GE_OQ) &
+                          _mm512_cmp_pd_mask(a1, bestv, _CMP_GE_OQ);
+      if (ge == 0xFF) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    for (; d + 8 <= dims; d += 8) {
+      __m512d qv[8];
+      for (int j = 0; j < 8; ++j) qv[j] = _mm512_set1_pd(q[d + j]);
+      a0 = tile8_avx512(base, dims, qv, d, a0);
+      a1 = tile8_avx512(base + 8 * dims, dims, qv, d, a1);
+    }
+    if (d == dims) {
+      // Final lane sums: skip the scalar update loop when no lane can win.
+      const __m512d bestv = _mm512_set1_pd(best_dist_sq);
+      const __mmask8 lt = _mm512_cmp_pd_mask(a0, bestv, _CMP_LT_OQ) |
+                          _mm512_cmp_pd_mask(a1, bestv, _CMP_LT_OQ);
+      if (lt == 0) continue;
+    }
+    alignas(64) double acc[kRows];
+    _mm512_store_pd(acc + 0, a0);
+    _mm512_store_pd(acc + 8, a1);
+    // Tail dims (< 8) and the index-order strict-< argmin update.
+    for (std::size_t r = 0; r < kRows; ++r) {
+      const double dist =
+          signature_partial_sq(base + r * dims, q, d, dims, acc[r]);
+      if (dist < best_dist_sq) {
+        best_dist_sq = dist;
+        best_index = i + r;
+      }
+    }
+  }
+  if (i < last) {
+    nearest_signature_scan_scalar(data, dims, i, last, q, best_dist_sq,
+                                  best_index);
+  }
+}
+
+// --------------------------------------------------- sketch prune filters
+
+constexpr std::size_t kPrefix = LeastSquareClassifier::kSketchPrefix;
+static_assert(kPrefix == 2,
+              "the SIMD sketch filters hardcode a two-coordinate prefix");
+
+/// Vector prefix/bound filter over the plane-major sketch; survivors
+/// resume the exact scalar accumulation in ascending index order. The
+/// filter tests against the best at loop entry of each 4-row group —
+/// computing rows the scalar filter would skip is safe (they fail the
+/// strict-< update), and rows skipped here are >= that best and so could
+/// not have won either.
+__attribute__((target("avx2"))) void sketch_scan_avx2(
+    const double* data, std::size_t dims, const double* sketch,
+    std::size_t count, std::size_t first, std::size_t last, const double* q,
+    double q_rest_norm, double& best_dist_sq, std::size_t& best_index) {
+  const double* p0 = sketch;
+  const double* p1 = sketch + count;
+  const double* norms = sketch + kPrefix * count;
+  const __m256d q0 = _mm256_broadcast_sd(q);
+  const __m256d q1 = _mm256_broadcast_sd(q + 1);
+  const __m256d qn = _mm256_set1_pd(q_rest_norm);
+  const __m256d defl = _mm256_set1_pd(1.0 - 1e-9);
+  std::size_t i = first;
+  for (; i + 4 <= last; i += 4) {
+    __m256d t = _mm256_sub_pd(_mm256_loadu_pd(p0 + i), q0);
+    __m256d acc = _mm256_mul_pd(t, t);
+    t = _mm256_sub_pd(_mm256_loadu_pd(p1 + i), q1);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(t, t));
+    const __m256d lb = _mm256_sub_pd(_mm256_loadu_pd(norms + i), qn);
+    const __m256d bound = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_mul_pd(lb, lb), defl));
+    const __m256d bestv = _mm256_set1_pd(best_dist_sq);
+    // Candidate iff acc < best && bound < best. A NaN prefix compares
+    // false and is skipped; its full sum would be NaN too and never wins.
+    const int mask = _mm256_movemask_pd(
+        _mm256_and_pd(_mm256_cmp_pd(acc, bestv, _CMP_LT_OQ),
+                      _mm256_cmp_pd(bound, bestv, _CMP_LT_OQ)));
+    if (mask == 0) continue;
+    alignas(32) double accs[4];
+    _mm256_store_pd(accs, acc);
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask & (1 << lane)) == 0) continue;
+      const std::size_t row = i + static_cast<std::size_t>(lane);
+      const double d =
+          signature_partial_sq(data + row * dims, q, kPrefix, dims,
+                               accs[lane]);
+      if (d < best_dist_sq) {
+        best_dist_sq = d;
+        best_index = row;
+      }
+    }
+  }
+  if (i < last) {
+    sketch_pruned_scan_scalar(data, dims, sketch, count, i, last, q,
+                              q_rest_norm, best_dist_sq, best_index);
+  }
+}
+
+__attribute__((target("avx512f"))) void sketch_scan_avx512(
+    const double* data, std::size_t dims, const double* sketch,
+    std::size_t count, std::size_t first, std::size_t last, const double* q,
+    double q_rest_norm, double& best_dist_sq, std::size_t& best_index) {
+  const double* p0 = sketch;
+  const double* p1 = sketch + count;
+  const double* norms = sketch + kPrefix * count;
+  const __m512d q0 = _mm512_set1_pd(q[0]);
+  const __m512d q1 = _mm512_set1_pd(q[1]);
+  const __m512d qn = _mm512_set1_pd(q_rest_norm);
+  const __m512d defl = _mm512_set1_pd(1.0 - 1e-9);
+  std::size_t i = first;
+  for (; i + 8 <= last; i += 8) {
+    __m512d t = _mm512_sub_pd(_mm512_loadu_pd(p0 + i), q0);
+    __m512d acc = _mm512_mul_pd(t, t);
+    t = _mm512_sub_pd(_mm512_loadu_pd(p1 + i), q1);
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(t, t));
+    const __m512d lb = _mm512_sub_pd(_mm512_loadu_pd(norms + i), qn);
+    const __m512d bound = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_mul_pd(lb, lb), defl));
+    const __m512d bestv = _mm512_set1_pd(best_dist_sq);
+    const __mmask8 mask = _mm512_cmp_pd_mask(acc, bestv, _CMP_LT_OQ) &
+                          _mm512_cmp_pd_mask(bound, bestv, _CMP_LT_OQ);
+    if (mask == 0) continue;
+    alignas(64) double accs[8];
+    _mm512_store_pd(accs, acc);
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask & (1 << lane)) == 0) continue;
+      const std::size_t row = i + static_cast<std::size_t>(lane);
+      const double d =
+          signature_partial_sq(data + row * dims, q, kPrefix, dims,
+                               accs[lane]);
+      if (d < best_dist_sq) {
+        best_dist_sq = d;
+        best_index = row;
+      }
+    }
+  }
+  if (i < last) {
+    sketch_pruned_scan_scalar(data, dims, sketch, count, i, last, q,
+                              q_rest_norm, best_dist_sq, best_index);
+  }
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // HARMONY_X86
+
+}  // namespace
+
+void nearest_signature_scan_level(SimdLevel level, const double* data,
+                                  std::size_t dims, std::size_t first,
+                                  std::size_t last, const double* query,
+                                  double& best_dist_sq,
+                                  std::size_t& best_index) {
+#if HARMONY_X86
+  if (level == SimdLevel::kAvx512) {
+    return scan_avx512(data, dims, first, last, query, best_dist_sq,
+                       best_index);
+  }
+  if (level == SimdLevel::kAvx2) {
+    return scan_avx2(data, dims, first, last, query, best_dist_sq,
+                     best_index);
+  }
+#else
+  (void)level;
+#endif
+  nearest_signature_scan_scalar(data, dims, first, last, query, best_dist_sq,
+                                best_index);
+}
+
+void nearest_signature_scan(const double* data, std::size_t dims,
+                            std::size_t first, std::size_t last,
+                            const double* query, double& best_dist_sq,
+                            std::size_t& best_index) {
+  nearest_signature_scan_level(simd_level(), data, dims, first, last, query,
+                               best_dist_sq, best_index);
+}
+
+void sketch_pruned_scan_level(SimdLevel level, const double* data,
+                              std::size_t dims, const double* sketch,
+                              std::size_t count, std::size_t first,
+                              std::size_t last, const double* query,
+                              double query_rest_norm, double& best_dist_sq,
+                              std::size_t& best_index) {
+#if HARMONY_X86
+  if (level == SimdLevel::kAvx512) {
+    return sketch_scan_avx512(data, dims, sketch, count, first, last, query,
+                              query_rest_norm, best_dist_sq, best_index);
+  }
+  if (level == SimdLevel::kAvx2) {
+    return sketch_scan_avx2(data, dims, sketch, count, first, last, query,
+                            query_rest_norm, best_dist_sq, best_index);
+  }
+#else
+  (void)level;
+#endif
+  sketch_pruned_scan_scalar(data, dims, sketch, count, first, last, query,
+                            query_rest_norm, best_dist_sq, best_index);
+}
+
+void sketch_pruned_scan(const double* data, std::size_t dims,
+                        const double* sketch, std::size_t count,
+                        std::size_t first, std::size_t last,
+                        const double* query, double query_rest_norm,
+                        double& best_dist_sq, std::size_t& best_index) {
+  sketch_pruned_scan_level(simd_level(), data, dims, sketch, count, first,
+                           last, query, query_rest_norm, best_dist_sq,
+                           best_index);
+}
+
+}  // namespace harmony

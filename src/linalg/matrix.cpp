@@ -3,6 +3,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "linalg/simd_kernels.hpp"
 #include "util/error.hpp"
 
 namespace harmony::linalg {
@@ -58,12 +59,13 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   HARMONY_REQUIRE(cols_ == rhs.rows_, "matmul shape mismatch");
   Matrix out(rows_, rhs.cols_);
   for (std::size_t r = 0; r < rows_; ++r) {
+    double* out_row = out.data() + r * rhs.cols_;
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(r, k);
+      // Skip zero contributions (sparse normal-equations rows). The skip is
+      // semantic, not just fast: adding a*rhs would differ for inf/nan.
       if (a == 0.0) continue;
-      for (std::size_t c = 0; c < rhs.cols_; ++c) {
-        out(r, c) += a * rhs(k, c);
-      }
+      axpy_row(out_row, rhs.data() + k * rhs.cols_, a, rhs.cols_);
     }
   }
   return out;

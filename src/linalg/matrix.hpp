@@ -41,6 +41,11 @@ class Matrix {
   [[nodiscard]] double& at(std::size_t r, std::size_t c);
   [[nodiscard]] double at(std::size_t r, std::size_t c) const;
 
+  /// Raw row-major storage (leading dimension = cols()); the SIMD inner
+  /// kernels operate on this directly.
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
   [[nodiscard]] Matrix transpose() const;
   [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
   [[nodiscard]] Matrix operator+(const Matrix& rhs) const;

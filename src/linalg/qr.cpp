@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/simd_kernels.hpp"
 #include "util/error.hpp"
 
 namespace harmony::linalg {
@@ -35,14 +36,10 @@ QrDecomposition::QrDecomposition(const Matrix& a) : a_(a) {
       continue;
     }
     const double beta = 2.0 / vtv;
-    // Apply reflector to remaining columns.
-    for (std::size_t c = k + 1; c < n; ++c) {
-      double s = v0 * a_(k, c);
-      for (std::size_t r = k + 1; r < m; ++r) s += a_(r, k) * a_(r, c);
-      s *= beta;
-      a_(k, c) -= s * v0;
-      for (std::size_t r = k + 1; r < m; ++r) a_(r, c) -= s * a_(r, k);
-    }
+    // Apply reflector to remaining columns. Columns are independent, so the
+    // kernel runs SIMD lanes across them (bit-identical per column to the
+    // scalar loop; see linalg/simd_kernels.hpp).
+    qr_apply_reflector(a_.data(), m, n, a_.cols(), k, v0, beta);
     a_(k, k) = alpha;           // R diagonal
     // Store normalized reflector: keep v0 implicitly via beta_ and the
     // below-diagonal entries (already in place); remember v0 by scaling.

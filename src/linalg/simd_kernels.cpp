@@ -1,0 +1,213 @@
+// Compiled with -ffp-contract=off (see linalg/CMakeLists.txt): the scalar
+// reference loops round every multiply and add separately, so the SIMD
+// variants must never let the compiler fuse a mul+add into an FMA.
+#include "linalg/simd_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HARMONY_X86 1
+#endif
+
+namespace harmony::linalg {
+
+namespace {
+
+// ---------------------------------------------------------------- scalar
+
+void vec_add_scalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void axpy_row_scalar(double* out, const double* rhs, double a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += a * rhs[i];
+}
+
+void qr_reflector_scalar(double* a, std::size_t m, std::size_t n,
+                         std::size_t stride, std::size_t k, double v0,
+                         double beta, std::size_t c0, std::size_t c1) {
+  for (std::size_t c = c0; c < c1; ++c) {
+    double s = v0 * a[k * stride + c];
+    for (std::size_t r = k + 1; r < m; ++r) {
+      s += a[r * stride + k] * a[r * stride + c];
+    }
+    s *= beta;
+    a[k * stride + c] -= s * v0;
+    for (std::size_t r = k + 1; r < m; ++r) {
+      a[r * stride + c] -= s * a[r * stride + k];
+    }
+  }
+  (void)n;
+}
+
+#if HARMONY_X86
+
+// ----------------------------------------------------------------- AVX2
+
+__attribute__((target("avx2"))) void vec_add_avx2(double* dst,
+                                                  const double* src,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    const __m256d s = _mm256_loadu_pd(src + i);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(d, s));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+__attribute__((target("avx2"))) void axpy_row_avx2(double* out,
+                                                   const double* rhs, double a,
+                                                   std::size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d o = _mm256_loadu_pd(out + i);
+    const __m256d r = _mm256_loadu_pd(rhs + i);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(o, _mm256_mul_pd(av, r)));
+  }
+  for (; i < n; ++i) out[i] += a * rhs[i];
+}
+
+__attribute__((target("avx2"))) void qr_reflector_avx2(double* a,
+                                                       std::size_t m,
+                                                       std::size_t n,
+                                                       std::size_t stride,
+                                                       std::size_t k,
+                                                       double v0, double beta) {
+  const __m256d v0v = _mm256_set1_pd(v0);
+  const __m256d betav = _mm256_set1_pd(beta);
+  std::size_t c = k + 1;
+  for (; c + 4 <= n; c += 4) {
+    // s_c = v0 * a(k,c), then the exact forward r accumulation per lane.
+    __m256d s = _mm256_mul_pd(v0v, _mm256_loadu_pd(a + k * stride + c));
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const __m256d ark = _mm256_set1_pd(a[r * stride + k]);
+      const __m256d arc = _mm256_loadu_pd(a + r * stride + c);
+      s = _mm256_add_pd(s, _mm256_mul_pd(ark, arc));
+    }
+    s = _mm256_mul_pd(s, betav);
+    const __m256d akc = _mm256_loadu_pd(a + k * stride + c);
+    _mm256_storeu_pd(a + k * stride + c,
+                     _mm256_sub_pd(akc, _mm256_mul_pd(s, v0v)));
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const __m256d ark = _mm256_set1_pd(a[r * stride + k]);
+      const __m256d arc = _mm256_loadu_pd(a + r * stride + c);
+      _mm256_storeu_pd(a + r * stride + c,
+                       _mm256_sub_pd(arc, _mm256_mul_pd(s, ark)));
+    }
+  }
+  qr_reflector_scalar(a, m, n, stride, k, v0, beta, c, n);
+}
+
+// --------------------------------------------------------------- AVX-512
+
+__attribute__((target("avx512f"))) void vec_add_avx512(double* dst,
+                                                       const double* src,
+                                                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d d = _mm512_loadu_pd(dst + i);
+    const __m512d s = _mm512_loadu_pd(src + i);
+    _mm512_storeu_pd(dst + i, _mm512_add_pd(d, s));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+__attribute__((target("avx512f"))) void axpy_row_avx512(double* out,
+                                                        const double* rhs,
+                                                        double a,
+                                                        std::size_t n) {
+  const __m512d av = _mm512_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d o = _mm512_loadu_pd(out + i);
+    const __m512d r = _mm512_loadu_pd(rhs + i);
+    _mm512_storeu_pd(out + i, _mm512_add_pd(o, _mm512_mul_pd(av, r)));
+  }
+  for (; i < n; ++i) out[i] += a * rhs[i];
+}
+
+__attribute__((target("avx512f"))) void qr_reflector_avx512(
+    double* a, std::size_t m, std::size_t n, std::size_t stride, std::size_t k,
+    double v0, double beta) {
+  const __m512d v0v = _mm512_set1_pd(v0);
+  const __m512d betav = _mm512_set1_pd(beta);
+  std::size_t c = k + 1;
+  for (; c + 8 <= n; c += 8) {
+    __m512d s = _mm512_mul_pd(v0v, _mm512_loadu_pd(a + k * stride + c));
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const __m512d ark = _mm512_set1_pd(a[r * stride + k]);
+      const __m512d arc = _mm512_loadu_pd(a + r * stride + c);
+      s = _mm512_add_pd(s, _mm512_mul_pd(ark, arc));
+    }
+    s = _mm512_mul_pd(s, betav);
+    const __m512d akc = _mm512_loadu_pd(a + k * stride + c);
+    _mm512_storeu_pd(a + k * stride + c,
+                     _mm512_sub_pd(akc, _mm512_mul_pd(s, v0v)));
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const __m512d ark = _mm512_set1_pd(a[r * stride + k]);
+      const __m512d arc = _mm512_loadu_pd(a + r * stride + c);
+      _mm512_storeu_pd(a + r * stride + c,
+                       _mm512_sub_pd(arc, _mm512_mul_pd(s, ark)));
+    }
+  }
+  qr_reflector_scalar(a, m, n, stride, k, v0, beta, c, n);
+}
+
+#endif  // HARMONY_X86
+
+}  // namespace
+
+void vec_add_inplace_level(SimdLevel level, double* dst, const double* src,
+                           std::size_t n) {
+#if HARMONY_X86
+  if (level == SimdLevel::kAvx512) return vec_add_avx512(dst, src, n);
+  if (level == SimdLevel::kAvx2) return vec_add_avx2(dst, src, n);
+#else
+  (void)level;
+#endif
+  vec_add_scalar(dst, src, n);
+}
+
+void vec_add_inplace(double* dst, const double* src, std::size_t n) {
+  vec_add_inplace_level(simd_level(), dst, src, n);
+}
+
+void axpy_row_level(SimdLevel level, double* out, const double* rhs, double a,
+                    std::size_t n) {
+#if HARMONY_X86
+  if (level == SimdLevel::kAvx512) return axpy_row_avx512(out, rhs, a, n);
+  if (level == SimdLevel::kAvx2) return axpy_row_avx2(out, rhs, a, n);
+#else
+  (void)level;
+#endif
+  axpy_row_scalar(out, rhs, a, n);
+}
+
+void axpy_row(double* out, const double* rhs, double a, std::size_t n) {
+  axpy_row_level(simd_level(), out, rhs, a, n);
+}
+
+void qr_apply_reflector_level(SimdLevel level, double* a, std::size_t m,
+                              std::size_t n, std::size_t stride, std::size_t k,
+                              double v0, double beta) {
+#if HARMONY_X86
+  if (level == SimdLevel::kAvx512) {
+    return qr_reflector_avx512(a, m, n, stride, k, v0, beta);
+  }
+  if (level == SimdLevel::kAvx2) {
+    return qr_reflector_avx2(a, m, n, stride, k, v0, beta);
+  }
+#else
+  (void)level;
+#endif
+  qr_reflector_scalar(a, m, n, stride, k, v0, beta, k + 1, n);
+}
+
+void qr_apply_reflector(double* a, std::size_t m, std::size_t n,
+                        std::size_t stride, std::size_t k, double v0,
+                        double beta) {
+  qr_apply_reflector_level(simd_level(), a, m, n, stride, k, v0, beta);
+}
+
+}  // namespace harmony::linalg

@@ -1,0 +1,48 @@
+// SIMD variants of the dense inner loops behind the least-squares fits
+// (PerformanceEstimator's QR / normal-equations path) and the k-means
+// centroid accumulation.
+//
+// Every kernel is element-wise or column-independent, so the vector lanes
+// carry disjoint scalar reduction chains and results are bit-identical to
+// the scalar reference at any level (see util/simd.hpp for the contract).
+// The *_level entry points run one explicit level (benches and the
+// differential tests); the unsuffixed entry points dispatch on
+// simd_level().
+#pragma once
+
+#include <cstddef>
+
+#include "util/simd.hpp"
+
+namespace harmony::linalg {
+
+/// dst[i] += src[i] for i in [0, n). Element-wise; each index is its own
+/// chain, so vectorization cannot reorder any rounding.
+void vec_add_inplace(double* dst, const double* src, std::size_t n);
+void vec_add_inplace_level(SimdLevel level, double* dst, const double* src,
+                           std::size_t n);
+
+/// out[i] += a * rhs[i] for i in [0, n) — the matmul / normal-equations
+/// row update (one rounding for the product, one for the add, per lane).
+void axpy_row(double* out, const double* rhs, double a, std::size_t n);
+void axpy_row_level(SimdLevel level, double* out, const double* rhs, double a,
+                    std::size_t n);
+
+/// Applies the Householder reflector of QR column `k` to the trailing
+/// columns c in [k+1, n) of the row-major matrix `a` (leading dimension
+/// `stride`, m rows):
+///
+///   s_c  = beta * (v0 * a(k,c) + sum_{r=k+1..m-1} a(r,k) * a(r,c))
+///   a(k,c) -= s_c * v0
+///   a(r,c) -= s_c * a(r,k)      for r in [k+1, m)
+///
+/// Columns are independent; the vector path assigns one column per lane
+/// and keeps the scalar loop's exact accumulation order within each.
+void qr_apply_reflector(double* a, std::size_t m, std::size_t n,
+                        std::size_t stride, std::size_t k, double v0,
+                        double beta);
+void qr_apply_reflector_level(SimdLevel level, double* a, std::size_t m,
+                              std::size_t n, std::size_t stride, std::size_t k,
+                              double v0, double beta);
+
+}  // namespace harmony::linalg

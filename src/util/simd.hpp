@@ -1,0 +1,50 @@
+// Runtime SIMD dispatch for the hot kernels.
+//
+// The three kernel families the tuning system sits on — the signature
+// distance scan, the k-means assignment/centroid loops, and the QR /
+// normal-equations inner loops — each carry a scalar reference
+// implementation plus AVX2 and AVX-512 variants. The active level is
+// chosen once at startup from CPUID (best supported), overridable with
+// HARMONY_SIMD=scalar|avx2|avx512 for differential testing, and at
+// runtime via set_simd_level() (benches flip levels to measure each path).
+//
+// Bit-identity contract: every vectorized kernel assigns one *independent
+// scalar reduction chain per SIMD lane* (a row of the distance scan, a
+// column of a QR reflector application) and combines lane results in index
+// order with the same strict-< / element-wise semantics as the scalar
+// code. Lane arithmetic is expressed with explicit mul/add intrinsics
+// (never FMA; the SIMD translation units compile with -ffp-contract=off),
+// so each lane performs the scalar reference's exact operation sequence
+// and every result — values, argmin indices, tie resolution — is
+// bit-identical across levels, thread counts, and the golden CSV pins.
+#pragma once
+
+namespace harmony {
+
+/// Kernel instruction-set level, ordered: higher levels require lower ones.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< portable reference paths
+  kAvx2 = 1,    ///< 256-bit doubles (4 lanes)
+  kAvx512 = 2,  ///< 512-bit doubles (8 lanes), AVX-512F
+};
+
+/// Best level this CPU supports (CPUID, cached after the first call).
+[[nodiscard]] SimdLevel simd_max_supported() noexcept;
+
+/// Whether `level` can run on this CPU.
+[[nodiscard]] bool simd_supported(SimdLevel level) noexcept;
+
+/// The active dispatch level: the HARMONY_SIMD override when set (invalid
+/// or unsupported values throw harmony::Error), otherwise the best
+/// supported level. Resolved once, then cached; set_simd_level() changes
+/// it afterwards.
+[[nodiscard]] SimdLevel simd_level();
+
+/// Overrides the active level (tests and benches flip levels to compare
+/// paths). Throws harmony::Error when the CPU lacks `level`.
+void set_simd_level(SimdLevel level);
+
+/// "scalar", "avx2" or "avx512".
+[[nodiscard]] const char* simd_level_name(SimdLevel level) noexcept;
+
+}  // namespace harmony

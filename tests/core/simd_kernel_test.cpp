@@ -1,0 +1,306 @@
+// Differential battery for the SIMD-dispatched hot kernels.
+//
+// Every kernel family (distance scan, sketch-pruned scan, k-means fit and
+// classify, QR / least-squares) must return bit-identical results at every
+// available SimdLevel — values, argmin indices, lowest-index tie breaks —
+// at HARMONY_THREADS=1 and 8 alike, including on censored / fault-injected
+// inputs (infinities, huge sentinels, NaN rows). The scalar blocked kernel
+// is the reference; vector levels are compared against it with exact
+// double equality, never EXPECT_NEAR.
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/history.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace harmony {
+namespace {
+
+std::vector<SimdLevel> available_levels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (simd_supported(SimdLevel::kAvx2)) levels.push_back(SimdLevel::kAvx2);
+  if (simd_supported(SimdLevel::kAvx512)) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  return levels;
+}
+
+/// Restores the dispatch level and thread count on scope exit so a failing
+/// test cannot poison its neighbours.
+struct DispatchGuard {
+  SimdLevel level = simd_level();
+  ~DispatchGuard() {
+    set_simd_level(level);
+    set_thread_count(0);
+  }
+};
+
+std::vector<double> random_rows(Rng& rng, std::size_t count,
+                                std::size_t dims) {
+  std::vector<double> data(count * dims);
+  for (double& v : data) v = rng.uniform01();
+  return data;
+}
+
+/// Plants lowest-index tie cases and censored/fault-injected values: exact
+/// duplicate rows, +inf spikes, huge finite sentinels, and a NaN row (which
+/// must never win the argmin at any level).
+void inject_faults(std::vector<double>& data, std::size_t count,
+                   std::size_t dims) {
+  if (count >= 8) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      data[5 * dims + d] = data[1 * dims + d];  // exact duplicate: tie
+    }
+    data[3 * dims] = std::numeric_limits<double>::infinity();
+    data[4 * dims + (dims - 1)] = 1e308;  // censored-measurement sentinel
+  }
+  if (count >= 20) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      data[17 * dims + d] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+}
+
+TEST(SimdKernels, DistanceScanBitIdenticalAcrossLevels) {
+  Rng rng(2024);
+  for (const std::size_t dims : {1u, 3u, 7u, 16u, 33u, 64u, 70u, 130u}) {
+    for (const std::size_t count : {1u, 2u, 5u, 16u, 17u, 257u, 1024u}) {
+      std::vector<double> data = random_rows(rng, count, dims);
+      inject_faults(data, count, dims);
+      std::vector<double> query(dims);
+      for (double& v : query) v = rng.uniform01();
+
+      double ref_d = std::numeric_limits<double>::infinity();
+      std::size_t ref_i = 0;
+      nearest_signature_scan_scalar(data.data(), dims, 0, count, query.data(),
+                                    ref_d, ref_i);
+      for (const SimdLevel level : available_levels()) {
+        double d = std::numeric_limits<double>::infinity();
+        std::size_t i = 0;
+        nearest_signature_scan_level(level, data.data(), dims, 0, count,
+                                     query.data(), d, i);
+        ASSERT_EQ(i, ref_i) << simd_level_name(level) << " dims=" << dims
+                            << " count=" << count;
+        ASSERT_EQ(d, ref_d) << simd_level_name(level);
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, DistanceScanFoldContractHoldsMidRange) {
+  // Folding disjoint ranges in index order must equal the full scan at
+  // every level — the property the sharded classify and the streamed 100M
+  // bench both lean on.
+  Rng rng(7);
+  const std::size_t dims = 16, count = 600;
+  std::vector<double> data = random_rows(rng, count, dims);
+  inject_faults(data, count, dims);
+  std::vector<double> query(dims);
+  for (double& v : query) v = rng.uniform01();
+
+  for (const SimdLevel level : available_levels()) {
+    double full_d = std::numeric_limits<double>::infinity();
+    std::size_t full_i = 0;
+    nearest_signature_scan_level(level, data.data(), dims, 0, count,
+                                 query.data(), full_d, full_i);
+    double fold_d = std::numeric_limits<double>::infinity();
+    std::size_t fold_i = 0;
+    for (const auto& [lo, hi] :
+         {std::pair<std::size_t, std::size_t>{0, 13},
+          {13, 130}, {130, 131}, {131, 512}, {512, 600}}) {
+      nearest_signature_scan_level(level, data.data(), dims, lo, hi,
+                                   query.data(), fold_d, fold_i);
+    }
+    EXPECT_EQ(fold_i, full_i) << simd_level_name(level);
+    EXPECT_EQ(fold_d, full_d) << simd_level_name(level);
+  }
+}
+
+TEST(SimdKernels, SketchPrunedScanBitIdenticalAcrossLevels) {
+  Rng rng(99);
+  constexpr std::size_t kPrefix = LeastSquareClassifier::kSketchPrefix;
+  for (const std::size_t dims : {4u, 16u, 33u}) {
+    for (const std::size_t count : {1u, 9u, 64u, 257u, 1000u}) {
+      std::vector<double> data = random_rows(rng, count, dims);
+      inject_faults(data, count, dims);
+      // Plane-major sketch, exactly as LeastSquareClassifier::fit packs it.
+      std::vector<double> sketch(count * (kPrefix + 1));
+      for (std::size_t i = 0; i < count; ++i) {
+        const double* row = data.data() + i * dims;
+        for (std::size_t d = 0; d < kPrefix; ++d) {
+          sketch[d * count + i] = row[d];
+        }
+        double rest = 0.0;
+        for (std::size_t d = kPrefix; d < dims; ++d) rest += row[d] * row[d];
+        sketch[kPrefix * count + i] = std::sqrt(rest);
+      }
+      std::vector<double> query(dims);
+      for (double& v : query) v = rng.uniform01();
+      double qrest = 0.0;
+      for (std::size_t d = kPrefix; d < dims; ++d) {
+        qrest += query[d] * query[d];
+      }
+      qrest = std::sqrt(qrest);
+
+      double ref_d = std::numeric_limits<double>::infinity();
+      std::size_t ref_i = 0;
+      sketch_pruned_scan_scalar(data.data(), dims, sketch.data(), count, 0,
+                                count, query.data(), qrest, ref_d, ref_i);
+      for (const SimdLevel level : available_levels()) {
+        double d = std::numeric_limits<double>::infinity();
+        std::size_t i = 0;
+        sketch_pruned_scan_level(level, data.data(), dims, sketch.data(),
+                                 count, 0, count, query.data(), qrest, d, i);
+        ASSERT_EQ(i, ref_i) << simd_level_name(level) << " dims=" << dims
+                            << " count=" << count;
+        ASSERT_EQ(d, ref_d) << simd_level_name(level);
+      }
+    }
+  }
+}
+
+/// Builds a clustered experience database large enough to cross the
+/// parallel-scan threshold, so classify() exercises the sharded fold.
+HistoryDatabase build_database(std::size_t records, std::size_t dims) {
+  Rng rng(31);
+  HistoryDatabase db;
+  for (std::size_t i = 0; i < records; ++i) {
+    ExperienceRecord rec;
+    rec.signature.resize(dims);
+    const double base = static_cast<double>(i % 13) * 0.07;
+    for (double& v : rec.signature) v = base + 0.01 * rng.uniform01();
+    db.add(std::move(rec));
+  }
+  return db;
+}
+
+TEST(SimdKernels, ClassifierBitIdenticalAcrossLevelsAndThreadCounts) {
+  DispatchGuard guard;
+  const std::size_t dims = 16;
+  const HistoryDatabase db = build_database(10'000, dims);
+  Rng qrng(5);
+  std::vector<WorkloadSignature> queries;
+  for (int q = 0; q < 32; ++q) {
+    WorkloadSignature obs(dims);
+    for (double& v : obs) v = qrng.uniform01();
+    queries.push_back(std::move(obs));
+  }
+
+  std::vector<std::size_t> reference;
+  for (const SimdLevel level : available_levels()) {
+    set_simd_level(level);
+    for (const unsigned threads : {1u, 8u}) {
+      set_thread_count(threads);
+      LeastSquareClassifier ls;
+      ls.fit(db.signature_view());
+      std::vector<std::size_t> got;
+      for (const auto& obs : queries) got.push_back(ls.classify(obs));
+      if (reference.empty()) {
+        reference = got;
+      } else {
+        EXPECT_EQ(got, reference)
+            << simd_level_name(level) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, KMeansBitIdenticalAcrossLevels) {
+  DispatchGuard guard;
+  const std::size_t dims = 16;
+  const HistoryDatabase db = build_database(4'000, dims);
+  Rng qrng(17);
+  std::vector<WorkloadSignature> queries;
+  for (int q = 0; q < 16; ++q) {
+    WorkloadSignature obs(dims);
+    for (double& v : obs) v = qrng.uniform01();
+    queries.push_back(std::move(obs));
+  }
+
+  std::vector<std::size_t> reference;
+  for (const SimdLevel level : available_levels()) {
+    set_simd_level(level);
+    KMeansClassifier km(16, 7, 10);
+    km.fit(db.signature_view());
+    std::vector<std::size_t> got;
+    for (const auto& obs : queries) got.push_back(km.classify(obs));
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference) << simd_level_name(level);
+    }
+  }
+}
+
+TEST(SimdKernels, LeastSquaresSolveBitIdenticalAcrossLevels) {
+  DispatchGuard guard;
+  Rng rng(12);
+  for (const std::size_t rows : {8u, 40u}) {
+    for (const std::size_t cols : {3u, 8u}) {
+      linalg::Matrix a(rows, cols);
+      std::vector<double> b(rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          a(r, c) = rng.uniform(-2.0, 2.0);
+        }
+        b[r] = rng.uniform(-1.0, 1.0);
+      }
+      std::vector<std::vector<double>> solutions;
+      for (const SimdLevel level : available_levels()) {
+        set_simd_level(level);
+        const auto res = linalg::least_squares(a, b);
+        solutions.push_back(res.x);
+      }
+      for (std::size_t l = 1; l < solutions.size(); ++l) {
+        EXPECT_EQ(solutions[l], solutions[0])
+            << "rows=" << rows << " cols=" << cols << " level " << l;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, RidgeFallbackBitIdenticalAcrossLevels) {
+  // Rank-deficient system: column 2 duplicates column 0, forcing the
+  // ridge-regularized path; it must dispatch identically too.
+  DispatchGuard guard;
+  Rng rng(44);
+  const std::size_t rows = 24, cols = 5;
+  linalg::Matrix a(rows, cols);
+  std::vector<double> b(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, 2) = a(r, 0);
+    b[r] = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<std::vector<double>> solutions;
+  for (const SimdLevel level : available_levels()) {
+    set_simd_level(level);
+    const auto res = linalg::least_squares(a, b);
+    EXPECT_TRUE(res.regularized) << simd_level_name(level);
+    solutions.push_back(res.x);
+  }
+  for (std::size_t l = 1; l < solutions.size(); ++l) {
+    EXPECT_EQ(solutions[l], solutions[0]) << "level " << l;
+  }
+}
+
+TEST(SimdKernels, LevelDispatchHonoursOverride) {
+  DispatchGuard guard;
+  for (const SimdLevel level : available_levels()) {
+    set_simd_level(level);
+    EXPECT_EQ(simd_level(), level);
+  }
+  EXPECT_TRUE(simd_supported(SimdLevel::kScalar));
+}
+
+}  // namespace
+}  // namespace harmony

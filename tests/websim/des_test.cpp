@@ -131,5 +131,148 @@ TEST(Simulation, ReserveEventsPreservesBehaviour) {
   EXPECT_EQ(a.executed_events(), 200u);
 }
 
+// ---------------------------------------------------------------------------
+// Calendar queue vs binary heap: both backends implement the same (time,
+// seq) total order, so any workload must produce identical pop sequences.
+
+/// Runs `feed(sim)` then drains, recording (index, now) per event.
+template <typename Feed>
+std::vector<std::pair<int, double>> trace(DesQueueMode mode, Feed feed) {
+  Simulation sim(mode);
+  std::vector<std::pair<int, double>> out;
+  feed(sim, out);
+  sim.run_until(1e301);  // past every test event, including far-future ones
+  return out;
+}
+
+TEST(CalendarQueue, ModeSelectionAndDefault) {
+  EXPECT_EQ(Simulation{}.queue_mode(), des_queue_mode());
+  EXPECT_EQ(Simulation(DesQueueMode::kBinaryHeap).queue_mode(),
+            DesQueueMode::kBinaryHeap);
+  EXPECT_EQ(Simulation(DesQueueMode::kCalendar).queue_mode(),
+            DesQueueMode::kCalendar);
+  const DesQueueMode before = des_queue_mode();
+  set_des_queue_mode(DesQueueMode::kBinaryHeap);
+  EXPECT_EQ(Simulation{}.queue_mode(), DesQueueMode::kBinaryHeap);
+  set_des_queue_mode(before);
+}
+
+TEST(CalendarQueue, MatchesHeapOnRandomWorkload) {
+  // Deterministic pseudo-random times quantized to force plenty of ties,
+  // with a slice of events scheduling follow-ups from inside callbacks.
+  auto feed = [](Simulation& sim, std::vector<std::pair<int, double>>& out) {
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    for (int i = 0; i < 5000; ++i) {
+      const double t = 1e-3 * static_cast<double>(next() % 800);
+      if (i % 7 == 0) {
+        sim.schedule(t, [&sim, &out, i] {
+          out.emplace_back(i, sim.now());
+          sim.schedule(0.25, [&out, i] { out.emplace_back(i + 10000, 0.0); });
+        });
+      } else {
+        sim.schedule(t, [&sim, &out, i] { out.emplace_back(i, sim.now()); });
+      }
+    }
+  };
+  EXPECT_EQ(trace(DesQueueMode::kCalendar, feed),
+            trace(DesQueueMode::kBinaryHeap, feed));
+}
+
+TEST(CalendarQueue, EqualTimeFloodStaysFifo) {
+  // The calendar queue's worst case: a few distinct timestamps shared by
+  // thousands of events. FIFO within each timestamp must hold exactly.
+  Simulation sim(DesQueueMode::kCalendar);
+  sim.reserve_events(7000);
+  std::vector<int> order;
+  for (int i = 0; i < 7000; ++i) {
+    sim.schedule(0.5 * static_cast<double>(i % 7),
+                 [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(10.0);
+  ASSERT_EQ(order.size(), 7000u);
+  std::vector<int> expected;
+  expected.reserve(7000);
+  for (int t = 0; t < 7; ++t) {
+    for (int i = t; i < 7000; i += 7) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(CalendarQueue, HandlesExtremeTimeScales) {
+  // Nanosecond-spaced events next to events eons ahead: the probe scan
+  // must give up after one lap and fall back to a direct root search
+  // without losing order.
+  auto feed = [](Simulation& sim, std::vector<std::pair<int, double>>& out) {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule(1e-9 * static_cast<double>(i),
+                   [&sim, &out, i] { out.emplace_back(i, sim.now()); });
+      sim.schedule(1e12 + 3600.0 * static_cast<double>(i),
+                   [&sim, &out, i] { out.emplace_back(i + 100, sim.now()); });
+      sim.schedule(1e300,
+                   [&sim, &out, i] { out.emplace_back(i + 200, sim.now()); });
+    }
+  };
+  EXPECT_EQ(trace(DesQueueMode::kCalendar, feed),
+            trace(DesQueueMode::kBinaryHeap, feed));
+}
+
+TEST(CalendarQueue, SurvivesGrowthDrainAndRegrowth) {
+  // Push through several width-recalibration rebuilds (population doubles
+  // on the way up, quarters on the way down), twice, checking the pop
+  // stream against the heap backend each time.
+  auto feed = [](Simulation& sim, std::vector<std::pair<int, double>>& out) {
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < 3000; ++i) {
+        const double t = sim.now() + 1e-6 * static_cast<double>((i * 131) % 977);
+        sim.schedule_at(t, [&sim, &out, i, round] {
+          out.emplace_back(round * 100000 + i, sim.now());
+        });
+      }
+      sim.run_until(sim.now() + 1.0);
+    }
+  };
+  EXPECT_EQ(trace(DesQueueMode::kCalendar, feed),
+            trace(DesQueueMode::kBinaryHeap, feed));
+}
+
+TEST(CalendarQueue, ReserveEventsPreSizesBuckets) {
+  // A reserved calendar must behave identically to an unreserved one while
+  // interleaving schedules and pops (pops trigger bucket-array use early).
+  auto run = [](bool reserve) {
+    Simulation sim(DesQueueMode::kCalendar);
+    if (reserve) sim.reserve_events(4096);
+    std::vector<int> order;
+    for (int i = 0; i < 2000; ++i) {
+      sim.schedule(1e-3 * static_cast<double>((i * 61) % 401),
+                   [&order, i] { order.push_back(i); });
+      if (i % 3 == 0) sim.step();
+    }
+    sim.run_until(10.0);
+    return order;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(CalendarQueue, PendingEventsTracksBothModes) {
+  for (const auto mode :
+       {DesQueueMode::kCalendar, DesQueueMode::kBinaryHeap}) {
+    Simulation sim(mode);
+    EXPECT_EQ(sim.pending_events(), 0u);
+    for (int i = 0; i < 10; ++i) sim.schedule(1.0 + i, [] {});
+    EXPECT_EQ(sim.pending_events(), 10u);
+    sim.step();
+    EXPECT_EQ(sim.pending_events(), 9u);
+    sim.run_until(100.0);
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_EQ(sim.executed_events(), 10u);
+  }
+}
+
 }  // namespace
 }  // namespace harmony::websim

@@ -5,6 +5,11 @@
 # benches run with fault injection off and the default RetryPolicy, so any
 # hash change means a code change reached the legacy measurement path —
 # exactly what earlier PRs verified by hand with a pre/post tree diff.
+#
+# The battery runs twice: once on the default dispatched SIMD path and once
+# pinned to HARMONY_SIMD=scalar. Both passes must match the same hashes —
+# the vectorized kernels preserve the scalar reduction order exactly, so a
+# divergence here means a kernel broke the bit-identity contract.
 # Usage: check_csv_goldens.sh <bench-build-dir> <golden-md5-file>
 set -eu
 
@@ -13,12 +18,19 @@ GOLDEN="$2"
 DIR=$(mktemp -d)
 trap 'rm -rf "$DIR"' EXIT
 
-for b in fig4_perf_distribution fig5_sensitivity_synth fig6_topn_synth \
-         fig7_history_distance fig8_sensitivity_web fig9_topn_web \
-         table1_search_refinement table2_prior_histories headline_combined \
-         appb_param_restriction; do
-  HARMONY_BENCH_CSV_DIR="$DIR" "$BENCH_DIR/$b" > /dev/null
+for simd in dispatched scalar; do
+  rm -rf "$DIR"/*.csv
+  for b in fig4_perf_distribution fig5_sensitivity_synth fig6_topn_synth \
+           fig7_history_distance fig8_sensitivity_web fig9_topn_web \
+           table1_search_refinement table2_prior_histories headline_combined \
+           appb_param_restriction; do
+    if [ "$simd" = scalar ]; then
+      HARMONY_SIMD=scalar HARMONY_BENCH_CSV_DIR="$DIR" "$BENCH_DIR/$b" \
+        > /dev/null
+    else
+      HARMONY_BENCH_CSV_DIR="$DIR" "$BENCH_DIR/$b" > /dev/null
+    fi
+  done
+  echo "== $simd SIMD path =="
+  (cd "$DIR" && md5sum -c "$GOLDEN")
 done
-
-cd "$DIR"
-md5sum -c "$GOLDEN"

@@ -69,9 +69,11 @@ for b in $BENCHES; do
   [ $first -eq 1 ] || printf ',\n' >> "$JSON"
   first=0
   # Benches report throughput on EVENTS_PER_SEC <name> <rate> marker lines,
-  # speculation metrics on SPECULATION_<key> <value> lines and fault-path
-  # metrics on FAULT_TOLERANCE_<key> <value> lines; fold any such markers
-  # into the bench's JSON entry.
+  # speculation metrics on SPECULATION_<key> <value> lines, fault-path
+  # metrics on FAULT_TOLERANCE_<key> <value> lines, SIMD kernel speedups on
+  # SIMD_<key> <value> lines and DES queue-backend comparisons on
+  # DES_<key> <value> lines; fold any such markers into the bench's JSON
+  # entry.
   rates=$(awk '/^EVENTS_PER_SEC / {
                  if (n++) printf ", ";
                  printf "\"%s\": %s", $2, $3
@@ -86,10 +88,23 @@ for b in $BENCHES; do
                  if (n++) printf ", ";
                  printf "\"%s\": %s", key, $2
                }' "$OUT_DIR/$b.log")
+  simd=$(awk '/^SIMD_/ {
+                key = substr($1, length("SIMD_") + 1);
+                if (n++) printf ", ";
+                if ($2 ~ /^[0-9.eE+-]+$/) printf "\"%s\": %s", key, $2;
+                else printf "\"%s\": \"%s\"", key, $2
+              }' "$OUT_DIR/$b.log")
+  des=$(awk '/^DES_/ {
+               key = substr($1, length("DES_") + 1);
+               if (n++) printf ", ";
+               printf "\"%s\": %s", key, $2
+             }' "$OUT_DIR/$b.log")
   extra=""
   [ -n "$rates" ] && extra="$extra, \"events_per_sec\": {$rates}"
   [ -n "$spec" ] && extra="$extra, \"speculation\": {$spec}"
   [ -n "$fault" ] && extra="$extra, \"fault_tolerance\": {$fault}"
+  [ -n "$simd" ] && extra="$extra, \"simd\": {$simd}"
+  [ -n "$des" ] && extra="$extra, \"des\": {$des}"
   printf '    "%s": {"seconds": %s, "status": "%s"%s}' \
     "$b" "$secs" "$status" "$extra" >> "$JSON"
 done
