@@ -140,28 +140,44 @@ std::size_t Classifier::classify(const WorkloadSignature& observed,
 // --------------------------------------------------------------------------
 // Least-square (brute force over the flat store)
 
+bool signature_sketch_applicable(const SignatureView& view) {
+  // Rows must be wide enough for the bound to pay for itself.
+  return !view.empty() && view.dims != SignatureView::kMixedDims &&
+         view.dims > LeastSquareClassifier::kSketchPrefix + 1;
+}
+
+void build_signature_sketch(const SignatureView& view, double* out) {
+  constexpr std::size_t kPrefix = LeastSquareClassifier::kSketchPrefix;
+  const std::size_t dims = view.dims;
+  const std::size_t count = view.count;
+  // Plane-major: coordinate planes first, rest-norm plane last, so the
+  // SIMD prefix filter reads contiguous runs of rows per plane.
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* row = view.row(i);
+    for (std::size_t d = 0; d < kPrefix; ++d) {
+      out[d * count + i] = row[d];
+    }
+    double rest = 0.0;
+    for (std::size_t d = kPrefix; d < dims; ++d) {
+      rest += row[d] * row[d];
+    }
+    out[kPrefix * count + i] = std::sqrt(rest);
+  }
+}
+
 void LeastSquareClassifier::fit(const SignatureView& view) {
   view_ = view;
   sketch_.clear();
-  // Pack the sketch when rows are wide enough for the bound to pay for
-  // itself: prefix coordinates verbatim, then the L2 norm of the rest.
-  if (!view.empty() && view.dims != SignatureView::kMixedDims &&
-      view.dims > kSketchPrefix + 1) {
-    const std::size_t dims = view.dims;
-    const std::size_t count = view.count;
-    // Plane-major: coordinate planes first, rest-norm plane last, so the
-    // SIMD prefix filter reads contiguous runs of rows per plane.
-    sketch_.resize(count * (kSketchPrefix + 1));
-    for (std::size_t i = 0; i < count; ++i) {
-      const double* row = view.row(i);
-      for (std::size_t d = 0; d < kSketchPrefix; ++d) {
-        sketch_[d * count + i] = row[d];
-      }
-      double rest = 0.0;
-      for (std::size_t d = kSketchPrefix; d < dims; ++d) {
-        rest += row[d] * row[d];
-      }
-      sketch_[kSketchPrefix * count + i] = std::sqrt(rest);
+  sketch_ptr_ = nullptr;
+  if (signature_sketch_applicable(view)) {
+    if (view.sketch != nullptr) {
+      // Snapshot-backed store: borrow the persisted sketch (bit-identical
+      // to what build_signature_sketch would produce from the same rows).
+      sketch_ptr_ = view.sketch;
+    } else {
+      sketch_.resize(view.count * (kSketchPrefix + 1));
+      build_signature_sketch(view, sketch_.data());
+      sketch_ptr_ = sketch_.data();
     }
   }
   set_fitted(view);
@@ -207,7 +223,7 @@ void LeastSquareClassifier::pruned_scan(std::size_t first, std::size_t last,
                                         double query_rest_norm,
                                         double& best_dist_sq,
                                         std::size_t& best_index) const {
-  sketch_pruned_scan(view_.data, view_.dims, sketch_.data(), view_.count,
+  sketch_pruned_scan(view_.data, view_.dims, sketch_ptr_, view_.count,
                      first, last, query, query_rest_norm, best_dist_sq,
                      best_index);
 }
@@ -222,13 +238,13 @@ std::size_t LeastSquareClassifier::classify(
   const std::size_t dims = view_.dims;
   const double* q = observed.data();
   double q_rest_norm = 0.0;
-  if (!sketch_.empty()) {
+  if (sketch_ptr_ != nullptr) {
     double rest = 0.0;
     for (std::size_t d = kSketchPrefix; d < dims; ++d) rest += q[d] * q[d];
     q_rest_norm = std::sqrt(rest);
   }
   if (count < kParallelThreshold || thread_count() <= 1) {
-    if (sketch_.empty()) {
+    if (sketch_ptr_ == nullptr) {
       return nearest_signature_blocked(view_.data, count, dims, q);
     }
     double best_d = std::numeric_limits<double>::infinity();
@@ -249,7 +265,7 @@ std::size_t LeastSquareClassifier::classify(
     const std::size_t hi = std::min(count, lo + kShardSize);
     double d = std::numeric_limits<double>::infinity();
     std::size_t idx = lo;
-    if (sketch_.empty()) {
+    if (sketch_ptr_ == nullptr) {
       nearest_signature_scan(view_.data, dims, lo, hi, q, d, idx);
     } else {
       pruned_scan(lo, hi, q, q_rest_norm, d, idx);

@@ -98,6 +98,17 @@ void nearest_signature_scan_level(SimdLevel level, const double* data,
                                   double& best_dist_sq,
                                   std::size_t& best_index);
 
+/// True when LeastSquareClassifier::fit would pack a prune sketch for
+/// `view` (non-empty, uniform arity wider than the sketch prefix).
+[[nodiscard]] bool signature_sketch_applicable(const SignatureView& view);
+
+/// Builds the plane-major prune sketch for `view` into `out`, which must
+/// hold view.count * (kSketchPrefix + 1) doubles: kSketchPrefix coordinate
+/// planes, then the rest-norm plane. This is the exact computation fit()
+/// performs — the snapshot writer persists its output so a store opened
+/// from disk can hand classifiers a bit-identical borrowed sketch.
+void build_signature_sketch(const SignatureView& view, double* out);
+
 /// Maps an observed signature to the index of the best-matching known
 /// signature. fit() builds the model over a flat SignatureView (the view's
 /// backing storage must stay alive and unchanged until the next fit);
@@ -187,8 +198,11 @@ class LeastSquareClassifier final : public Classifier {
   // doubles each (plane p < kSketchPrefix holds coordinate p of every row;
   // the last plane holds the rest-norms), built by fit() when the view has
   // uniform arity wider than the prefix. Empty otherwise. The plane layout
-  // keeps the SIMD prefix filter on contiguous loads.
+  // keeps the SIMD prefix filter on contiguous loads. When the fitted view
+  // carries a borrowed sketch (snapshot-backed store), sketch_ptr_ aims at
+  // it and sketch_ stays empty — zero copies on the warm-start path.
   std::vector<double> sketch_;
+  const double* sketch_ptr_ = nullptr;  ///< active sketch, or nullptr
 };
 
 /// Sketch-pruned range fold over a plane-major sketch (the layout

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/store.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -60,13 +61,9 @@ std::vector<Measurement> ExperienceRecord::best(std::size_t n) const {
   return out;
 }
 
-HistoryDatabase::HistoryDatabase(const HistoryDatabase& other)
-    : records_(other.records_),
-      sig_data_(other.sig_data_),
-      sig_offsets_(other.sig_offsets_),
-      sig_dims_(other.sig_dims_),
-      sig_mixed_(other.sig_mixed_),
-      version_(next_signature_version()) {}
+HistoryDatabase::HistoryDatabase(const HistoryDatabase& other) {
+  *this = other;
+}
 
 HistoryDatabase& HistoryDatabase::operator=(const HistoryDatabase& other) {
   if (this != &other) {
@@ -75,6 +72,17 @@ HistoryDatabase& HistoryDatabase::operator=(const HistoryDatabase& other) {
     sig_offsets_ = other.sig_offsets_;
     sig_dims_ = other.sig_dims_;
     sig_mixed_ = other.sig_mixed_;
+    // The copy shares the (immutable) mapping but starts with an empty
+    // decode cache: lazily decoded records are re-decoded on demand, which
+    // yields byte-identical values out of the same blob bytes.
+    snap_ = other.snap_;
+    snap_count_ = other.snap_count_;
+    sig_borrowed_ = other.sig_borrowed_;
+    cache_.reset();
+    if (snap_count_ > 0) {
+      cache_ = std::make_unique<DecodeCache>();
+      cache_->count = snap_count_;
+    }
     version_ = next_signature_version();
   }
   return *this;
@@ -91,28 +99,136 @@ void HistoryDatabase::append_flat(const WorkloadSignature& sig) {
 }
 
 void HistoryDatabase::add(ExperienceRecord record) {
+  ensure_owned_signatures();
   append_flat(record.signature);
   records_.push_back(std::move(record));
   version_ = next_signature_version();
 }
 
+void HistoryDatabase::reserve(std::size_t n_records,
+                              std::size_t n_signature_values) {
+  if (n_records <= size() && n_signature_values == 0) return;
+  // Growth lands in the owned flat store, so a borrowed signature index is
+  // detached now rather than on the first add (one copy either way).
+  if (n_records > size()) ensure_owned_signatures();
+  if (!sig_borrowed_) {
+    sig_offsets_.reserve(n_records + 1);
+    if (n_signature_values > 0) sig_data_.reserve(n_signature_values);
+  }
+  if (n_records > snap_count_) records_.reserve(n_records - snap_count_);
+  version_ = next_signature_version();
+}
+
+void HistoryDatabase::adopt_snapshot(
+    std::shared_ptr<const SnapshotMapping> snap) {
+  HARMONY_REQUIRE(snap != nullptr, "adopt_snapshot: null mapping");
+  records_.clear();
+  sig_data_.clear();
+  sig_offsets_.assign(1, 0);
+  snap_count_ = snap->record_count();
+  sig_mixed_ = snap->mixed_dims();
+  sig_dims_ = snap_count_ == 0 ? 0
+              : sig_mixed_     ? snap->sig_offsets()[1]
+                               : snap->uniform_dims();
+  snap_ = std::move(snap);
+  sig_borrowed_ = snap_count_ > 0;
+  cache_.reset();
+  if (snap_count_ > 0) {
+    cache_ = std::make_unique<DecodeCache>();
+    cache_->count = snap_count_;
+  }
+  version_ = next_signature_version();
+}
+
+void HistoryDatabase::ensure_owned_signatures() {
+  if (!sig_borrowed_) return;
+  const std::size_t n = snap_count_;
+  const std::size_t* off = snap_->sig_offsets();
+  const double* data = snap_->sig_data();
+  sig_offsets_.assign(off, off + n + 1);
+  sig_data_.assign(data, data + off[n]);
+  sig_borrowed_ = false;
+}
+
+void HistoryDatabase::materialize() {
+  if (snap_count_ == 0) {
+    snap_.reset();
+    return;
+  }
+  ensure_owned_signatures();
+  std::vector<ExperienceRecord> all;
+  all.reserve(snap_count_ + records_.size());
+  for (std::size_t i = 0; i < snap_count_; ++i) {
+    all.push_back(snap_->decode_record(i));
+  }
+  for (auto& r : records_) all.push_back(std::move(r));
+  records_ = std::move(all);
+  snap_count_ = 0;
+  cache_.reset();
+  snap_.reset();
+  version_ = next_signature_version();
+}
+
+void HistoryDatabase::reset_snapshot_state() {
+  snap_.reset();
+  snap_count_ = 0;
+  sig_borrowed_ = false;
+  cache_.reset();
+}
+
 const ExperienceRecord& HistoryDatabase::record(std::size_t i) const {
-  HARMONY_REQUIRE(i < records_.size(), "record index out of range");
-  return records_[i];
+  HARMONY_REQUIRE(i < size(), "record index out of range");
+  if (i >= snap_count_) return records_[i - snap_count_];
+  // Snapshot-backed record: decode on first access. Fast path is two
+  // acquire loads; the slot array and each decode are published with
+  // release stores, so concurrent readers (serve_batch retrievals) never
+  // see a half-built record.
+  DecodeCache& cache = *cache_;
+  std::atomic<ExperienceRecord*>* slots =
+      cache.slots.load(std::memory_order_acquire);
+  if (slots != nullptr) {
+    if (const ExperienceRecord* p = slots[i].load(std::memory_order_acquire)) {
+      return *p;
+    }
+  }
+  std::lock_guard<std::mutex> lock(cache.mu);
+  slots = cache.slots.load(std::memory_order_relaxed);
+  if (slots == nullptr) {
+    slots = new std::atomic<ExperienceRecord*>[cache.count]();
+    cache.slots.store(slots, std::memory_order_release);
+  }
+  if (const ExperienceRecord* p = slots[i].load(std::memory_order_relaxed)) {
+    return *p;
+  }
+  auto* rec = new ExperienceRecord(snap_->decode_record(i));
+  slots[i].store(rec, std::memory_order_release);
+  return *rec;
 }
 
 std::vector<WorkloadSignature> HistoryDatabase::signatures() const {
+  // Built from the flat view (works for borrowed storage without decoding
+  // any record payloads).
+  const SignatureView v = signature_view();
   std::vector<WorkloadSignature> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) out.push_back(r.signature);
+  out.reserve(v.count);
+  for (std::size_t i = 0; i < v.count; ++i) {
+    out.emplace_back(v.row(i), v.row(i) + v.arity(i));
+  }
   return out;
 }
 
 SignatureView HistoryDatabase::signature_view() const noexcept {
   SignatureView v;
-  v.data = sig_data_.data();
-  v.offsets = sig_offsets_.data();
-  v.count = records_.size();
+  if (sig_borrowed_) {
+    v.data = snap_->sig_data();
+    v.offsets = snap_->sig_offsets();
+    v.count = snap_count_;
+    v.sketch = snap_->sketch();
+  } else {
+    v.data = sig_data_.data();
+    v.offsets = sig_offsets_.data();
+    v.count = sig_offsets_.size() - 1;
+  }
   v.dims = sig_mixed_ ? SignatureView::kMixedDims : sig_dims_;
   v.version = version_;
   return v;
@@ -125,8 +241,9 @@ constexpr int kVersion = 1;
 
 void HistoryDatabase::save(std::ostream& os) const {
   os << kMagic << " v" << kVersion << "\n";
-  os << "records " << records_.size() << "\n";
-  for (const auto& r : records_) {
+  os << "records " << size() << "\n";
+  for (std::size_t i = 0; i < size(); ++i) {
+    const ExperienceRecord& r = record(i);  // lazy-decodes borrowed records
     os << "record\n";
     os << "label " << r.label << "\n";
     os << "signature " << r.signature.size();
@@ -205,7 +322,9 @@ void HistoryDatabase::load(std::istream& is) {
     records.push_back(std::move(rec));
   }
   records_ = std::move(records);
-  // Rebuild the flat mirror to match the replaced contents.
+  // Rebuild the flat mirror to match the replaced contents (and drop any
+  // adopted snapshot backing — load() replaces everything).
+  reset_snapshot_state();
   sig_data_.clear();
   sig_offsets_.assign(1, 0);
   sig_dims_ = 0;

@@ -16,8 +16,11 @@
 // model must be rebuilt.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +28,8 @@
 #include "core/tuner.hpp"
 
 namespace harmony {
+
+class SnapshotMapping;  // core/store.hpp — an mmap'd on-disk snapshot
 
 /// Workload characteristics vector Ci = (ci1, ci2, ...).
 using WorkloadSignature = std::vector<double>;
@@ -55,6 +60,13 @@ struct SignatureView {
   std::size_t count = 0;
   std::size_t dims = 0;  ///< uniform record arity, or kMixedDims
   std::uint64_t version = 0;
+  /// Optional precomputed plane-major sketch borrowed with the store
+  /// (LeastSquareClassifier layout: kSketchPrefix coordinate planes of
+  /// `count` doubles, then the rest-norm plane). Snapshot-backed databases
+  /// expose the sketch section persisted next to the signature index so
+  /// fit() can borrow it instead of rebuilding; nullptr means "build your
+  /// own". Same lifetime as `data`.
+  const double* sketch = nullptr;
 
   [[nodiscard]] bool empty() const noexcept { return count == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return count; }
@@ -92,10 +104,47 @@ class HistoryDatabase {
 
   void add(ExperienceRecord record);
 
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  /// Pre-sizes the store for a total of `n_records` records carrying
+  /// `n_signature_values` signature doubles overall (0 = unknown), so a
+  /// bulk ingest (log replay, bench generation) avoids incremental SoA
+  /// regrowth. Counts are totals including already-present records. May
+  /// reallocate the flat store: outstanding SignatureViews are invalidated
+  /// (the version stamp moves), exactly as for any other mutation.
+  void reserve(std::size_t n_records, std::size_t n_signature_values = 0);
+
+  /// Replaces the contents with the records of an mmap'd snapshot, borrowed
+  /// zero-copy: signature_view() points straight into the mapping (sketch
+  /// included when the snapshot carries one) and records are decoded
+  /// lazily, on first access, under an internal lock — record(i) stays safe
+  /// to call from concurrent readers. The first add() copies the signature
+  /// index into owned storage (the mapping stays referenced for record
+  /// decode); the version stamp machinery is unchanged, so fit-once
+  /// classifiers keep working against borrowed views.
+  void adopt_snapshot(std::shared_ptr<const SnapshotMapping> snap);
+
+  /// Decodes every snapshot-backed record into owned storage and drops the
+  /// mapping reference. Outstanding record references are invalidated (the
+  /// version stamp moves). No-op for a database that owns its records.
+  void materialize();
+
+  /// The adopted snapshot backing, or nullptr. Records with index below
+  /// snapshot_record_count() can be copied straight from its blob section.
+  [[nodiscard]] const SnapshotMapping* snapshot_backing() const noexcept {
+    return snap_.get();
+  }
+  [[nodiscard]] std::size_t snapshot_record_count() const noexcept {
+    return snap_count_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return snap_count_ + records_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] const ExperienceRecord& record(std::size_t i) const;
-  [[nodiscard]] const std::vector<ExperienceRecord>& records() const noexcept {
+  /// Compatibility accessor for the whole record vector; materializes a
+  /// snapshot-backed database first (hence non-const).
+  [[nodiscard]] const std::vector<ExperienceRecord>& records() {
+    if (snap_count_ > 0) materialize();
     return records_;
   }
 
@@ -121,15 +170,47 @@ class HistoryDatabase {
   void load_file(const std::string& path);
 
  private:
-  void append_flat(const WorkloadSignature& sig);
+  // Thread-safe lazy-decode cache for snapshot-backed records: slot i is
+  // null until record(i) first decodes it. The slot array itself is
+  // allocated on first use (adopting a snapshot stays O(1)); readers take
+  // the acquire fast path, decoders serialize on the mutex.
+  struct DecodeCache {
+    ~DecodeCache() {
+      if (auto* s = slots.load(std::memory_order_relaxed)) {
+        for (std::size_t i = 0; i < count; ++i) {
+          delete s[i].load(std::memory_order_relaxed);
+        }
+        delete[] s;
+      }
+    }
+    std::size_t count = 0;
+    std::atomic<std::atomic<ExperienceRecord*>*> slots{nullptr};
+    std::mutex mu;
+  };
 
+  void append_flat(const WorkloadSignature& sig);
+  /// Copy-on-write: detaches the flat signature store from the mapping.
+  void ensure_owned_signatures();
+  /// Drops all snapshot-borrowing state (load()/assignment reset path).
+  void reset_snapshot_state();
+
+  // Records owned by this object. In snapshot-backed mode these are the
+  // appended tail: global record i >= snap_count_ lives at
+  // records_[i - snap_count_]; records below snap_count_ decode lazily out
+  // of the mapping through cache_.
   std::vector<ExperienceRecord> records_;
-  // Flat mirror of the record signatures (SoA hot path).
+  // Flat mirror of the record signatures (SoA hot path). Empty while
+  // sig_borrowed_: the view then points into the mapping.
   std::vector<double> sig_data_;
   std::vector<std::size_t> sig_offsets_ = {0};
   std::size_t sig_dims_ = 0;  ///< arity of the first record
   bool sig_mixed_ = false;    ///< records disagree on arity
   std::uint64_t version_ = next_signature_version();
+
+  std::shared_ptr<const SnapshotMapping> snap_;
+  std::size_t snap_count_ = 0;  ///< records served from the mapping
+  bool sig_borrowed_ = false;   ///< signature_view() points into the mapping
+  std::unique_ptr<DecodeCache> cache_;
 };
 
 }  // namespace harmony

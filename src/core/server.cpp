@@ -12,6 +12,20 @@ HarmonyServer::HarmonyServer(const ParameterSpace& space, ServerOptions options)
   HARMONY_REQUIRE(!space_.empty(), "empty parameter space");
 }
 
+RecoveryInfo HarmonyServer::attach_store(const std::string& prefix,
+                                         StoreOptions opts) {
+  return store_.open(prefix, db_, std::move(opts));
+}
+
+void HarmonyServer::flush_store() {
+  if (store_.is_open()) store_.flush();
+}
+
+void HarmonyServer::snapshot_store() {
+  HARMONY_REQUIRE(store_.is_open(), "snapshot_store: no store attached");
+  store_.snapshot(db_);
+}
+
 ServedTuningResult HarmonyServer::tune(Objective& objective,
                                        const WorkloadSignature& signature,
                                        const std::string& label) {
@@ -73,7 +87,15 @@ std::vector<ServedTuningResult> HarmonyServer::serve_batch(
       rec.label = requests[i].label;
       rec.signature = requests[i].signature;
       rec.measurements = out[i].tuning.trace;
+      if (store_.is_open()) store_.append(rec);
       db_.add(std::move(rec));
+    }
+    if (store_.is_open()) {
+      // One group commit per served batch keeps durability off the tuning
+      // hot path; rotation kicks in only once the log tail is long enough
+      // that the next recovery's replay would stop being cheap.
+      store_.commit();
+      store_.maybe_snapshot(db_);
     }
   }
   return out;

@@ -16,6 +16,7 @@
 #include "core/history.hpp"
 #include "core/objective.hpp"
 #include "core/parameter.hpp"
+#include "core/store.hpp"
 #include "core/tuner.hpp"
 
 namespace harmony {
@@ -66,6 +67,28 @@ class HarmonyServer {
   [[nodiscard]] HistoryDatabase& database() noexcept { return db_; }
   [[nodiscard]] const HistoryDatabase& database() const noexcept { return db_; }
 
+  /// Opens (creating if absent) the durable experience store at `prefix`
+  /// and recovers its contents into the database, REPLACING whatever the
+  /// database held: newest valid snapshot adopted zero-copy (mmap), log
+  /// tail replayed. From then on every experience write is mirrored into
+  /// the append-only log (group-committed once per served batch) and the
+  /// store rotates a fresh snapshot whenever the log tail passes
+  /// StoreOptions::snapshot_every_records. Destruction drains gracefully:
+  /// buffered appends are flushed to disk before the server dies.
+  RecoveryInfo attach_store(const std::string& prefix, StoreOptions opts = {});
+
+  /// The attached store, or nullptr when running in-memory only.
+  [[nodiscard]] ExperienceStore* store() noexcept {
+    return store_.is_open() ? &store_ : nullptr;
+  }
+
+  /// Group-commits and fsyncs any buffered experience appends (no-op
+  /// without an attached store) — the explicit, checked drain barrier.
+  void flush_store();
+
+  /// Forces a snapshot rotation now (requires an attached store).
+  void snapshot_store();
+
   /// Replaces the classifier used for experience retrieval.
   void set_analyzer(DataAnalyzer analyzer) { analyzer_ = std::move(analyzer); }
 
@@ -93,6 +116,7 @@ class HarmonyServer {
   ServerOptions opts_;
   DataAnalyzer analyzer_;
   HistoryDatabase db_;
+  ExperienceStore store_;  ///< durable mirror of db_; inert until attached
 };
 
 }  // namespace harmony

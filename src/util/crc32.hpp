@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) — the checksum
+// guarding every frame of the durable experience log. Header-only,
+// table-driven, byte-at-a-time: the log frames it protects are small
+// (hundreds of bytes), so table lookup throughput is plenty and the code
+// stays trivially portable.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace harmony {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `len` bytes at `data`, resumable: feed the previous return
+/// value as `seed` to extend a running checksum over multiple buffers.
+/// crc32(p, n) equals the standard zlib crc32 of the same bytes.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len,
+                                         std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace harmony

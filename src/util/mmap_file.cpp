@@ -1,0 +1,290 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HARMONY_POSIX_FILES 1
+#include <fcntl.h>
+#include <libgen.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HARMONY_POSIX_FILES 0
+#include <cstdio>
+#endif
+
+namespace harmony {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& op, const std::string& path) {
+  throw Error(op + " failed for " + path + ": " + std::strerror(errno));
+}
+
+#if HARMONY_POSIX_FILES
+/// fsync the directory containing `path` so a rename inside it is durable.
+void fsync_parent_dir(const std::string& path) {
+  std::string copy = path;
+  const char* dir = ::dirname(copy.data());  // mutates copy; that's fine
+  const int fd = ::open(dir, O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MappedFile
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile m;
+#if HARMONY_POSIX_FILES
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) io_fail("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    io_fail("fstat", path);
+  }
+  m.size_ = static_cast<std::size_t>(st.st_size);
+  if (m.size_ > 0) {
+    void* addr = ::mmap(nullptr, m.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      io_fail("mmap", path);
+    }
+    m.data_ = static_cast<const unsigned char*>(addr);
+    m.mapped_ = true;
+  }
+  ::close(fd);  // the mapping keeps its own reference to the inode
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) io_fail("fopen", path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  m.buf_.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
+  if (!m.buf_.empty() &&
+      std::fread(m.buf_.data(), 1, m.buf_.size(), f) != m.buf_.size()) {
+    std::fclose(f);
+    io_fail("fread", path);
+  }
+  std::fclose(f);
+  m.data_ = m.buf_.data();
+  m.size_ = m.buf_.size();
+#endif
+  return m;
+}
+
+void MappedFile::reset() noexcept {
+#if HARMONY_POSIX_FILES
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  buf_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// FileWriter
+
+FileWriter::FileWriter(const std::string& path, Mode mode,
+                       FsFaultBudget* budget)
+    : budget_(budget), path_(path) {
+#if HARMONY_POSIX_FILES
+  int flags = O_WRONLY | O_CREAT;
+  if (mode == Mode::kTruncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) io_fail("open for write", path);
+  if (mode == Mode::kAppend) {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) io_fail("lseek", path);
+    offset_ = static_cast<std::uint64_t>(end);
+  }
+#else
+  file_ = std::fopen(path.c_str(),
+                     mode == Mode::kTruncate ? "wb" : "ab");
+  if (file_ == nullptr) io_fail("fopen for write", path);
+  if (mode == Mode::kAppend) {
+    std::fseek(file_, 0, SEEK_END);
+    offset_ = static_cast<std::uint64_t>(std::ftell(file_));
+  }
+#endif
+}
+
+void FileWriter::write(const void* p, std::size_t n) {
+  HARMONY_REQUIRE(is_open(), "write on closed FileWriter");
+  std::size_t allowed = n;
+  if (budget_ != nullptr) {
+    allowed = static_cast<std::size_t>(budget_->begin_write(n));
+  }
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  std::size_t done = 0;
+  while (done < allowed) {
+#if HARMONY_POSIX_FILES
+    const ssize_t w = ::write(fd_, bytes + done, allowed - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write", path_);
+    }
+    done += static_cast<std::size_t>(w);
+#else
+    const std::size_t w = std::fwrite(bytes + done, 1, allowed - done, file_);
+    if (w == 0) io_fail("fwrite", path_);
+    done += w;
+#endif
+  }
+  offset_ += done;
+  if (allowed < n) {
+    throw DiskKilled("fault budget exhausted mid-write (" + path_ + ")");
+  }
+}
+
+void FileWriter::sync() {
+  HARMONY_REQUIRE(is_open(), "sync on closed FileWriter");
+  if (budget_ != nullptr) budget_->charge_meta("fsync");
+#if HARMONY_POSIX_FILES
+  if (::fsync(fd_) != 0) io_fail("fsync", path_);
+#else
+  if (std::fflush(file_) != 0) io_fail("fflush", path_);
+#endif
+}
+
+void FileWriter::truncate(std::uint64_t len) {
+  HARMONY_REQUIRE(is_open(), "truncate on closed FileWriter");
+  if (budget_ != nullptr) budget_->charge_meta("ftruncate");
+#if HARMONY_POSIX_FILES
+  if (::ftruncate(fd_, static_cast<off_t>(len)) != 0) {
+    io_fail("ftruncate", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(len), SEEK_SET) < 0) {
+    io_fail("lseek", path_);
+  }
+#else
+  // No portable in-place truncate through stdio; close, reopen truncating
+  // to `len` via the free function, and reopen for append.
+  std::fclose(file_);
+  file_ = nullptr;
+  truncate_file(path_, len, nullptr);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) io_fail("fopen for write", path_);
+#endif
+  offset_ = len;
+}
+
+void FileWriter::close() {
+#if HARMONY_POSIX_FILES
+  if (fd_ >= 0) {
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) io_fail("close", path_);
+  }
+#else
+  if (file_ != nullptr) {
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) io_fail("fclose", path_);
+  }
+#endif
+}
+
+void FileWriter::close_quiet() noexcept {
+#if HARMONY_POSIX_FILES
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#else
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Free functions
+
+bool file_exists(const std::string& path) {
+#if HARMONY_POSIX_FILES
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+#endif
+}
+
+std::uint64_t file_size(const std::string& path) {
+#if HARMONY_POSIX_FILES
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) io_fail("stat", path);
+  return static_cast<std::uint64_t>(st.st_size);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) io_fail("fopen", path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fclose(f);
+  return len > 0 ? static_cast<std::uint64_t>(len) : 0;
+#endif
+}
+
+void atomic_rename(const std::string& from, const std::string& to,
+                   FsFaultBudget* budget) {
+  if (budget != nullptr) budget->charge_meta("rename");
+#if HARMONY_POSIX_FILES
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    io_fail("rename", from + " -> " + to);
+  }
+  if (budget != nullptr) budget->charge_meta("fsync(dir)");
+  fsync_parent_dir(to);
+#else
+  std::remove(to.c_str());
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    io_fail("rename", from + " -> " + to);
+  }
+  if (budget != nullptr) budget->charge_meta("fsync(dir)");
+#endif
+}
+
+void truncate_file(const std::string& path, std::uint64_t len,
+                   FsFaultBudget* budget) {
+  if (budget != nullptr) budget->charge_meta("truncate");
+#if HARMONY_POSIX_FILES
+  if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+    io_fail("truncate", path);
+  }
+#else
+  // Copy-truncate through a scratch buffer (fallback platforms only).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) io_fail("fopen", path);
+  std::vector<unsigned char> keep(static_cast<std::size_t>(len));
+  const std::size_t got = std::fread(keep.data(), 1, keep.size(), f);
+  std::fclose(f);
+  keep.resize(got);
+  f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) io_fail("fopen for write", path);
+  if (!keep.empty() &&
+      std::fwrite(keep.data(), 1, keep.size(), f) != keep.size()) {
+    std::fclose(f);
+    io_fail("fwrite", path);
+  }
+  std::fclose(f);
+#endif
+}
+
+void remove_file(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace harmony

@@ -1,0 +1,180 @@
+// Durable-file primitives for the experience store: read-only memory
+// mappings, an fd-level sequential writer, and the atomic-replace /
+// truncate / fsync operations the snapshot-rotation protocol is built
+// from.
+//
+// Every effectful operation optionally routes through an FsFaultBudget — a
+// byte-metered "disk" that accepts only so many bytes of writes and
+// metadata operations before throwing DiskKilled mid-effect. The crash
+// recovery tests drive seeded kill points through it: a budget that runs
+// out inside a write leaves a genuinely torn file on disk, exactly like a
+// power cut between sector flushes.
+//
+// POSIX (mmap/open/fsync/rename) on unix; elsewhere a portable stdio
+// fallback keeps the API working (reads buffer the file into memory,
+// sync() degrades to fflush) so non-unix builds still compile and the
+// tests that do not need real durability still pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace harmony {
+
+/// Thrown when an FsFaultBudget runs out mid-operation: the simulated
+/// machine lost power with the files in whatever half-written state the
+/// completed effects produced.
+class DiskKilled : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Byte-metered fault injection for durable-file effects. Data writes
+/// consume their byte count (a write that exceeds the remaining budget
+/// lands partially — the accepted prefix reaches the file — then throws);
+/// metadata operations (fsync, rename, truncate) each cost kMetaOpCost and
+/// throw *before* taking effect when the budget cannot cover them, so a
+/// seeded sweep over budgets hits every before/after-op kill point.
+struct FsFaultBudget {
+  static constexpr std::uint64_t kMetaOpCost = 64;
+
+  std::uint64_t remaining = 0;
+
+  /// Bytes of an `n`-byte write the disk will accept (<= n).
+  [[nodiscard]] std::uint64_t begin_write(std::uint64_t n) {
+    const std::uint64_t ok = n < remaining ? n : remaining;
+    remaining -= ok;
+    return ok;
+  }
+  /// Charges one metadata operation; throws DiskKilled if unaffordable.
+  void charge_meta(const char* what) {
+    if (remaining < kMetaOpCost) {
+      remaining = 0;
+      throw DiskKilled(std::string("fault budget exhausted before ") + what);
+    }
+    remaining -= kMetaOpCost;
+  }
+};
+
+/// Read-only mapping of a whole file. On POSIX this is mmap(PROT_READ,
+/// MAP_SHARED): opening costs page-table setup only, and the mapping stays
+/// valid even if the file is later renamed over or unlinked (the pages
+/// belong to the old inode). The fallback reads the file into an owned
+/// buffer. data() is page-aligned (POSIX) or max_align_t-aligned
+/// (fallback), so 8-byte-aligned file offsets may be read through
+/// reinterpret-free memcpy or, for double/u64 arrays at aligned offsets,
+/// pointed into directly.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+  ~MappedFile() { reset(); }
+
+  /// Maps `path` read-only; throws Error when the file cannot be opened.
+  /// An empty file yields a valid zero-length mapping.
+  static MappedFile open(const std::string& path);
+
+  [[nodiscard]] const unsigned char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return mapped_ || !buf_.empty() || size_ == 0; }
+
+ private:
+  void reset() noexcept;
+  void swap(MappedFile& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(mapped_, other.mapped_);
+    buf_.swap(other.buf_);
+  }
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;           // true when data_ came from mmap
+  std::vector<unsigned char> buf_;  // fallback storage (non-POSIX)
+};
+
+/// Sequential fd-level writer used for the log and snapshot files. All
+/// writes go through the optional fault budget. Not buffered beyond the
+/// kernel: callers batch their own payloads (the log's group commit) so
+/// each write() is one syscall.
+class FileWriter {
+ public:
+  enum class Mode { kTruncate, kAppend };
+
+  FileWriter() = default;
+  FileWriter(const std::string& path, Mode mode,
+             FsFaultBudget* budget = nullptr);
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+  FileWriter(FileWriter&& other) noexcept { swap(other); }
+  FileWriter& operator=(FileWriter&& other) noexcept {
+    if (this != &other) {
+      close_quiet();
+      swap(other);
+    }
+    return *this;
+  }
+  ~FileWriter() { close_quiet(); }
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0 || file_ != nullptr; }
+  /// Current write position from the start of the file.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+  /// Appends `n` bytes; throws Error on I/O failure, DiskKilled when the
+  /// fault budget cuts the write short (the accepted prefix is on disk).
+  void write(const void* p, std::size_t n);
+  /// fsync (POSIX) / fflush (fallback); charged as a metadata op.
+  void sync();
+  /// Truncates the open file to `len` bytes and repositions the write
+  /// offset there; charged as a metadata op.
+  void truncate(std::uint64_t len);
+  void close();
+
+ private:
+  void close_quiet() noexcept;
+  void swap(FileWriter& other) noexcept {
+    std::swap(fd_, other.fd_);
+    std::swap(file_, other.file_);
+    std::swap(offset_, other.offset_);
+    std::swap(budget_, other.budget_);
+    path_.swap(other.path_);
+  }
+
+  int fd_ = -1;            // POSIX
+  std::FILE* file_ = nullptr;  // fallback
+  std::uint64_t offset_ = 0;
+  FsFaultBudget* budget_ = nullptr;
+  std::string path_;
+};
+
+[[nodiscard]] bool file_exists(const std::string& path);
+[[nodiscard]] std::uint64_t file_size(const std::string& path);
+
+/// rename(from, to) followed by an fsync of the containing directory — the
+/// atomic-replace step of snapshot rotation. Charged as two metadata ops.
+void atomic_rename(const std::string& from, const std::string& to,
+                   FsFaultBudget* budget = nullptr);
+
+/// Truncates `path` in place (torn-tail removal during recovery).
+void truncate_file(const std::string& path, std::uint64_t len,
+                   FsFaultBudget* budget = nullptr);
+
+/// Best-effort unlink; missing files are not an error.
+void remove_file(const std::string& path);
+
+}  // namespace harmony

@@ -15,6 +15,12 @@
 //   --budget <n>         measurement budget (default 100)
 //   --strategy <name>    initial simplex: even (default) | extreme
 //   --history <file>     load/store experience database at this path
+//                        (text format, parsed in full at startup)
+//   --store <prefix>     durable experience store at <prefix>.log/.snap:
+//                        warm-starts by mmap'ing the newest snapshot and
+//                        replaying the log tail (millisecond cold start),
+//                        appends this run's experience to the log on exit.
+//                        Mutually exclusive with --history
 //   --signature <v,...>  workload characteristics for experience matching
 //   --label <name>       label stored with this run's experience
 //   --trace <file.csv>   write the exploration trace as CSV
@@ -57,6 +63,7 @@ struct CliOptions {
   int budget = 100;
   std::string strategy = "even";
   std::string history_path;
+  std::string store_prefix;
   WorkloadSignature signature;
   std::string label = "harmony_tune";
   std::string trace_path;
@@ -70,7 +77,8 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --rsl <file> [--budget n] [--strategy even|extreme]"
-               " [--history db] [--signature v,...] [--label name]"
+               " [--history db | --store prefix] [--signature v,...]"
+               " [--label name]"
                " [--trace out.csv] [--threads n] [--retries n]"
                " [--timeout-ms ms] [--quiet]"
                " -- command [args...]\n",
@@ -95,6 +103,8 @@ CliOptions parse_cli(int argc, char** argv) {
       o.strategy = value();
     } else if (arg == "--history") {
       o.history_path = value();
+    } else if (arg == "--store") {
+      o.store_prefix = value();
     } else if (arg == "--signature") {
       for (const std::string& part : split(value(), ',')) {
         o.signature.push_back(parse_double(part));
@@ -123,6 +133,11 @@ CliOptions parse_cli(int argc, char** argv) {
   for (; i < argc; ++i) o.command.emplace_back(argv[i]);
   if (o.rsl_path.empty() || o.command.empty() || o.budget < 3 ||
       o.threads < 1) {
+    usage(argv[0]);
+  }
+  if (!o.history_path.empty() && !o.store_prefix.empty()) {
+    std::fprintf(stderr, "%s: --history and --store are mutually exclusive\n",
+                 argv[0]);
     usage(argv[0]);
   }
   return o;
@@ -297,7 +312,20 @@ int main(int argc, char** argv) {
     // must not silently satisfy the convergence test.
     sopts.use_recorded_values = false;
     HarmonyServer server(space, sopts);
-    if (!cli.history_path.empty()) {
+    if (!cli.store_prefix.empty()) {
+      const RecoveryInfo rec = server.attach_store(cli.store_prefix);
+      if (!cli.quiet) {
+        std::fprintf(stderr,
+                     "store: %zu records (%zu mmap'd from snapshot, %zu "
+                     "replayed from log)\n",
+                     server.database().size(), rec.snapshot_records,
+                     rec.replayed_records);
+        if (rec.truncated_bytes > 0) {
+          std::fprintf(stderr, "store: truncated %llu torn bytes off the log\n",
+                       static_cast<unsigned long long>(rec.truncated_bytes));
+        }
+      }
+    } else if (!cli.history_path.empty()) {
       std::ifstream probe(cli.history_path);
       if (probe.good()) server.database().load(probe);
     }
@@ -313,7 +341,10 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    if (!cli.history_path.empty()) {
+    if (!cli.store_prefix.empty()) {
+      // The run's experience is already mirrored into the log; drain it.
+      server.flush_store();
+    } else if (!cli.history_path.empty()) {
       server.database().save_file(cli.history_path);
     }
     if (!cli.trace_path.empty()) {

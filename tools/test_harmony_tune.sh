@@ -52,6 +52,35 @@ warm_runs=$(echo "$warm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
   echo "FAIL: warm run ($warm_runs) used more runs than cold ($cold_runs)";
   exit 1; }
 
+# --- durable store ---------------------------------------------------------
+# Same warm-start contract through the binary store: cold run appends to the
+# log, warm run recovers it (replay or snapshot) and must not use more runs.
+storecold=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+       --store "$DIR/store" -- "$DIR/app.sh")
+echo "store cold: $storecold"
+echo "$storecold" | grep -q "x=12" || {
+  echo "FAIL: store cold run missed optimum"; exit 1; }
+[ -s "$DIR/store.log" ] || { echo "FAIL: store log not written"; exit 1; }
+
+storewarm=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+       --store "$DIR/store" -- "$DIR/app.sh")
+echo "store warm: $storewarm"
+echo "$storewarm" | grep -q "x=12" || {
+  echo "FAIL: store warm run missed optimum"; exit 1; }
+storewarm_runs=$(echo "$storewarm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
+[ "$storewarm_runs" -le "$cold_runs" ] || {
+  echo "FAIL: store warm run ($storewarm_runs) used more runs than cold"; exit 1; }
+
+# The binary store and the text history must warm-start identically: the
+# recovered records are bit-identical, so the result lines must match.
+[ "$storewarm" = "$warm" ] || {
+  echo "FAIL: store warm run diverged from history warm run";
+  echo "  history: $warm"; echo "  store:   $storewarm"; exit 1; }
+
+"$TUNE" --rsl "$DIR/params.rsl" --store "$DIR/store" --history "$DIR/h.db" \
+    -- "$DIR/app.sh" 2>/dev/null && {
+  echo "FAIL: --store with --history must be rejected"; exit 1; }
+
 # --- fault tolerance -------------------------------------------------------
 # A deterministically flaky app: the first run for each configuration fails,
 # every later run succeeds (marker files keyed by the configuration make
