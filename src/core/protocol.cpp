@@ -21,17 +21,24 @@ bool rest_of_line_verb(const std::string& verb) {
 
 std::string serialize(const Message& message) {
   HARMONY_REQUIRE(!message.verb.empty(), "message needs a verb");
-  HARMONY_REQUIRE(message.verb.find_first_of(" \t\n") == std::string::npos,
+  HARMONY_REQUIRE(message.verb.find_first_of(" \t\r\n") == std::string::npos,
                   "verb must not contain whitespace");
   std::string out = message.verb;
   if (rest_of_line_verb(message.verb)) {
     HARMONY_REQUIRE(message.args.size() <= 1,
                     "rest-of-line verb takes at most one argument");
-    if (!message.args.empty()) out += " " + message.args[0];
+    // A rest-of-line payload may hold spaces/tabs, but never a line break:
+    // an embedded CR/LF would smuggle a second message past the framing.
+    if (!message.args.empty()) {
+      HARMONY_REQUIRE(message.args[0].find_first_of("\r\n") ==
+                          std::string::npos,
+                      "rest-of-line payload must not contain CR/LF");
+      out += " " + message.args[0];
+    }
     return out;
   }
   for (const std::string& a : message.args) {
-    HARMONY_REQUIRE(a.find_first_of(" \t\n") == std::string::npos,
+    HARMONY_REQUIRE(a.find_first_of(" \t\r\n") == std::string::npos,
                     "argument must not contain whitespace: '" + a + "'");
     out += " " + a;
   }
@@ -39,6 +46,8 @@ std::string serialize(const Message& message) {
 }
 
 Message parse_message(const std::string& line) {
+  HARMONY_REQUIRE(line.find_first_of("\r\n") == std::string::npos,
+                  "protocol line contains embedded CR/LF");
   const std::string_view trimmed = trim(line);
   HARMONY_REQUIRE(!trimmed.empty(), "empty protocol line");
   const std::size_t sp = trimmed.find_first_of(" \t");
@@ -59,7 +68,15 @@ Message parse_message(const std::string& line) {
 
 Message ok() { return {"OK", {}}; }
 
-Message error(const std::string& what) { return {"ERROR", {what}}; }
+Message error(const std::string& what) {
+  // Exception text can carry anything; fold control characters to spaces so
+  // the reply always survives serialize()'s CR/LF rejection.
+  std::string clean = what;
+  for (char& c : clean) {
+    if (c == '\r' || c == '\n' || c == '\t') c = ' ';
+  }
+  return {"ERROR", {std::move(clean)}};
+}
 
 ServerSession::ServerSession(SessionOptions options, HistoryDatabase* database)
     : opts_(std::move(options)), db_(database) {
@@ -139,7 +156,12 @@ Message ServerSession::handle_signature(const Message& m) {
 
   Message reply = ok();
   if (db_ != nullptr && !db_->empty()) {
-    if (const ExperienceRecord* exp = analyzer_.retrieve(*db_, signature_)) {
+    // A shared analyzer is pre-fitted by its owner (the serving front end's
+    // per-batch ensure_fitted), making retrieve a pure read; the session's
+    // own analyzer refits lazily, which is fine single-threaded.
+    const DataAnalyzer& analyzer =
+        opts_.shared_analyzer != nullptr ? *opts_.shared_analyzer : analyzer_;
+    if (const ExperienceRecord* exp = analyzer.retrieve(*db_, signature_)) {
       // Warm start: rebuild the kernel seeded from the experience.
       const auto best = exp->best(space_.size() + 1);
       std::vector<Configuration> seeds;
@@ -166,34 +188,70 @@ Message ServerSession::handle_signature(const Message& m) {
   return reply;
 }
 
-Message ServerSession::handle_fetch() {
+ServerSession::FetchStep ServerSession::step_fetch() {
+  FetchStep step;
+  if (state_ != State::kTuning) {
+    step.error = state_ == State::kClosed ? "session closed"
+                                          : "FETCH before BUNDLES";
+    return step;
+  }
   if (outstanding_.has_value()) {
-    return error("REPORT the previous configuration first");
+    step.error = "REPORT the previous configuration first";
+    return step;
   }
   const Configuration* next = kernel_->peek();
   if (next == nullptr) {
-    const SimplexResult& r = kernel_->result();
     store_experience();
+    step.kind = FetchStep::Kind::kDone;
+    step.result = &kernel_->result();
+    return step;
+  }
+  if (opts_.max_steps > 0 && steps_issued_ >= opts_.max_steps) {
+    step.error = "session step budget exhausted";
+    return step;
+  }
+  ++steps_issued_;
+  outstanding_ = *next;
+  step.kind = FetchStep::Kind::kConfig;
+  step.config = &*outstanding_;
+  return step;
+}
+
+const char* ServerSession::step_report(double performance) {
+  if (state_ != State::kTuning) {
+    return state_ == State::kClosed ? "session closed"
+                                    : "REPORT before BUNDLES";
+  }
+  if (!outstanding_.has_value()) return "no configuration outstanding";
+  trace_.push_back({*outstanding_, performance, /*estimated=*/false});
+  kernel_->submit(performance);
+  outstanding_.reset();
+  return nullptr;
+}
+
+Message ServerSession::handle_fetch() {
+  const FetchStep step = step_fetch();
+  if (step.kind == FetchStep::Kind::kError) return error(step.error);
+  if (step.kind == FetchStep::Kind::kDone) {
+    const SimplexResult& r = *step.result;
     Message reply{"DONE", {}};
     reply.args.push_back(std::to_string(r.best.size()));
     for (double v : r.best) reply.args.push_back(format_double(v));
     reply.args.push_back(format_double(r.best_value));
+    reply.args.push_back(std::to_string(r.evaluations));
+    reply.args.push_back(r.stop_reason);
     return reply;
   }
-  outstanding_ = *next;
   Message reply{"CONFIG", {}};
-  reply.args.push_back(std::to_string(next->size()));
-  for (double v : *next) reply.args.push_back(format_double(v));
+  reply.args.push_back(std::to_string(step.config->size()));
+  for (double v : *step.config) reply.args.push_back(format_double(v));
   return reply;
 }
 
 Message ServerSession::handle_report(const Message& m) {
-  if (!outstanding_.has_value()) return error("no configuration outstanding");
   if (m.args.size() != 1) return error("REPORT needs one performance value");
   const double perf = parse_double(m.args[0]);
-  trace_.push_back({*outstanding_, perf, /*estimated=*/false});
-  kernel_->submit(perf);
-  outstanding_.reset();
+  if (const char* err = step_report(perf)) return error(err);
   return ok();
 }
 
@@ -204,16 +262,26 @@ Message ServerSession::handle_bye() {
 }
 
 void ServerSession::store_experience() {
-  if (!opts_.record_experience || experience_stored_ || db_ == nullptr ||
-      trace_.empty()) {
+  if (!opts_.record_experience || experience_stored_ || trace_.empty() ||
+      (db_ == nullptr && !opts_.defer_experience)) {
     return;
   }
   ExperienceRecord rec;
   rec.label = client_name_;
   rec.signature = signature_;
   rec.measurements = trace_;
-  db_->add(std::move(rec));
+  if (opts_.defer_experience) {
+    pending_experience_ = std::move(rec);
+  } else {
+    db_->add(std::move(rec));
+  }
   experience_stored_ = true;
+}
+
+std::optional<ExperienceRecord> ServerSession::take_pending_experience() {
+  std::optional<ExperienceRecord> out;
+  pending_experience_.swap(out);
+  return out;
 }
 
 HarmonyClient::HarmonyClient(Transport transport)
@@ -268,15 +336,20 @@ std::optional<Configuration> HarmonyClient::fetch() {
   if (reply.is("DONE")) {
     HARMONY_REQUIRE(!reply.args.empty(), "DONE missing arity");
     const long n = parse_long(reply.args[0]);
-    HARMONY_REQUIRE(n >= 0 && reply.args.size() ==
-                                  static_cast<std::size_t>(n) + 2,
+    const auto un = static_cast<std::size_t>(n);
+    // n, values, perf — plus optional trailing fields (evaluations and
+    // stop reason today; clients tolerate any future extension).
+    HARMONY_REQUIRE(n >= 0 && reply.args.size() >= un + 2,
                     "DONE arity mismatch");
     best_.clear();
-    for (long i = 0; i < n; ++i) {
-      best_.push_back(
-          parse_double(reply.args[static_cast<std::size_t>(i) + 1]));
+    for (std::size_t i = 0; i < un; ++i) {
+      best_.push_back(parse_double(reply.args[i + 1]));
     }
-    best_perf_ = parse_double(reply.args.back());
+    best_perf_ = parse_double(reply.args[un + 1]);
+    if (reply.args.size() >= un + 4) {
+      evaluations_ = static_cast<int>(parse_long(reply.args[un + 2]));
+      stop_reason_ = reply.args[un + 3];
+    }
     done_ = true;
     return std::nullopt;
   }

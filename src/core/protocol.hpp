@@ -18,7 +18,10 @@
 //   S: OK [experience <label>]            (warm start found / not)
 //   C: FETCH
 //   S: CONFIG <n> <v1> ... <vn>           (measure this configuration)
-//      | DONE <n> <v1> ... <vn> <perf>    (tuning finished; best config)
+//      | DONE <n> <v1> ... <vn> <perf> [<evals> <stop-reason>]
+//                                         (tuning finished; best config —
+//                                          clients must tolerate trailing
+//                                          fields after <perf>)
 //   C: REPORT <performance>
 //   S: OK
 //   C: BYE
@@ -54,13 +57,18 @@ struct Message {
 
 /// Serializes to one line (no trailing newline). Arguments containing
 /// whitespace are rejected except for the final argument of HELLO/BUNDLES/
-/// ERROR-class verbs, which is transmitted as a rest-of-line payload.
+/// ERROR-class verbs, which is transmitted as a rest-of-line payload; even
+/// those reject embedded CR/LF, so no argument can ever smuggle a second
+/// framed message into the stream.
 [[nodiscard]] std::string serialize(const Message& message);
 
-/// Parses one line; throws harmony::Error on an empty line.
+/// Parses one line; throws harmony::Error on an empty line or on embedded
+/// CR/LF (the framing layer owns line endings — a payload containing them
+/// is hostile input, not a longer message).
 [[nodiscard]] Message parse_message(const std::string& line);
 
-/// Convenience constructors.
+/// Convenience constructors. error() sanitizes control characters out of
+/// the text so exception messages always serialize cleanly.
 [[nodiscard]] Message ok();
 [[nodiscard]] Message error(const std::string& what);
 
@@ -71,6 +79,22 @@ struct SessionOptions {
   bool use_recorded_values = true;
   /// Store the finished run back into the database under the client name.
   bool record_experience = true;
+  /// Defer experience: instead of writing straight into the database at
+  /// DONE/BYE, park the finished record for take_pending_experience().
+  /// The serving front end uses this to batch database/store writes into
+  /// one group commit per coalesced batch (and to keep the database
+  /// read-only while sessions execute on pool threads).
+  bool defer_experience = false;
+  /// Warm-start retrieval goes through this analyzer instead of the
+  /// session's own. The caller owns fitting: call ensure_fitted() whenever
+  /// the database may have moved, *before* handing requests to sessions —
+  /// retrievals are then pure reads, safe from concurrent sessions. The
+  /// serving front end fits once per dispatched batch.
+  const harmony::DataAnalyzer* shared_analyzer = nullptr;
+  /// Per-session step budget: maximum configurations handed out over the
+  /// session's lifetime; a FETCH past the budget gets a clean ERROR
+  /// (admission control for the serving front end). 0 = unlimited.
+  std::size_t max_steps = 0;
 };
 
 /// Server-side session: one per connected client. The shared database (may
@@ -87,11 +111,36 @@ class ServerSession {
   /// protocol-level problems (returns ERROR); throws only on internal bugs.
   [[nodiscard]] Message handle(const Message& request);
 
+  /// Zero-copy step API for hot-path transports (the binary wire codec):
+  /// the FETCH/REPORT exchange without Message construction or number
+  /// formatting. handle() is a shim over these for the two hot verbs.
+  struct FetchStep {
+    enum class Kind { kConfig, kDone, kError };
+    Kind kind = Kind::kError;
+    const Configuration* config = nullptr;  ///< kConfig: measure this
+    const SimplexResult* result = nullptr;  ///< kDone: final result
+    const char* error = nullptr;            ///< kError: static message
+  };
+  /// FETCH: the next configuration, the final result, or a protocol error.
+  /// Returned pointers stay valid until the next step/handle call.
+  [[nodiscard]] FetchStep step_fetch();
+  /// REPORT: submits the outstanding configuration's performance. Returns
+  /// nullptr on success, a static error message on protocol violation.
+  [[nodiscard]] const char* step_report(double performance);
+
   [[nodiscard]] bool finished() const noexcept;
   /// Trace of every reported measurement, in order.
   [[nodiscard]] const std::vector<Measurement>& trace() const noexcept {
     return trace_;
   }
+  /// Client name from HELLO (empty before it) — the serving front end's
+  /// tenant key.
+  [[nodiscard]] const std::string& client_name() const noexcept {
+    return client_name_;
+  }
+  /// With SessionOptions::defer_experience, the finished run's record
+  /// (once, after DONE/BYE produced it); nullopt otherwise.
+  [[nodiscard]] std::optional<ExperienceRecord> take_pending_experience();
 
  private:
   enum class State { kAwaitHello, kAwaitBundles, kTuning, kClosed };
@@ -115,6 +164,8 @@ class ServerSession {
   std::optional<Configuration> outstanding_;
   std::vector<Measurement> trace_;
   bool experience_stored_ = false;
+  std::size_t steps_issued_ = 0;
+  std::optional<ExperienceRecord> pending_experience_;
 };
 
 /// Request/response transport the client sends through.
@@ -145,6 +196,12 @@ class HarmonyClient {
   /// valid after fetch() returned nullopt).
   [[nodiscard]] const Configuration& best_configuration() const;
   [[nodiscard]] double best_performance() const noexcept { return best_perf_; }
+  /// Kernel evaluations / stop reason from an extended DONE (0 / empty when
+  /// the server sent the short form).
+  [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
+  [[nodiscard]] const std::string& stop_reason() const noexcept {
+    return stop_reason_;
+  }
 
  private:
   Message call(const Message& m);
@@ -152,6 +209,8 @@ class HarmonyClient {
   Transport transport_;
   Configuration best_;
   double best_perf_ = 0.0;
+  int evaluations_ = 0;
+  std::string stop_reason_;
   bool done_ = false;
 };
 

@@ -7,6 +7,22 @@
 
 namespace harmony {
 
+void ingest_experience(HistoryDatabase& db, ExperienceStore* store,
+                       std::vector<ExperienceRecord> records) {
+  if (records.empty()) return;
+  for (ExperienceRecord& rec : records) {
+    if (store != nullptr) store->append(rec);
+    db.add(std::move(rec));
+  }
+  if (store != nullptr) {
+    // One group commit per ingested batch keeps durability off the tuning
+    // hot path; rotation kicks in only once the log tail is long enough
+    // that the next recovery's replay would stop being cheap.
+    store->commit();
+    store->maybe_snapshot(db);
+  }
+}
+
 HarmonyServer::HarmonyServer(const ParameterSpace& space, ServerOptions options)
     : space_(space), opts_(std::move(options)) {
   HARMONY_REQUIRE(!space_.empty(), "empty parameter space");
@@ -81,22 +97,17 @@ std::vector<ServedTuningResult> HarmonyServer::serve_batch(
   // runs are skipped — censored penalties and partial traces must not
   // become training data for future warm starts.
   if (opts_.record_experience) {
+    std::vector<ExperienceRecord> records;
+    records.reserve(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
       if (out[i].failed) continue;
       ExperienceRecord rec;
       rec.label = requests[i].label;
       rec.signature = requests[i].signature;
       rec.measurements = out[i].tuning.trace;
-      if (store_.is_open()) store_.append(rec);
-      db_.add(std::move(rec));
+      records.push_back(std::move(rec));
     }
-    if (store_.is_open()) {
-      // One group commit per served batch keeps durability off the tuning
-      // hot path; rotation kicks in only once the log tail is long enough
-      // that the next recovery's replay would stop being cheap.
-      store_.commit();
-      store_.maybe_snapshot(db_);
-    }
+    ingest_experience(db_, store(), std::move(records));
   }
   return out;
 }

@@ -21,6 +21,16 @@
 
 namespace harmony {
 
+/// Batched experience write-back: appends `records` to the database — and
+/// mirrors them into `store`'s append-only log when non-null — in order,
+/// finishing with one group commit and a rotation check. This is the single
+/// sequencing point at which the database's version stamp moves, which is
+/// what makes the fit-once/classify-many read path (serve_batch, the
+/// serving front end's coalesced batches) safe: writes happen only here,
+/// between batches, never while sessions execute.
+void ingest_experience(HistoryDatabase& db, ExperienceStore* store,
+                       std::vector<ExperienceRecord> records);
+
 struct ServerOptions {
   TuningOptions tuning;
   /// Warm-start behaviour: feed recorded performances to the kernel as the

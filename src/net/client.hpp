@@ -1,0 +1,39 @@
+// Blocking client transport: one request/response exchange per call, in
+// either wire framing. Plugs into proto::HarmonyClient as its Transport
+// (wrap in a lambda — the transport is move-only):
+//
+//   net::SocketTransport t(host, port, /*binary=*/true);
+//   proto::HarmonyClient client([&t](const proto::Message& m) { return t(m); });
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace harmony::net {
+
+class SocketTransport {
+ public:
+  /// Connects (blocking, TCP_NODELAY). In binary mode the preamble is
+  /// queued so it precedes the first frame on the wire.
+  SocketTransport(const std::string& host, std::uint16_t port,
+                  bool binary = false);
+
+  /// Sends one message and blocks for its reply. Throws harmony::Error on
+  /// transport failure or if the server closes the connection mid-reply.
+  proto::Message operator()(const proto::Message& request);
+
+  [[nodiscard]] bool binary() const noexcept { return binary_; }
+
+ private:
+  Fd fd_;
+  bool binary_;
+  StreamDecoder decoder_;
+  std::vector<std::uint8_t> out_;
+};
+
+}  // namespace harmony::net

@@ -1,0 +1,46 @@
+#include "net/event_loop.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace harmony::net {
+
+EventLoop::EventLoop() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  HARMONY_REQUIRE(epfd_.valid(), "epoll_create1 failed");
+}
+
+void EventLoop::add(int fd, std::uint32_t events, void* data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = data;
+  HARMONY_REQUIRE(::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd, &ev) == 0,
+                  std::string("epoll_ctl add: ") + std::strerror(errno));
+}
+
+void EventLoop::modify(int fd, std::uint32_t events, void* data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = data;
+  HARMONY_REQUIRE(::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0,
+                  std::string("epoll_ctl mod: ") + std::strerror(errno));
+}
+
+void EventLoop::remove(int fd) {
+  HARMONY_REQUIRE(::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, nullptr) == 0,
+                  std::string("epoll_ctl del: ") + std::strerror(errno));
+}
+
+int EventLoop::wait(epoll_event* events, int max_events, int timeout_ms) {
+  const int n = ::epoll_wait(epfd_.get(), events, max_events, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw Error(std::string("epoll_wait: ") + std::strerror(errno));
+  }
+  return n;
+}
+
+}  // namespace harmony::net

@@ -1,0 +1,34 @@
+// RAII epoll wrapper: registration keyed by fd, user data carried as a
+// void*. Just enough surface for the serving front end's single-threaded
+// readiness loop; no timerfd/ET extras — the loop passes its coalescing
+// deadline as the wait timeout.
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+#include "net/socket.hpp"
+
+namespace harmony::net {
+
+class EventLoop {
+ public:
+  EventLoop();
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); `data` comes back
+  /// in the epoll_event's data.ptr.
+  void add(int fd, std::uint32_t events, void* data);
+  void modify(int fd, std::uint32_t events, void* data);
+  void remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = forever) and fills `events`; returns
+  /// the number ready. EINTR returns 0 (the caller re-checks its stop
+  /// flag), every other failure throws.
+  int wait(epoll_event* events, int max_events, int timeout_ms);
+
+ private:
+  Fd epfd_;
+};
+
+}  // namespace harmony::net

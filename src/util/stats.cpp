@@ -61,6 +61,39 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  HARMONY_REQUIRE(lo_ == other.lo_ && hi_ == other.hi_ &&
+                      counts_.size() == other.counts_.size(),
+                  "histogram shapes differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::percentile(double p) const {
+  HARMONY_REQUIRE(total_ > 0, "percentile of empty histogram");
+  HARMONY_REQUIRE(p >= 0.0 && p <= 100.0, "percentile outside [0,100]");
+  // Rank in [0, total]: the cumulative count the percentile must reach.
+  const double target = p / 100.0 * static_cast<double>(total_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::size_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      const double into =
+          std::max(0.0, target - static_cast<double>(cum)) /
+          static_cast<double>(counts_[i]);
+      return lo_ + width * (static_cast<double>(i) + into);
+    }
+    cum = next;
+  }
+  // p == 100 lands past the last occupied bucket's cumulative count.
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0) return lo_ + width * static_cast<double>(i + 1);
+  }
+  return hi_;
+}
+
 std::size_t Histogram::count(std::size_t bucket) const {
   HARMONY_REQUIRE(bucket < counts_.size(), "histogram bucket out of range");
   return counts_[bucket];

@@ -45,6 +45,8 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x) noexcept;
+  /// Folds another histogram's counts into this one (same lo/hi/buckets).
+  void merge(const Histogram& other);
   [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bucket) const;
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
@@ -56,6 +58,12 @@ class Histogram {
   [[nodiscard]] double hi() const noexcept { return hi_; }
   /// Label "a-b" for the bucket's value range (used by bench table output).
   [[nodiscard]] std::string bucket_label(std::size_t bucket) const;
+
+  /// Percentile estimate from the bucket counts, p in [0, 100]: finds the
+  /// bucket holding the rank-p sample and interpolates linearly inside it.
+  /// Resolution is one bucket width; clamped samples report the edge
+  /// bucket's range. Throws on an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
 
   /// Total-variation distance between two histograms' fractions
   /// (0 = identical distribution, 1 = disjoint). Bucket counts must match.

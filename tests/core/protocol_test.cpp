@@ -189,5 +189,56 @@ TEST(HarmonyClient, ServerErrorsBecomeExceptions) {
   EXPECT_THROW(client.report(1.0), Error);  // no session opened
 }
 
+TEST(Wire, RestOfLinePayloadsCannotSmuggleMessages) {
+  // Embedded CR/LF in a rest-of-line payload would let one serialized
+  // message masquerade as two on a line-framed transport. Rejected at
+  // serialization AND at parse, so neither endpoint trusts the other.
+  EXPECT_THROW((void)serialize(Message{"HELLO", {"app\nFETCH"}}), Error);
+  EXPECT_THROW((void)serialize(Message{"HELLO", {"app\rFETCH"}}), Error);
+  EXPECT_THROW((void)serialize(Message{"BUNDLES", {"rsl }\nREPORT 1"}}),
+               Error);
+  EXPECT_THROW((void)serialize(Message{"ERROR", {"oops\nOK"}}), Error);
+  EXPECT_THROW((void)serialize(Message{"REPORT", {"1\n2"}}), Error);
+  EXPECT_THROW((void)parse_message("HELLO app\nFETCH"), Error);
+  EXPECT_THROW((void)parse_message("FETCH\r"), Error);
+  // error() sanitizes control characters, so exception text containing
+  // newlines still serializes to exactly one line.
+  const Message err = error("multi\nline\rmessage");
+  EXPECT_NO_THROW((void)serialize(err));
+  EXPECT_EQ(serialize(err).find('\n'), std::string::npos);
+}
+
+TEST(HarmonyClient, ExtendedDoneCarriesEvaluationsAndStopReason) {
+  SessionOptions opts;
+  opts.tuning.simplex.max_evaluations = 40;
+  ServerSession session(opts);
+  HarmonyClient client(
+      [&](const Message& m) { return session.handle(m); });
+  client.open("ext-done", kRsl);
+  while (auto c = client.fetch()) client.report(measure(*c));
+  // The extended DONE appends <evals> <stop-reason> after <perf>; the
+  // client exposes both and still parses <perf> from its fixed position.
+  EXPECT_GT(client.evaluations(), 0);
+  EXPECT_FALSE(client.stop_reason().empty());
+  EXPECT_EQ(client.stop_reason().find(' '), std::string::npos);
+  EXPECT_GE(client.best_performance(), -4.0);
+  client.close();
+}
+
+TEST(ServerSession, StepBudgetLimitsFetches) {
+  SessionOptions opts;
+  opts.max_steps = 3;
+  ServerSession session(opts);
+  (void)session.handle({"HELLO", {"budgeted"}});
+  (void)session.handle({"BUNDLES", {kRsl}});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(session.handle({"FETCH", {}}).verb, "CONFIG");
+    EXPECT_EQ(session.handle({"REPORT", {"1.0"}}).verb, "OK");
+  }
+  const Message over = session.handle({"FETCH", {}});
+  EXPECT_EQ(over.verb, "ERROR");
+  EXPECT_NE(over.args[0].find("budget"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace harmony::proto

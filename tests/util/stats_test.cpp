@@ -101,6 +101,53 @@ TEST(Histogram, Validation) {
   EXPECT_THROW((void)h.count(2), Error);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBuckets) {
+  // 100 buckets of width 1 over [0, 100), one sample per bucket: the
+  // percentile estimate should track the underlying uniform values to
+  // within one bucket width.
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(99.0), 99.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.percentile(100.0), 100.0, 1.0);
+  // Monotone in p.
+  EXPECT_LE(h.percentile(25.0), h.percentile(75.0));
+}
+
+TEST(Histogram, PercentileSingleBucketAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);
+  h.add(3.5);
+  // Both samples sit in bucket [3, 4); every percentile reports that range.
+  EXPECT_GE(h.percentile(0.0), 3.0);
+  EXPECT_LE(h.percentile(100.0), 4.0);
+  // Out-of-range samples clamp to the edge buckets, and the percentile
+  // reports the edge bucket's range rather than the raw value.
+  Histogram c(0.0, 10.0, 10);
+  c.add(-100.0);
+  c.add(1e9);
+  EXPECT_LE(c.percentile(0.0), 1.0);
+  EXPECT_GE(c.percentile(100.0), 9.0);
+  EXPECT_THROW((void)Histogram(0.0, 1.0, 4).percentile(50.0), Error);
+  EXPECT_THROW((void)h.percentile(-1.0), Error);
+  EXPECT_THROW((void)h.percentile(101.0), Error);
+}
+
+TEST(Histogram, MergeFoldsCounts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  b.add(1.5);
+  b.add(8.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(8), 1u);
+  Histogram mismatched(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(mismatched), Error);
+}
+
 TEST(BatchStats, MeanAndStddev) {
   const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(mean(xs), 2.5);

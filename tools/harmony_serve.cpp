@@ -1,0 +1,198 @@
+// harmony_serve — the tuning server as a network daemon.
+//
+// Serves the Harmony protocol over TCP (text and binary framings on the
+// same port) with adaptive batch coalescing: pending client steps are
+// gathered inside a bounded window and driven as one batch, so the
+// classifier refit, the thread-pool dispatch, and the experience store's
+// group commit are all paid once per batch instead of once per step.
+//
+// Usage:
+//   harmony_serve [options]
+//
+// Options:
+//   --address <ip>       bind address (default 127.0.0.1)
+//   --port <n>           TCP port; 0 picks an ephemeral one (default 0).
+//                        Prints "listening on <addr>:<port>" once bound.
+//   --store <prefix>     durable experience store at <prefix>.log/.snap;
+//                        recovered on start, group-committed per batch,
+//                        flushed on shutdown
+//   --budget <n>         per-session measurement budget (default 100)
+//   --strategy <name>    initial simplex: even (default) | extreme
+//   --max-sessions <n>   admission: max concurrently open connections;
+//                        beyond it accepts are deferred (default 256)
+//   --max-tenant <n>     per-tenant (HELLO name) concurrent-session budget;
+//                        over-budget HELLOs get ERROR (default unlimited)
+//   --max-steps <n>      per-session step budget; a FETCH past it gets
+//                        ERROR (default unlimited)
+//   --coalesce-us <n>    batch coalescing window in microseconds
+//                        (default 200)
+//   --batch <n>          max steps per coalesced batch (default 256)
+//   --serial             disable coalescing: one-at-a-time dispatch (the
+//                        benchmark baseline)
+//   --threads <n>        worker threads for batch dispatch (default 1)
+//   --recorded-values    feed recorded performances from warm-start
+//                        experience to the kernel instead of re-measuring
+//                        (off by default, matching harmony_tune)
+//   --no-record          do not store finished runs back as experience
+//   --quiet              suppress the shutdown stats line
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish the in-flight
+// steps, flush the store, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/history.hpp"
+#include "core/store.hpp"
+#include "core/strategies.hpp"
+#include "net/service.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace harmony;
+
+net::TuningService* g_service = nullptr;
+
+extern "C" void on_signal(int) {
+  if (g_service != nullptr) g_service->stop();  // async-signal-safe
+}
+
+struct CliOptions {
+  net::ServiceOptions service;
+  std::string store_prefix;
+  int threads = 1;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--address ip] [--port n] [--store prefix]"
+               " [--budget n] [--strategy even|extreme] [--max-sessions n]"
+               " [--max-tenant n] [--max-steps n] [--coalesce-us n]"
+               " [--batch n] [--serial] [--threads n] [--recorded-values]"
+               " [--no-record] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions o;
+  o.service.session.use_recorded_values = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--address") {
+      o.service.address = value();
+    } else if (arg == "--port") {
+      o.service.port = static_cast<std::uint16_t>(parse_long(value()));
+    } else if (arg == "--store") {
+      o.store_prefix = value();
+    } else if (arg == "--budget") {
+      o.service.session.tuning.simplex.max_evaluations =
+          static_cast<int>(parse_long(value()));
+    } else if (arg == "--strategy") {
+      const std::string name = value();
+      if (name == "extreme") {
+        o.service.session.tuning.strategy =
+            std::make_shared<ExtremeCornerStrategy>();
+      } else if (name != "even") {
+        std::fprintf(stderr, "%s: unknown strategy: %s\n", argv[0],
+                     name.c_str());
+        usage(argv[0]);
+      }
+    } else if (arg == "--max-sessions") {
+      o.service.max_sessions = static_cast<std::size_t>(parse_long(value()));
+    } else if (arg == "--max-tenant") {
+      o.service.max_tenant_sessions =
+          static_cast<std::size_t>(parse_long(value()));
+    } else if (arg == "--max-steps") {
+      o.service.session.max_steps =
+          static_cast<std::size_t>(parse_long(value()));
+    } else if (arg == "--coalesce-us") {
+      o.service.coalesce_window_us =
+          static_cast<std::uint32_t>(parse_long(value()));
+    } else if (arg == "--batch") {
+      o.service.max_batch_steps = static_cast<std::size_t>(parse_long(value()));
+    } else if (arg == "--serial") {
+      o.service.coalesce = false;
+    } else if (arg == "--threads") {
+      o.threads = static_cast<int>(parse_long(value()));
+      if (o.threads < 1) usage(argv[0]);
+    } else if (arg == "--recorded-values") {
+      o.service.session.use_recorded_values = true;
+    } else if (arg == "--no-record") {
+      o.service.session.record_experience = false;
+    } else if (arg == "--quiet") {
+      o.quiet = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions cli = parse_cli(argc, argv);
+
+    // A client that vanished mid-reply must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    set_thread_count(static_cast<unsigned>(cli.threads));
+
+    HistoryDatabase db;
+    DataAnalyzer analyzer;
+    ExperienceStore store;
+    if (!cli.store_prefix.empty()) {
+      const RecoveryInfo rec = store.open(cli.store_prefix, db);
+      std::fprintf(stderr,
+                   "store: %zu records (%zu mmap'd from snapshot, %zu "
+                   "replayed from log)\n",
+                   db.size(), rec.snapshot_records, rec.replayed_records);
+    }
+
+    net::TuningService service(db, analyzer,
+                               store.is_open() ? &store : nullptr,
+                               cli.service);
+    g_service = &service;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+
+    std::printf("listening on %s:%u\n", cli.service.address.c_str(),
+                static_cast<unsigned>(service.port()));
+    std::fflush(stdout);
+
+    service.run();  // returns after a drained shutdown
+
+    if (!cli.quiet) {
+      const net::ServiceStats& s = service.stats();
+      std::fprintf(stderr,
+                   "served: %llu connections, %llu sessions, %llu steps in "
+                   "%llu batches (%.1f steps/batch), %llu records ingested, "
+                   "%llu rejected, %llu wire errors\n",
+                   static_cast<unsigned long long>(s.accepted),
+                   static_cast<unsigned long long>(s.sessions_completed),
+                   static_cast<unsigned long long>(s.steps),
+                   static_cast<unsigned long long>(s.batches),
+                   s.batches > 0 ? static_cast<double>(s.steps) /
+                                       static_cast<double>(s.batches)
+                                 : 0.0,
+                   static_cast<unsigned long long>(s.records_ingested),
+                   static_cast<unsigned long long>(s.rejected_sessions),
+                   static_cast<unsigned long long>(s.wire_errors));
+    }
+    return 0;
+  } catch (const harmony::Error& e) {
+    std::fprintf(stderr, "harmony_serve: %s\n", e.what());
+    return 1;
+  }
+}

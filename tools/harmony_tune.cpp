@@ -34,6 +34,13 @@
 //   --timeout-ms <ms>    per-run wall-clock limit (coreutils timeout(1));
 //                        an expired run counts as a timeout failure
 //   --quiet              only print the final configuration line
+//   --connect <h:p>      client mode: drive a running harmony_serve daemon
+//                        over TCP instead of tuning in-process. Commands
+//                        still run locally; the search, budget, strategy
+//                        and experience live on the server, so --budget,
+//                        --strategy, --history, --store, --threads,
+//                        --retries are rejected in this mode
+//   --binary             with --connect: use the binary wire framing
 #include <sys/wait.h>
 
 #include <atomic>
@@ -46,9 +53,12 @@
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "core/protocol.hpp"
 #include "core/rsl.hpp"
 #include "core/server.hpp"
 #include "core/tuner.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -71,6 +81,8 @@ struct CliOptions {
   int retries = -1;  // < 0: failures abort the run (legacy behaviour)
   double timeout_ms = 0.0;  // <= 0: no per-run limit
   bool quiet = false;
+  std::string connect;  // host:port → client mode against harmony_serve
+  bool binary = false;
   std::vector<std::string> command;
 };
 
@@ -81,6 +93,7 @@ struct CliOptions {
                " [--label name]"
                " [--trace out.csv] [--threads n] [--retries n]"
                " [--timeout-ms ms] [--quiet]"
+               " [--connect host:port [--binary]]"
                " -- command [args...]\n",
                argv0);
   std::exit(2);
@@ -88,6 +101,8 @@ struct CliOptions {
 
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions o;
+  bool budget_set = false;
+  bool strategy_set = false;
   int i = 1;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,8 +114,10 @@ CliOptions parse_cli(int argc, char** argv) {
       o.rsl_path = value();
     } else if (arg == "--budget") {
       o.budget = static_cast<int>(parse_long(value()));
+      budget_set = true;
     } else if (arg == "--strategy") {
       o.strategy = value();
+      strategy_set = true;
     } else if (arg == "--history") {
       o.history_path = value();
     } else if (arg == "--store") {
@@ -123,6 +140,10 @@ CliOptions parse_cli(int argc, char** argv) {
       if (o.timeout_ms <= 0.0) usage(argv[0]);
     } else if (arg == "--quiet") {
       o.quiet = true;
+    } else if (arg == "--connect") {
+      o.connect = value();
+    } else if (arg == "--binary") {
+      o.binary = true;
     } else if (arg == "--") {
       ++i;
       break;
@@ -138,6 +159,22 @@ CliOptions parse_cli(int argc, char** argv) {
   if (!o.history_path.empty() && !o.store_prefix.empty()) {
     std::fprintf(stderr, "%s: --history and --store are mutually exclusive\n",
                  argv[0]);
+    usage(argv[0]);
+  }
+  if (!o.connect.empty()) {
+    // Client mode: the search, budget, strategy and experience all live on
+    // the daemon — flags that would configure them here are mistakes.
+    if (budget_set || strategy_set || !o.history_path.empty() ||
+        !o.store_prefix.empty() || o.threads != 1 || o.retries >= 0) {
+      std::fprintf(stderr,
+                   "%s: --connect delegates the search to the server; "
+                   "--budget/--strategy/--history/--store/--threads/"
+                   "--retries do not apply\n",
+                   argv[0]);
+      usage(argv[0]);
+    }
+  } else if (o.binary) {
+    std::fprintf(stderr, "%s: --binary requires --connect\n", argv[0]);
     usage(argv[0]);
   }
   return o;
@@ -286,6 +323,57 @@ int main(int argc, char** argv) {
 
     CommandObjective objective(space, cli.command, cli.quiet,
                                cli.timeout_ms);
+
+    if (!cli.connect.empty()) {
+      // Client mode: the daemon owns the search; this process only runs
+      // the command and reports what it measured.
+      std::string host;
+      std::uint16_t port = 0;
+      net::parse_host_port(cli.connect, host, port);
+      net::SocketTransport transport(host, port, cli.binary);
+      proto::HarmonyClient client(
+          [&transport](const proto::Message& m) { return transport(m); });
+      client.open(cli.label, rsl_text.str());
+      const WorkloadSignature signature =
+          cli.signature.empty() ? WorkloadSignature{0.0} : cli.signature;
+      const std::optional<std::string> warm = client.send_signature(signature);
+      if (warm && !cli.quiet) {
+        std::fprintf(stderr, "warm-started from experience '%s'\n",
+                     warm->c_str());
+      }
+      std::vector<Measurement> trace;
+      while (const std::optional<Configuration> config = client.fetch()) {
+        const double perf = objective.measure(*config);
+        client.report(perf);
+        trace.push_back({*config, perf});
+      }
+      client.close();
+      if (!cli.trace_path.empty()) {
+        std::ofstream tracef(cli.trace_path);
+        HARMONY_REQUIRE(tracef.good(), "cannot write " + cli.trace_path);
+        CsvWriter csv(tracef);
+        std::vector<std::string> header = {"iteration", "performance"};
+        for (std::size_t i = 0; i < space.size(); ++i) {
+          header.push_back(space.param(i).name);
+        }
+        csv.row(header);
+        for (std::size_t it = 0; it < trace.size(); ++it) {
+          std::vector<std::string> row = {
+              std::to_string(it + 1), format_double(trace[it].performance)};
+          for (double v : trace[it].config) row.push_back(format_double(v));
+          csv.row(row);
+        }
+      }
+      std::printf("best performance %s after %d runs (%s):",
+                  format_double(client.best_performance()).c_str(),
+                  client.evaluations(), client.stop_reason().c_str());
+      for (std::size_t i = 0; i < space.size(); ++i) {
+        std::printf(" %s=%g", space.param(i).name.c_str(),
+                    client.best_configuration()[i]);
+      }
+      std::printf("\n");
+      return 0;
+    }
 
     set_thread_count(static_cast<unsigned>(cli.threads));
 

@@ -1,0 +1,105 @@
+#!/bin/sh
+# End-to-end smoke test for the serving front end: a real daemon on a
+# loopback socket, concurrent clients, a SIGTERM drain mid-load, and a warm
+# restart on the same store proving zero record loss. Usage:
+#   test_harmony_serve.sh <path-to-harmony_serve> <path-to-harmony_client>
+set -eu
+
+SERVE="$1"
+CLIENT="$2"
+DIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+# Starts the daemon ($@ = extra flags), waits for the "listening on" line,
+# and sets PORT/SERVE_PID. The daemon is exec'd directly so $! is its PID.
+start_daemon() {
+  : > "$DIR/serve.out"
+  : > "$DIR/serve.err"
+  "$SERVE" --port 0 "$@" > "$DIR/serve.out" 2> "$DIR/serve.err" &
+  SERVE_PID=$!
+  i=0
+  while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$DIR/serve.out")
+    [ -n "$PORT" ] && return 0
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+      echo "FAIL: daemon died on startup"; cat "$DIR/serve.err"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+  done
+  echo "FAIL: daemon never reported its port"; cat "$DIR/serve.err"; exit 1
+}
+
+# TERMs the daemon and asserts the graceful-drain contract: exit status 0.
+stop_daemon() {
+  kill -TERM "$SERVE_PID"
+  set +e
+  wait "$SERVE_PID"
+  status=$?
+  set -e
+  [ "$status" -eq 0 ] || {
+    echo "FAIL: daemon exited $status on SIGTERM (want 0)";
+    cat "$DIR/serve.err"; exit 1; }
+}
+
+field() { sed -n "s/.*$2=\([0-9][0-9]*\).*/\1/p" "$1"; }
+
+# --- phase A: finite concurrent load against a durable store ---------------
+start_daemon --store "$DIR/store" --budget 12 --quiet
+echo "phase A: daemon on port $PORT"
+
+"$CLIENT" --connect "127.0.0.1:$PORT" --clients 3 --sessions 2 \
+  > "$DIR/a.out"
+cat "$DIR/a.out"
+K1=$(field "$DIR/a.out" acked)
+[ "$K1" -eq 6 ] || { echo "FAIL: phase A acked $K1 of 6 sessions"; exit 1; }
+[ "$(field "$DIR/a.out" aborted)" -eq 0 ] || {
+  echo "FAIL: phase A aborted sessions with no drain in sight"; exit 1; }
+
+# --- phase B: SIGTERM mid-load drains without losing an acked record -------
+"$CLIENT" --connect "127.0.0.1:$PORT" --clients 4 --sessions 200 \
+  > "$DIR/b.out" 2> "$DIR/b.err" &
+LOAD_PID=$!
+sleep 0.4
+stop_daemon
+wait "$LOAD_PID" || {
+  echo "FAIL: loadgen failed"; cat "$DIR/b.out" "$DIR/b.err"; exit 1; }
+cat "$DIR/b.out"
+K2=$(field "$DIR/b.out" acked)
+[ "$K2" -ge 1 ] || { echo "FAIL: phase B acked nothing before drain"; exit 1; }
+
+# --- warm restart: every acked session from A and B is in the store --------
+start_daemon --store "$DIR/store" --budget 12 --quiet
+RECOVERED=$(sed -n 's/^store: \([0-9][0-9]*\) records.*/\1/p' "$DIR/serve.err")
+echo "restart: recovered $RECOVERED records (acked $K1 + $K2)"
+[ "$RECOVERED" -eq $((K1 + K2)) ] || {
+  echo "FAIL: store recovered $RECOVERED records; clients acked $((K1 + K2))";
+  exit 1; }
+
+# --- binary framing against the same daemon --------------------------------
+"$CLIENT" --connect "127.0.0.1:$PORT" --binary --clients 2 --sessions 2 \
+  > "$DIR/bin.out"
+cat "$DIR/bin.out"
+[ "$(field "$DIR/bin.out" acked)" -eq 4 ] || {
+  echo "FAIL: binary-mode sessions did not all complete"; exit 1; }
+stop_daemon
+
+# --- per-tenant admission: over-budget HELLOs get a clean ERROR ------------
+start_daemon --no-record --budget 20 --max-tenant 1
+echo "tenant cap: daemon on port $PORT"
+"$CLIENT" --connect "127.0.0.1:$PORT" --clients 8 --sessions 2 \
+  --label greedy > "$DIR/t.out"
+cat "$DIR/t.out"
+[ "$(field "$DIR/t.out" acked)" -ge 1 ] || {
+  echo "FAIL: tenant cap starved every session"; exit 1; }
+[ "$(field "$DIR/t.out" rejected)" -ge 1 ] || {
+  echo "FAIL: 8 concurrent clients under --max-tenant 1 saw no rejection";
+  exit 1; }
+[ "$(field "$DIR/t.out" aborted)" -eq 0 ] || {
+  echo "FAIL: tenant rejection was not a clean ERROR"; exit 1; }
+# The daemon survived the rejections: a different tenant tunes fine.
+"$CLIENT" --connect "127.0.0.1:$PORT" --label polite > "$DIR/p.out"
+[ "$(field "$DIR/p.out" acked)" -eq 1 ] || {
+  echo "FAIL: daemon unhealthy after tenant rejections"; exit 1; }
+stop_daemon
+
+echo "OK (A=$K1 B=$K2 recovered=$RECOVERED, drain clean, tenant cap holds)"

@@ -1,12 +1,39 @@
 #!/bin/sh
 # Smoke test for the harmony_tune CLI: tunes a shell one-liner with a known
 # optimum (x = 12) and checks the cold run finds it and a warm run reuses
-# the recorded history. Usage: test_harmony_tune.sh <path-to-harmony_tune>
+# the recorded history. Also drives the client mode (--connect) against a
+# live harmony_serve and checks it reproduces the in-process result exactly.
+# Usage: test_harmony_tune.sh <path-to-harmony_tune> <path-to-harmony_serve>
 set -eu
 
 TUNE="$1"
+SERVE="$2"
 DIR=$(mktemp -d)
-trap 'rm -rf "$DIR"' EXIT
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+start_daemon() {
+  : > "$DIR/serve.out"
+  "$SERVE" --port 0 "$@" > "$DIR/serve.out" 2> "$DIR/serve.err" &
+  SERVE_PID=$!
+  i=0
+  while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$DIR/serve.out")
+    [ -n "$PORT" ] && return 0
+    sleep 0.1
+    i=$((i + 1))
+  done
+  echo "FAIL: daemon never reported its port"; cat "$DIR/serve.err"; exit 1
+}
+
+stop_daemon() {
+  kill -TERM "$SERVE_PID"
+  set +e
+  wait "$SERVE_PID"
+  status=$?
+  set -e
+  [ "$status" -eq 0 ] || {
+    echo "FAIL: daemon exited $status on SIGTERM"; exit 1; }
+}
 
 cat > "$DIR/params.rsl" <<'RSL'
 { harmonyBundle x { int {1 24 1 3} } }
@@ -170,4 +197,47 @@ if grep "retries:" "$DIR/hang.err" | grep -q "(0 timeouts"; then
   echo "FAIL: hang not classified as timeout"; cat "$DIR/hang.err"; exit 1
 fi
 
-echo "OK (cold $cold_runs runs, warm $warm_runs runs, retries recover)"
+# --- client mode -----------------------------------------------------------
+# The daemon owns the search; harmony_tune only measures. A cold session
+# against a non-recording daemon with the same budget must reproduce the
+# in-process result line bit for bit, over both wire framings.
+start_daemon --no-record --budget 40 --quiet
+served=$("$TUNE" --rsl "$DIR/params.rsl" --quiet \
+         --connect "127.0.0.1:$PORT" -- "$DIR/app.sh")
+echo "served: $served"
+[ "$served" = "$nohist" ] || {
+  echo "FAIL: --connect diverged from the in-process run";
+  echo "  in-process: $nohist"; echo "  served:     $served"; exit 1; }
+
+servedbin=$("$TUNE" --rsl "$DIR/params.rsl" --quiet \
+            --connect "127.0.0.1:$PORT" --binary -- "$DIR/app.sh")
+[ "$servedbin" = "$nohist" ] || {
+  echo "FAIL: --connect --binary diverged from the in-process run";
+  echo "  in-process: $nohist"; echo "  binary:     $servedbin"; exit 1; }
+stop_daemon
+
+# A recording daemon warm-starts the second run from the first one's
+# experience; the warm run must not need more measurements than the cold.
+start_daemon --budget 40 --quiet
+svcold=$("$TUNE" --rsl "$DIR/params.rsl" --quiet \
+         --connect "127.0.0.1:$PORT" -- "$DIR/app.sh")
+svwarm=$("$TUNE" --rsl "$DIR/params.rsl" \
+         --connect "127.0.0.1:$PORT" -- "$DIR/app.sh" 2> "$DIR/warm.err")
+echo "served warm: $svwarm"
+grep -q "warm-started from experience" "$DIR/warm.err" || {
+  echo "FAIL: recording daemon did not warm-start the second run";
+  cat "$DIR/warm.err"; exit 1; }
+svcold_runs=$(echo "$svcold" | sed 's/.*after \([0-9]*\) runs.*/\1/')
+svwarm_runs=$(echo "$svwarm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
+[ "$svwarm_runs" -le "$svcold_runs" ] || {
+  echo "FAIL: served warm run ($svwarm_runs) used more runs than cold"
+  echo "($svcold_runs)"; exit 1; }
+stop_daemon
+
+# Client mode delegates the search, so search-shaping flags are rejected.
+"$TUNE" --rsl "$DIR/params.rsl" --connect "127.0.0.1:1" --budget 40 \
+    -- "$DIR/app.sh" 2>/dev/null && {
+  echo "FAIL: --connect with --budget must be rejected"; exit 1; }
+
+echo "OK (cold $cold_runs runs, warm $warm_runs runs, retries recover," \
+     "client mode matches in-process)"
