@@ -3,10 +3,15 @@
 // simplex search cost on an analytic landscape, the triangulation solve,
 // RSL parsing and the sensitivity sweep.
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/analyzer.hpp"
+#include "core/history.hpp"
 #include "core/estimator.hpp"
 #include "core/objective.hpp"
 #include "core/rsl.hpp"
@@ -142,6 +147,120 @@ void BM_EstimatorSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimatorSolve)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Classifier maintenance head to head: a full fit() over N rows vs a
+// delta-aware refit() absorbing one 64-row append on the same chain.
+// Arg(0) selects the classifier (0 lstsq, 1 tree, 2 kmeans), Arg(1) the
+// base row count. The update bench pre-builds a chain of views over one
+// flat array — shared append_base, fresh version per step — and re-fits
+// the base outside the timed region when the chain runs dry.
+
+constexpr std::size_t kIncDims = 16;
+constexpr std::size_t kIncBatch = 64;
+
+std::unique_ptr<Classifier> bench_classifier(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<LeastSquareClassifier>();
+    case 1: return std::make_unique<DecisionTreeClassifier>();
+    // Enough Lloyd's iterations that fit() converges (it stops early):
+    // the update bench's restricted pass starts from a converged model,
+    // as it would in a long-running daemon, instead of tripping the
+    // drift hysteresis on leftover movement.
+    default: return std::make_unique<KMeansClassifier>(32, 42, 50);
+  }
+}
+
+const char* bench_classifier_label(int kind) {
+  switch (kind) {
+    case 0: return "lstsq";
+    case 1: return "tree";
+    default: return "kmeans";
+  }
+}
+
+struct DeltaChain {
+  std::vector<double> data;
+  std::vector<std::size_t> offsets;
+  std::vector<SignatureView> views;  // views[j] exposes base + j*64 rows
+};
+
+DeltaChain make_delta_chain(std::size_t base, std::size_t deltas) {
+  DeltaChain c;
+  const std::size_t total = base + deltas * kIncBatch;
+  Rng rng(11);
+  c.data.resize(total * kIncDims);
+  for (double& v : c.data) v = rng.uniform01();
+  c.offsets.resize(total + 1);
+  for (std::size_t i = 0; i <= total; ++i) c.offsets[i] = i * kIncDims;
+  const std::uint64_t chain = next_signature_version();
+  c.views.reserve(deltas + 1);
+  for (std::size_t j = 0; j <= deltas; ++j) {
+    SignatureView v;
+    v.data = c.data.data();
+    v.offsets = c.offsets.data();
+    v.count = base + j * kIncBatch;
+    v.dims = kIncDims;
+    v.version = next_signature_version();
+    v.append_base = chain;
+    c.views.push_back(v);
+  }
+  return c;
+}
+
+void BM_ClassifierFit(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  const DeltaChain chain = make_delta_chain(count, 0);
+  const std::unique_ptr<Classifier> c = bench_classifier(kind);
+  for (auto _ : state) {
+    c->fit(chain.views[0]);
+    benchmark::DoNotOptimize(c.get());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+  state.SetLabel(bench_classifier_label(kind));
+}
+BENCHMARK(BM_ClassifierFit)
+    ->Args({0, 10000})->Args({0, 100000})->Args({0, 1000000})
+    ->Args({1, 10000})->Args({1, 100000})->Args({1, 1000000})
+    ->Args({2, 10000})->Args({2, 100000})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ClassifierUpdate(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  // Short enough that k-means never trips its pending-fraction escalation
+  // at the 10k base: the timed region stays on the pure delta path.
+  constexpr std::size_t kDeltas = 24;
+  const bool before = incremental_fit_enabled();
+  set_incremental_fit(true);
+  const DeltaChain chain = make_delta_chain(count, kDeltas);
+  const std::unique_ptr<Classifier> c = bench_classifier(kind);
+  c->fit(chain.views[0]);
+  std::size_t next = 1;
+  for (auto _ : state) {
+    if (next > kDeltas) {
+      state.PauseTiming();
+      c->fit(chain.views[0]);
+      next = 1;
+      state.ResumeTiming();
+    }
+    c->refit(chain.views[next++]);
+    benchmark::DoNotOptimize(c.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kIncBatch));
+  // Any full rebuild in the label means the delta path escalated.
+  state.SetLabel(std::string(bench_classifier_label(kind)) +
+                 " incr=" + std::to_string(c->refit_stats().incremental) +
+                 " full=" + std::to_string(c->refit_stats().full));
+  set_incremental_fit(before);
+}
+BENCHMARK(BM_ClassifierUpdate)
+    ->Args({0, 10000})->Args({0, 100000})->Args({0, 1000000})
+    ->Args({1, 10000})->Args({1, 100000})->Args({1, 1000000})
+    ->Args({2, 10000})->Args({2, 100000})
+    ->Unit(benchmark::kMicrosecond);
 
 // Signature-distance argmin kernels over the flat experience store: the
 // scalar reference loop vs the blocked 4-row kernel with early exit. Kernel

@@ -1,7 +1,10 @@
 #include "core/analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -10,6 +13,33 @@
 #include "util/thread_pool.hpp"
 
 namespace harmony {
+
+namespace {
+
+// -1 = unresolved, 0 = off, 1 = on. Same lazy-env idiom as the SIMD level:
+// first query reads HARMONY_INCREMENTAL_FIT, set_incremental_fit overrides.
+std::atomic<int> g_incremental_fit{-1};
+
+}  // namespace
+
+bool incremental_fit_enabled() noexcept {
+  int v = g_incremental_fit.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = 1;
+    if (const char* env = std::getenv("HARMONY_INCREMENTAL_FIT")) {
+      if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+          std::strcmp(env, "false") == 0) {
+        v = 0;
+      }
+    }
+    g_incremental_fit.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_incremental_fit(bool enabled) noexcept {
+  g_incremental_fit.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -113,6 +143,31 @@ std::size_t nearest_signature_blocked(const double* data, std::size_t count,
   return best;
 }
 
+bool Classifier::update(const SignatureView& /*view*/,
+                        std::size_t /*first_new_row*/) {
+  return false;  // no incremental path: always escalate to fit()
+}
+
+void Classifier::refit(const SignatureView& view) {
+  if (fitted_version_ == view.version) return;
+  // The delta path is sound only when the incoming view provably extends
+  // the chain this model was fitted on: same process-unique append_base
+  // (so rows [0, fitted_count_) are value-identical to the fitted ones)
+  // and a count that did not shrink. append_base 0 marks ad-hoc views that
+  // never qualify.
+  const bool delta_ok = incremental_fit_enabled() && fitted_version_ != 0 &&
+                        fitted_count_ > 0 && view.append_base != 0 &&
+                        fitted_chain_ == view.append_base &&
+                        view.count >= fitted_count_;
+  if (delta_ok && update(view, fitted_count_)) {
+    set_fitted(view);
+    ++stats_.incremental;
+    return;
+  }
+  fit(view);
+  ++stats_.full;
+}
+
 std::size_t Classifier::classify(const WorkloadSignature& observed,
                                  const std::vector<WorkloadSignature>& known) {
   HARMONY_REQUIRE(!known.empty(), "classify against empty signature set");
@@ -169,6 +224,7 @@ void LeastSquareClassifier::fit(const SignatureView& view) {
   view_ = view;
   sketch_.clear();
   sketch_ptr_ = nullptr;
+  sketch_stride_ = 0;
   if (signature_sketch_applicable(view)) {
     if (view.sketch != nullptr) {
       // Snapshot-backed store: borrow the persisted sketch (bit-identical
@@ -179,8 +235,58 @@ void LeastSquareClassifier::fit(const SignatureView& view) {
       build_signature_sketch(view, sketch_.data());
       sketch_ptr_ = sketch_.data();
     }
+    sketch_stride_ = view.count;
   }
   set_fitted(view);
+}
+
+bool LeastSquareClassifier::update(const SignatureView& view,
+                                   std::size_t first_new_row) {
+  // Shape changes (sketched <-> unsketched, arity drift into mixed) mean
+  // the model the full fit would build differs structurally — escalate.
+  if (signature_sketch_applicable(view) != (sketch_ptr_ != nullptr)) {
+    return false;
+  }
+  if (sketch_ptr_ == nullptr) {
+    // Unsketched set (narrow or mixed arity): the model is just the view.
+    view_ = view;
+    return true;
+  }
+  if (view.dims != view_.dims) return false;
+  constexpr std::size_t kPlanes = kSketchPrefix + 1;
+  const std::size_t new_count = view.count;
+  if (sketch_.empty() || new_count > sketch_stride_) {
+    // Repack the planes into an owned buffer with ~50% headroom so a
+    // steady append stream moves them only every few thousand rows. The
+    // old planes are read at the old stride before the storage swap.
+    const std::size_t stride = new_count + new_count / 2 + 64;
+    std::vector<double> grown(stride * kPlanes);
+    for (std::size_t p = 0; p < kPlanes; ++p) {
+      const double* src = sketch_ptr_ + p * sketch_stride_;
+      std::copy(src, src + first_new_row, grown.begin() + static_cast<long>(p * stride));
+    }
+    sketch_ = std::move(grown);
+    sketch_ptr_ = sketch_.data();
+    sketch_stride_ = stride;
+  }
+  // Pack the new rows exactly as build_signature_sketch would: each entry
+  // depends only on its own row, so the grown sketch is bit-identical to
+  // the one a fresh fit builds.
+  double* out = sketch_.data();
+  const std::size_t dims = view.dims;
+  for (std::size_t i = first_new_row; i < new_count; ++i) {
+    const double* row = view.row(i);
+    for (std::size_t d = 0; d < kSketchPrefix; ++d) {
+      out[d * sketch_stride_ + i] = row[d];
+    }
+    double rest = 0.0;
+    for (std::size_t d = kSketchPrefix; d < dims; ++d) {
+      rest += row[d] * row[d];
+    }
+    out[kSketchPrefix * sketch_stride_ + i] = std::sqrt(rest);
+  }
+  view_ = view;
+  return true;
 }
 
 void sketch_pruned_scan_scalar(const double* data, std::size_t dims,
@@ -223,7 +329,10 @@ void LeastSquareClassifier::pruned_scan(std::size_t first, std::size_t last,
                                         double query_rest_norm,
                                         double& best_dist_sq,
                                         std::size_t& best_index) const {
-  sketch_pruned_scan(view_.data, view_.dims, sketch_ptr_, view_.count,
+  // The kernels take the sketch's plane stride where the original layout
+  // passed the row count; the incremental path grows the planes with
+  // headroom, so stride >= view_.count.
+  sketch_pruned_scan(view_.data, view_.dims, sketch_ptr_, sketch_stride_,
                      first, last, query, query_rest_norm, best_dist_sq,
                      best_index);
 }
@@ -299,6 +408,8 @@ void KMeansClassifier::fit(const SignatureView& view) {
   centroids_.clear();
   cluster_begin_.clear();
   cluster_members_.clear();
+  assignment_.clear();
+  pending_since_full_ = 0;
   k_eff_ = 0;
   if (view.empty()) {
     set_fitted(view);
@@ -322,7 +433,7 @@ void KMeansClassifier::fit(const SignatureView& view) {
     std::copy(row, row + dims, centroids_.begin() + static_cast<long>(i * dims));
   }
 
-  std::vector<std::size_t> assignment(n, 0);
+  assignment_.assign(n, 0);
   std::vector<double> sums(k * dims);
   std::vector<std::size_t> counts(k);
   for (int iter = 0; iter < max_iterations_; ++iter) {
@@ -337,8 +448,8 @@ void KMeansClassifier::fit(const SignatureView& view) {
       // to the direct loop at every SIMD level.
       nearest_signature_scan(centroids_.data(), dims, 0, k, row, best_d,
                              best);
-      if (assignment[i] != best) {
-        assignment[i] = best;
+      if (assignment_[i] != best) {
+        assignment_[i] = best;
         changed = true;
       }
     }
@@ -350,8 +461,8 @@ void KMeansClassifier::fit(const SignatureView& view) {
       const double* row = view.row(i);
       // Element-wise adds: each coordinate is its own chain, so the
       // vectorized accumulation rounds identically to the scalar loop.
-      linalg::vec_add_inplace(sums.data() + assignment[i] * dims, row, dims);
-      ++counts[assignment[i]];
+      linalg::vec_add_inplace(sums.data() + assignment_[i] * dims, row, dims);
+      ++counts[assignment_[i]];
     }
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) continue;
@@ -362,18 +473,113 @@ void KMeansClassifier::fit(const SignatureView& view) {
     }
   }
 
+  rebuild_cluster_csr(n);
+  set_fitted(view);
+}
+
+void KMeansClassifier::rebuild_cluster_csr(std::size_t n) {
   // CSR member lists, ascending within each cluster so the within-cluster
   // scan resolves ties toward the lowest record index.
-  cluster_begin_.assign(k + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) ++cluster_begin_[assignment[i] + 1];
-  for (std::size_t c = 0; c < k; ++c) cluster_begin_[c + 1] += cluster_begin_[c];
+  cluster_begin_.assign(k_eff_ + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cluster_begin_[assignment_[i] + 1];
+  for (std::size_t c = 0; c < k_eff_; ++c) {
+    cluster_begin_[c + 1] += cluster_begin_[c];
+  }
   cluster_members_.resize(n);
   std::vector<std::size_t> cursor(cluster_begin_.begin(),
                                   cluster_begin_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    cluster_members_[cursor[assignment[i]]++] = i;
+    cluster_members_[cursor[assignment_[i]]++] = i;
   }
-  set_fitted(view);
+}
+
+bool KMeansClassifier::update(const SignatureView& view,
+                              std::size_t first_new_row) {
+  const std::size_t n = view.count;
+  if (k_eff_ == 0 || view.dims == SignatureView::kMixedDims ||
+      view.dims != view_.dims) {
+    return false;
+  }
+  // Fewer fitted centroids than a full fit would now use: let it widen.
+  if (k_eff_ < std::min(k_, n)) return false;
+  const std::size_t new_rows = n - first_new_row;
+  // Drift hysteresis: once a quarter of the set arrived after the last
+  // full Lloyd's run, the centroids were optimized for a set that no
+  // longer exists — escalate before quality erodes further.
+  if ((pending_since_full_ + new_rows) * 4 > n) return false;
+
+  const std::size_t dims = view.dims;
+  view_ = view;
+  assignment_.resize(n);
+  std::vector<char> touched(k_eff_, 0);
+  for (std::size_t i = first_new_row; i < n; ++i) {
+    const double* row = view.row(i);
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    nearest_signature_scan(centroids_.data(), dims, 0, k_eff_, row, best_d,
+                           best);
+    assignment_[i] = best;
+    touched[best] = 1;
+  }
+
+  // Restricted Lloyd's: recompute only the touched centroids from their
+  // members, then let only members of touched clusters reconsider their
+  // assignment (against all centroids — a move extends the touched set).
+  // The bounded iteration count keeps the worst case O(iters · n) scans of
+  // cheap membership checks plus work proportional to the touched mass.
+  std::vector<double> sums(k_eff_ * dims);
+  std::vector<std::size_t> counts(k_eff_);
+  std::size_t moved_total = 0;
+  const int iters = std::min(max_iterations_, 4);
+  for (int iter = 0; iter < iters; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = assignment_[i];
+      if (!touched[c]) continue;
+      linalg::vec_add_inplace(sums.data() + c * dims, view.row(i), dims);
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k_eff_; ++c) {
+      if (!touched[c] || counts[c] == 0) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        centroids_[c * dims + d] =
+            sums[c * dims + d] / static_cast<double>(counts[c]);
+      }
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!touched[assignment_[i]]) continue;
+      const double* row = view.row(i);
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      nearest_signature_scan(centroids_.data(), dims, 0, k_eff_, row, best_d,
+                             best);
+      if (best != assignment_[i]) {
+        assignment_[i] = best;
+        touched[best] = 1;
+        changed = true;
+        ++moved_total;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Post-hoc hysteresis — safe because the fallback fit() rebuilds from
+  // scratch: heavy churn means the local repair is chasing a moving target,
+  // and a ballooned touched cluster would degrade classify() toward a full
+  // scan.
+  if ((new_rows + moved_total) * 8 > n) return false;
+  rebuild_cluster_csr(n);
+  const std::size_t mean_size = n / k_eff_ + 1;
+  for (std::size_t c = 0; c < k_eff_; ++c) {
+    if (!touched[c]) continue;
+    if (cluster_begin_[c + 1] - cluster_begin_[c] > 8 * mean_size) {
+      return false;
+    }
+  }
+  pending_since_full_ += new_rows;
+  return true;
 }
 
 std::size_t KMeansClassifier::classify(
@@ -423,6 +629,10 @@ int DecisionTreeClassifier::build(std::vector<std::size_t> members,
     node.members_begin = static_cast<std::uint32_t>(members_.size());
     members_.insert(members_.end(), leaf_members.begin(), leaf_members.end());
     node.members_end = static_cast<std::uint32_t>(members_.size());
+    // Slack slots for incremental inserts: a new row landing in this leaf
+    // takes a slot in place instead of forcing a subtree rebuild.
+    members_.insert(members_.end(), leaf_size_, static_cast<std::size_t>(-1));
+    node.members_cap = static_cast<std::uint32_t>(members_.size());
     nodes_.push_back(node);
     return static_cast<int>(nodes_.size()) - 1;
   };
@@ -495,6 +705,7 @@ void DecisionTreeClassifier::fit(const SignatureView& view) {
   nodes_.clear();
   members_.clear();
   root_ = -1;
+  waste_slots_ = 0;
   if (view.empty()) {
     set_fitted(view);
     return;
@@ -516,6 +727,58 @@ std::size_t DecisionTreeClassifier::classify(
   double best_d = std::numeric_limits<double>::infinity();
   search(root_, observed.data(), best, best_d);
   return best;
+}
+
+bool DecisionTreeClassifier::insert(std::size_t i) {
+  const double* row = view_.row(i);
+  // Scapegoat depth bound: 2·log2(n) + 8. An insert descending past it
+  // means the incremental grafts have unbalanced the tree beyond what the
+  // backtracking search can absorb.
+  std::size_t depth_limit = 8;
+  for (std::size_t n = view_.count; n > 1; n >>= 1) depth_limit += 2;
+  int idx = root_;
+  std::size_t depth = 0;
+  while (!nodes_[static_cast<std::size_t>(idx)].is_leaf()) {
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    // Same rule as search(): strictly-below goes left, so the split
+    // invariant (left <= threshold <= right) — which the pruning bound
+    // relies on — is preserved and the search stays exact.
+    idx = row[node.dim] - node.threshold < 0.0 ? node.left : node.right;
+    if (++depth > depth_limit) return false;
+  }
+  const Node leaf = nodes_[static_cast<std::size_t>(idx)];
+  if (leaf.members_end < leaf.members_cap) {
+    members_[leaf.members_end] = i;
+    ++nodes_[static_cast<std::size_t>(idx)].members_end;
+    return true;
+  }
+  // Full leaf: rebuild it (plus the new row) as a fresh subtree and graft
+  // the subtree root into the leaf's node slot. The old member slots and
+  // the duplicated root node become tracked waste; the hysteresis check in
+  // update() bounds how much of it may accumulate.
+  std::vector<std::size_t> leaf_members(
+      members_.begin() + leaf.members_begin,
+      members_.begin() + leaf.members_end);
+  leaf_members.push_back(i);
+  waste_slots_ += (leaf.members_cap - leaf.members_begin) + 1;
+  const int r = build(std::move(leaf_members), view_.dims);
+  nodes_[static_cast<std::size_t>(idx)] = nodes_[static_cast<std::size_t>(r)];
+  return true;
+}
+
+bool DecisionTreeClassifier::update(const SignatureView& view,
+                                    std::size_t first_new_row) {
+  if (root_ < 0 || view.dims == SignatureView::kMixedDims ||
+      view.dims != view_.dims) {
+    return false;
+  }
+  view_ = view;
+  for (std::size_t i = first_new_row; i < view.count; ++i) {
+    // Waste hysteresis first: once the orphaned slots outnumber the live
+    // set, a compacting rebuild is cheaper than dragging the bloat along.
+    if (waste_slots_ > view.count || !insert(i)) return false;
+  }
+  return true;
 }
 
 // --------------------------------------------------------------------------
@@ -548,7 +811,10 @@ WorkloadSignature DataAnalyzer::characterize(
 void DataAnalyzer::ensure_fitted(const HistoryDatabase& db) const {
   if (db.empty()) return;
   const SignatureView view = db.signature_view();
-  if (classifier_->fitted_version() != view.version) classifier_->fit(view);
+  // refit() picks the cheapest sound path: no-op on a matching version,
+  // the incremental update when the database only appended since the last
+  // fit, a full rebuild otherwise.
+  if (classifier_->fitted_version() != view.version) classifier_->refit(view);
 }
 
 std::optional<std::size_t> DataAnalyzer::classify(

@@ -31,6 +31,15 @@
 
 namespace harmony {
 
+/// Runtime switch for the delta-aware classifier maintenance path. Defaults
+/// to on; HARMONY_INCREMENTAL_FIT=off|0|false pins every refit to the full
+/// rebuild (the oracle the incremental paths are differentially tested
+/// against). Resolved lazily from the environment on first query, like
+/// HARMONY_SIMD.
+[[nodiscard]] bool incremental_fit_enabled() noexcept;
+/// Programmatic override (benches, tests); wins over the environment.
+void set_incremental_fit(bool enabled) noexcept;
+
 namespace detail {
 
 /// Forward-order partial squared distance over dims [d0, d1), resumed from
@@ -118,11 +127,26 @@ void build_signature_sketch(const SignatureView& view, double* out);
 /// and classifies — the old per-call-rebuild cost model.
 class Classifier {
  public:
+  /// How refit() has been resolving staleness: full rebuilds vs delta
+  /// updates. Cumulative over the classifier's lifetime.
+  struct RefitStats {
+    std::uint64_t full = 0;
+    std::uint64_t incremental = 0;
+  };
+
   virtual ~Classifier() = default;
 
   /// Rebuilds the model over `view`. Implementations must record the view's
   /// version via set_fitted().
   virtual void fit(const SignatureView& view) = 0;
+
+  /// Brings the model up to date with `view`, choosing the cheapest sound
+  /// path: no-op when the fitted version already matches; the incremental
+  /// update() when `view` extends the append chain the model was fitted
+  /// against (same append_base, count grew) and the toggle allows it; a
+  /// full fit() otherwise — including when update() declines (hysteresis
+  /// escalation). This is the only entry point DataAnalyzer uses.
+  void refit(const SignatureView& view);
 
   /// Index (into the fitted view) of the nearest known signature.
   [[nodiscard]] virtual std::size_t classify(
@@ -135,18 +159,48 @@ class Classifier {
     return fitted_version_;
   }
 
+  /// Full-vs-incremental refit tally (serving observability; reset by
+  /// reset_refit_stats()).
+  [[nodiscard]] const RefitStats& refit_stats() const noexcept {
+    return stats_;
+  }
+  void reset_refit_stats() noexcept { stats_ = RefitStats{}; }
+
   /// Compatibility shim: fit over `known` (owned copy), then classify.
   [[nodiscard]] std::size_t classify(
       const WorkloadSignature& observed,
       const std::vector<WorkloadSignature>& known);
 
  protected:
+  /// Absorbs rows [first_new_row, view.count) into the fitted model,
+  /// returning true on success. Called only by refit(), and only when the
+  /// chain identity proves rows [0, first_new_row) are value-identical to
+  /// the fitted ones. Implementations must re-point any retained view at
+  /// `view` and must NOT call set_fitted() (refit() does) nor fall back to
+  /// fit() themselves — returning false is the escalation signal. The
+  /// default declines every delta.
+  virtual bool update(const SignatureView& view, std::size_t first_new_row);
+
   void set_fitted(const SignatureView& view) noexcept {
     fitted_version_ = view.version;
+    fitted_chain_ = view.append_base;
+    fitted_count_ = view.count;
+  }
+
+  /// Row count of the view the model was last fitted against.
+  [[nodiscard]] std::size_t fitted_count() const noexcept {
+    return fitted_count_;
   }
 
  private:
   std::uint64_t fitted_version_ = 0;
+  // Append-chain identity of the fitted view (SignatureView::append_base).
+  // Chain stamps are process-unique, so equality against an incoming view
+  // proves the fitted rows are a prefix of the view's rows — a mere
+  // version-ordering check would not (stamps interleave across databases).
+  std::uint64_t fitted_chain_ = 0;
+  std::size_t fitted_count_ = 0;
+  RefitStats stats_;
   // Owned flat store backing the compatibility shim's view.
   std::vector<double> compat_data_;
   std::vector<std::size_t> compat_offsets_;
@@ -184,6 +238,23 @@ class LeastSquareClassifier final : public Classifier {
   std::size_t classify(const WorkloadSignature& observed) const override;
   std::string name() const override { return "least-square"; }
 
+  /// Active sketch storage (introspection for the differential tests): the
+  /// plane-major sketch pointer and its plane stride, or {nullptr, 0} when
+  /// the fitted set is not sketched.
+  [[nodiscard]] const double* sketch_data() const noexcept {
+    return sketch_ptr_;
+  }
+  [[nodiscard]] std::size_t sketch_stride() const noexcept {
+    return sketch_stride_;
+  }
+
+ protected:
+  /// Exact incremental path: re-point the view and pack the new rows'
+  /// sketch entries. Per-row sketch values depend only on their own row, so
+  /// the result is bit-identical to a fresh fit; never escalates except
+  /// when the sketch applicability or arity changed.
+  bool update(const SignatureView& view, std::size_t first_new_row) override;
+
  private:
   /// Folds rows [first, last) through the sketch-pruned scan into the
   /// running (best_dist_sq, best_index) pair; same fold contract as
@@ -194,15 +265,20 @@ class LeastSquareClassifier final : public Classifier {
                    std::size_t& best_index) const;
 
   SignatureView view_{};
-  // Plane-major sketch: kSketchPrefix + 1 contiguous planes of view.count
-  // doubles each (plane p < kSketchPrefix holds coordinate p of every row;
-  // the last plane holds the rest-norms), built by fit() when the view has
-  // uniform arity wider than the prefix. Empty otherwise. The plane layout
-  // keeps the SIMD prefix filter on contiguous loads. When the fitted view
-  // carries a borrowed sketch (snapshot-backed store), sketch_ptr_ aims at
-  // it and sketch_ stays empty — zero copies on the warm-start path.
+  // Plane-major sketch: kSketchPrefix + 1 contiguous planes of
+  // sketch_stride_ doubles each (plane p < kSketchPrefix holds coordinate p
+  // of every row; the last plane holds the rest-norms), built by fit() when
+  // the view has uniform arity wider than the prefix. Empty otherwise. The
+  // plane layout keeps the SIMD prefix filter on contiguous loads. When the
+  // fitted view carries a borrowed sketch (snapshot-backed store),
+  // sketch_ptr_ aims at it and sketch_ stays empty — zero copies on the
+  // warm-start path. The plane stride is >= view.count: update() grows the
+  // owned buffer with headroom so steady-state appends repack planes only
+  // every ~50% growth, and the scan kernels take the stride as a parameter
+  // (they never bound-check against it).
   std::vector<double> sketch_;
   const double* sketch_ptr_ = nullptr;  ///< active sketch, or nullptr
+  std::size_t sketch_stride_ = 0;       ///< plane stride of sketch_ptr_
 };
 
 /// Sketch-pruned range fold over a plane-major sketch (the layout
@@ -244,7 +320,19 @@ class KMeansClassifier final : public Classifier {
   std::size_t classify(const WorkloadSignature& observed) const override;
   std::string name() const override { return "k-means"; }
 
+ protected:
+  /// Quality-gated incremental path: assign the new points to their nearest
+  /// centroids, then run a bounded restricted Lloyd's pass over the touched
+  /// clusters only. Declines (→ full refit) on drift/imbalance hysteresis:
+  /// too many rows assigned or moved since the last full fit, or a touched
+  /// cluster ballooning past 8x the mean size. Deterministic, but NOT
+  /// guaranteed identical to a fresh fit — HARMONY_INCREMENTAL_FIT=off is
+  /// the exact-oracle escape hatch.
+  bool update(const SignatureView& view, std::size_t first_new_row) override;
+
  private:
+  void rebuild_cluster_csr(std::size_t n);
+
   std::size_t k_;
   std::uint64_t seed_;
   int max_iterations_;
@@ -254,6 +342,11 @@ class KMeansClassifier final : public Classifier {
   std::vector<double> centroids_;            // k_eff_ * dims
   std::vector<std::size_t> cluster_begin_;   // k_eff_ + 1 CSR offsets
   std::vector<std::size_t> cluster_members_; // record indices, ascending
+  std::vector<std::size_t> assignment_;      // row -> cluster, kept by fit()
+  // Rows absorbed incrementally since the last full Lloyd's fit; once this
+  // exceeds a quarter of the fitted set the next refit escalates (the
+  // centroids were optimized for a set that has since drifted).
+  std::size_t pending_since_full_ = 0;
 };
 
 /// Decision-tree alternative (Figure 2 lists it next to k-means): a k-d
@@ -271,6 +364,16 @@ class DecisionTreeClassifier final : public Classifier {
   std::size_t classify(const WorkloadSignature& observed) const override;
   std::string name() const override { return "decision-tree"; }
 
+ protected:
+  /// Exact incremental path with scapegoat-style hysteresis: each new row
+  /// descends to its leaf (the same left/right rule search() uses, so the
+  /// inserted row is always findable) and lands in the leaf's slack slots;
+  /// a full leaf is rebuilt in place as a fresh subtree, leaving its old
+  /// nodes and member slots as tracked waste. Declines (→ full rebuild)
+  /// when the waste exceeds the live set or an insert descends past
+  /// 2·log2(n) + 8 levels — the classic scapegoat balance bound.
+  bool update(const SignatureView& view, std::size_t first_new_row) override;
+
  private:
   struct Node {
     // split
@@ -278,21 +381,30 @@ class DecisionTreeClassifier final : public Classifier {
     double threshold = 0.0;
     int left = -1;  // node indices; -1 means none
     int right = -1;
-    // leaf: slice of members_
+    // leaf: slice of members_; [members_end, members_cap) is unused slack
+    // reserved for incremental inserts
     std::uint32_t members_begin = 0;
     std::uint32_t members_end = 0;
+    std::uint32_t members_cap = 0;
     [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
   };
 
   int build(std::vector<std::size_t> members, std::size_t dims);
   void search(int idx, const double* q, std::size_t& best,
               double& best_d) const;
+  /// Descends from the root and inserts row i; returns false when the
+  /// scapegoat hysteresis says the tree has degraded enough to rebuild.
+  bool insert(std::size_t i);
 
   std::size_t leaf_size_;
   SignatureView view_{};
   std::vector<Node> nodes_;
-  std::vector<std::size_t> members_;  // leaf member pool
+  std::vector<std::size_t> members_;  // leaf member pool (with leaf slack)
   int root_ = -1;
+  // Scapegoat bookkeeping: member slots + nodes orphaned by leaf-split
+  // grafts since the last full build. Compared against the live count to
+  // decide when the pools deserve a compacting rebuild.
+  std::size_t waste_slots_ = 0;
 };
 
 /// Front door combining characterization and retrieval. Lazily refits its
@@ -314,12 +426,27 @@ class DataAnalyzer {
       int samples);
 
   /// Refits the classifier if the database's version stamp moved since the
-  /// last fit (no-op otherwise, and for an empty database). Call once
+  /// last fit (no-op otherwise, and for an empty database). When the
+  /// database merely appended records since the last fit (same append
+  /// chain), the classifier absorbs just the new rows instead of rebuilding
+  /// — steady-state serving ingest costs O(batch), not O(db). Call once
   /// before issuing classify()/retrieve() from several threads against a
   /// stable database: with the model already fitted, those calls are pure
   /// reads of the fitted state and therefore safe to run concurrently.
   /// HarmonyServer::serve_batch uses exactly this protocol.
   void ensure_fitted(const HistoryDatabase& db) const;
+
+  /// Full-vs-incremental refit tally of the underlying classifier.
+  [[nodiscard]] const Classifier::RefitStats& refit_stats() const noexcept {
+    return classifier_->refit_stats();
+  }
+
+  /// The underlying classifier; lets sequential server sessions share one
+  /// fitted model instead of each refitting its own.
+  [[nodiscard]] const std::shared_ptr<Classifier>& classifier()
+      const noexcept {
+    return classifier_;
+  }
 
   /// Index of the best-matching experience, or nullopt when the database is
   /// empty (the paper's "never seen before" case — tune from scratch).

@@ -23,7 +23,26 @@ void PerformanceEstimator::add(const Configuration& config,
 
 void PerformanceEstimator::add_all(
     const std::vector<Measurement>& measurements) {
+  reserve(points_.size() + measurements.size());
   for (const auto& m : measurements) add(m.config, m.performance);
+}
+
+void PerformanceEstimator::reserve(std::size_t n_points) {
+  points_.reserve(n_points);
+  norm_.reserve(n_points * space_.size());
+  exact_.reserve(n_points);
+}
+
+void PerformanceEstimator::sync(const std::vector<Measurement>& measurements) {
+  if (measurements.size() <= points_.size()) return;
+  reserve(measurements.size());
+  // Appending the unseen tail replays exactly the add() calls a fresh
+  // add_all would make for those indices; since add() is append-only in
+  // points_/norm_ and last-write-wins in exact_, the result is identical
+  // to a from-scratch load of the full vector.
+  for (std::size_t i = points_.size(); i < measurements.size(); ++i) {
+    add(measurements[i].config, measurements[i].performance);
+  }
 }
 
 std::optional<double> PerformanceEstimator::exact(

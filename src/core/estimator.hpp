@@ -62,6 +62,17 @@ class PerformanceEstimator {
   /// Bulk-load from a tuning trace.
   void add_all(const std::vector<Measurement>& measurements);
 
+  /// Pre-sizes the point store and the normalized-coordinate cache for
+  /// `n_points` total points, so a bulk load avoids incremental regrowth.
+  void reserve(std::size_t n_points);
+
+  /// Delta-aware bulk load: appends the tail of `measurements` past the
+  /// points already stored. For an append-only measurement log this makes
+  /// repeated syncs O(new points) while producing exactly the state add_all
+  /// on a fresh estimator would (normalized cache included) — the caller
+  /// guarantees the already-synced prefix has not changed.
+  void sync(const std::vector<Measurement>& measurements);
+
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
 
   /// If the exact configuration was recorded, its (latest) value. O(1):

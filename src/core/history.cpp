@@ -84,6 +84,10 @@ HistoryDatabase& HistoryDatabase::operator=(const HistoryDatabase& other) {
       cache_->count = snap_count_;
     }
     version_ = next_signature_version();
+    // Fresh buffers, fresh chain: a classifier fitted against the source
+    // must not treat the copy's rows as its own append tail.
+    append_base_ = version_;
+    append_base_rows_ = size();
   }
   return *this;
 }
@@ -99,10 +103,18 @@ void HistoryDatabase::append_flat(const WorkloadSignature& sig) {
 }
 
 void HistoryDatabase::add(ExperienceRecord record) {
+  // A plain add extends the current append chain; the copy-on-write detach
+  // from a borrowed snapshot index does not (the flat store moved, so any
+  // consumer pointers into the old backing are invalid wholesale).
+  const bool cow_detach = sig_borrowed_;
   ensure_owned_signatures();
   append_flat(record.signature);
   records_.push_back(std::move(record));
   version_ = next_signature_version();
+  if (cow_detach) {
+    append_base_ = version_;
+    append_base_rows_ = size();
+  }
 }
 
 void HistoryDatabase::reserve(std::size_t n_records,
@@ -117,6 +129,10 @@ void HistoryDatabase::reserve(std::size_t n_records,
   }
   if (n_records > snap_count_) records_.reserve(n_records - snap_count_);
   version_ = next_signature_version();
+  // reserve() may reallocate the flat store, so outstanding views (and any
+  // delta bookkeeping against them) are invalidated wholesale.
+  append_base_ = version_;
+  append_base_rows_ = size();
 }
 
 void HistoryDatabase::adopt_snapshot(
@@ -138,6 +154,8 @@ void HistoryDatabase::adopt_snapshot(
     cache_->count = snap_count_;
   }
   version_ = next_signature_version();
+  append_base_ = version_;
+  append_base_rows_ = size();
 }
 
 void HistoryDatabase::ensure_owned_signatures() {
@@ -167,6 +185,8 @@ void HistoryDatabase::materialize() {
   cache_.reset();
   snap_.reset();
   version_ = next_signature_version();
+  append_base_ = version_;
+  append_base_rows_ = size();
 }
 
 void HistoryDatabase::reset_snapshot_state() {
@@ -231,6 +251,7 @@ SignatureView HistoryDatabase::signature_view() const noexcept {
   }
   v.dims = sig_mixed_ ? SignatureView::kMixedDims : sig_dims_;
   v.version = version_;
+  v.append_base = append_base_;
   return v;
 }
 
@@ -331,6 +352,8 @@ void HistoryDatabase::load(std::istream& is) {
   sig_mixed_ = false;
   for (const auto& rec : records_) append_flat(rec.signature);
   version_ = next_signature_version();
+  append_base_ = version_;
+  append_base_rows_ = size();
 }
 
 void HistoryDatabase::save_file(const std::string& path) const {

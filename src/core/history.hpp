@@ -60,6 +60,13 @@ struct SignatureView {
   std::size_t count = 0;
   std::size_t dims = 0;  ///< uniform record arity, or kMixedDims
   std::uint64_t version = 0;
+  /// Append-chain identity: the version stamp the owner drew at its last
+  /// structural mutation (copy, reserve, adopt, materialize, load, CoW
+  /// detach). Within one chain the owner only appends, so a consumer fitted
+  /// at N rows under the same append_base may treat rows [0, N) as
+  /// value-identical and consume rows [N, count) as a pure delta. 0 means
+  /// "no chain": ad-hoc views never qualify for incremental maintenance.
+  std::uint64_t append_base = 0;
   /// Optional precomputed plane-major sketch borrowed with the store
   /// (LeastSquareClassifier layout: kSketchPrefix coordinate planes of
   /// `count` doubles, then the rest-norm plane). Snapshot-backed databases
@@ -159,6 +166,20 @@ class HistoryDatabase {
   /// Current version stamp; changes on every mutation.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
+  /// Append-chain identity (see SignatureView::append_base): stable across
+  /// pure appends, redrawn on every structural mutation. Process-unique, so
+  /// matching a remembered append_base proves the consumer fitted against
+  /// *this* database's current chain, not a lookalike version number from
+  /// another instance.
+  [[nodiscard]] std::uint64_t append_base() const noexcept {
+    return append_base_;
+  }
+  /// Record count at the moment the current chain started (diagnostics; a
+  /// consumer's own fitted count is what defines its delta).
+  [[nodiscard]] std::size_t append_base_rows() const noexcept {
+    return append_base_rows_;
+  }
+
   /// Serializes to the versioned text format.
   void save(std::ostream& os) const;
   /// Parses the text format; throws harmony::Error on malformed or
@@ -206,6 +227,12 @@ class HistoryDatabase {
   std::size_t sig_dims_ = 0;  ///< arity of the first record
   bool sig_mixed_ = false;    ///< records disagree on arity
   std::uint64_t version_ = next_signature_version();
+  // Chain identity + the row count when the chain started. append_base_
+  // reuses version stamps (process-unique), so equality against a consumer's
+  // remembered value identifies this exact chain. Initialized from version_
+  // (declared above, so in-class initializer order is well-defined).
+  std::uint64_t append_base_ = version_;
+  std::size_t append_base_rows_ = 0;
 
   std::shared_ptr<const SnapshotMapping> snap_;
   std::size_t snap_count_ = 0;  ///< records served from the mapping

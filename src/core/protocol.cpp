@@ -79,7 +79,10 @@ Message error(const std::string& what) {
 }
 
 ServerSession::ServerSession(SessionOptions options, HistoryDatabase* database)
-    : opts_(std::move(options)), db_(database) {
+    : opts_(std::move(options)),
+      db_(database),
+      analyzer_(opts_.classifier != nullptr ? DataAnalyzer(opts_.classifier)
+                                            : DataAnalyzer()) {
   HARMONY_REQUIRE(opts_.tuning.strategy != nullptr,
                   "null initial-simplex strategy");
 }
@@ -157,8 +160,10 @@ Message ServerSession::handle_signature(const Message& m) {
   Message reply = ok();
   if (db_ != nullptr && !db_->empty()) {
     // A shared analyzer is pre-fitted by its owner (the serving front end's
-    // per-batch ensure_fitted), making retrieve a pure read; the session's
-    // own analyzer refits lazily, which is fine single-threaded.
+    // per-batch ensure_fitted), making retrieve a pure read. The session's
+    // own analyzer refits lazily — and when SessionOptions::classifier is
+    // set, sequential sessions wrap the same classifier, so an unchanged
+    // database costs a version check instead of a per-session rebuild.
     const DataAnalyzer& analyzer =
         opts_.shared_analyzer != nullptr ? *opts_.shared_analyzer : analyzer_;
     if (const ExperienceRecord* exp = analyzer.retrieve(*db_, signature_)) {
@@ -204,6 +209,11 @@ ServerSession::FetchStep ServerSession::step_fetch() {
     store_experience();
     step.kind = FetchStep::Kind::kDone;
     step.result = &kernel_->result();
+    const DataAnalyzer& analyzer =
+        opts_.shared_analyzer != nullptr ? *opts_.shared_analyzer : analyzer_;
+    const auto& rs = analyzer.refit_stats();
+    step.full_refits = static_cast<std::uint32_t>(rs.full);
+    step.incremental_refits = static_cast<std::uint32_t>(rs.incremental);
     return step;
   }
   if (opts_.max_steps > 0 && steps_issued_ >= opts_.max_steps) {
@@ -240,6 +250,8 @@ Message ServerSession::handle_fetch() {
     reply.args.push_back(format_double(r.best_value));
     reply.args.push_back(std::to_string(r.evaluations));
     reply.args.push_back(r.stop_reason);
+    reply.args.push_back(std::to_string(step.full_refits));
+    reply.args.push_back(std::to_string(step.incremental_refits));
     return reply;
   }
   Message reply{"CONFIG", {}};
@@ -349,6 +361,12 @@ std::optional<Configuration> HarmonyClient::fetch() {
     if (reply.args.size() >= un + 4) {
       evaluations_ = static_cast<int>(parse_long(reply.args[un + 2]));
       stop_reason_ = reply.args[un + 3];
+    }
+    if (reply.args.size() >= un + 6) {
+      full_refits_ =
+          static_cast<std::uint32_t>(parse_long(reply.args[un + 4]));
+      incremental_refits_ =
+          static_cast<std::uint32_t>(parse_long(reply.args[un + 5]));
     }
     done_ = true;
     return std::nullopt;

@@ -18,10 +18,13 @@
 //   S: OK [experience <label>]            (warm start found / not)
 //   C: FETCH
 //   S: CONFIG <n> <v1> ... <vn>           (measure this configuration)
-//      | DONE <n> <v1> ... <vn> <perf> [<evals> <stop-reason>]
+//      | DONE <n> <v1> ... <vn> <perf> [<evals> <stop-reason>
+//                                       [<full-refits> <incr-refits>]]
 //                                         (tuning finished; best config —
 //                                          clients must tolerate trailing
-//                                          fields after <perf>)
+//                                          fields after <perf>; the refit
+//                                          counts expose how the server's
+//                                          classifier absorbed ingest)
 //   C: REPORT <performance>
 //   S: OK
 //   C: BYE
@@ -30,6 +33,7 @@
 // state unchanged.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -91,6 +95,12 @@ struct SessionOptions {
   /// retrievals are then pure reads, safe from concurrent sessions. The
   /// serving front end fits once per dispatched batch.
   const harmony::DataAnalyzer* shared_analyzer = nullptr;
+  /// Classifier the session's own analyzer wraps (ignored with
+  /// shared_analyzer set). Sequential sessions sharing one classifier share
+  /// its fitted model: against an unchanged database the second session's
+  /// retrieval is a version-check no-op instead of a full refit. Not for
+  /// concurrent sessions — the lazy refit mutates shared state.
+  std::shared_ptr<harmony::Classifier> classifier;
   /// Per-session step budget: maximum configurations handed out over the
   /// session's lifetime; a FETCH past the budget gets a clean ERROR
   /// (admission control for the serving front end). 0 = unlimited.
@@ -120,6 +130,10 @@ class ServerSession {
     const Configuration* config = nullptr;  ///< kConfig: measure this
     const SimplexResult* result = nullptr;  ///< kDone: final result
     const char* error = nullptr;            ///< kError: static message
+    /// kDone: cumulative full/incremental refit counts of the analyzer the
+    /// session retrieves through (serving observability, echoed on DONE).
+    std::uint32_t full_refits = 0;
+    std::uint32_t incremental_refits = 0;
   };
   /// FETCH: the next configuration, the final result, or a protocol error.
   /// Returned pointers stay valid until the next step/handle call.
@@ -202,6 +216,15 @@ class HarmonyClient {
   [[nodiscard]] const std::string& stop_reason() const noexcept {
     return stop_reason_;
   }
+  /// Server-side classifier refit counts from an extended DONE (0/0 when
+  /// the server sent a shorter form): how often warm-start retrieval paid a
+  /// full model rebuild vs an incremental delta update.
+  [[nodiscard]] std::uint32_t server_full_refits() const noexcept {
+    return full_refits_;
+  }
+  [[nodiscard]] std::uint32_t server_incremental_refits() const noexcept {
+    return incremental_refits_;
+  }
 
  private:
   Message call(const Message& m);
@@ -211,6 +234,8 @@ class HarmonyClient {
   double best_perf_ = 0.0;
   int evaluations_ = 0;
   std::string stop_reason_;
+  std::uint32_t full_refits_ = 0;
+  std::uint32_t incremental_refits_ = 0;
   bool done_ = false;
 };
 

@@ -83,7 +83,8 @@ void Connection::execute_pending() {
           append_config_frame(out_, *step.config);
           break;
         case proto::ServerSession::FetchStep::Kind::kDone:
-          append_done_frame(out_, *step.result);
+          append_done_frame(out_, *step.result, step.full_refits,
+                            step.incremental_refits);
           break;
         case proto::ServerSession::FetchStep::Kind::kError:
           queue_reply(proto::error(step.error));

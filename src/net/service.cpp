@@ -206,8 +206,13 @@ void TuningService::dispatch_batch(const std::vector<Slot*>& batch) {
   if (!exec.empty()) {
     stats_.steps += exec.size();
     // One classifier fit for the whole batch; retrievals inside
-    // execute_pending() are then pure reads.
+    // execute_pending() are then pure reads. Steady-state ingest extends
+    // the database's append chain, so this is usually an O(batch)
+    // incremental update, not an O(db) rebuild — the stats record which.
     analyzer_.ensure_fitted(db_);
+    const auto& rs = analyzer_.refit_stats();
+    stats_.full_refits = rs.full;
+    stats_.incremental_refits = rs.incremental;
     parallel_for(exec.size(),
                  [&](std::size_t i) { exec[i]->conn.execute_pending(); });
     // All shared-state writes happen here, after the barrier, as one group

@@ -79,6 +79,8 @@ struct ServiceStats {
   std::uint64_t records_ingested = 0;    ///< experience records group-committed
   std::uint64_t rejected_sessions = 0;   ///< HELLOs refused by tenant budget
   std::uint64_t wire_errors = 0;         ///< connections dropped for framing violations
+  std::uint64_t full_refits = 0;         ///< classifier rebuilt from scratch
+  std::uint64_t incremental_refits = 0;  ///< classifier absorbed an append delta
 };
 
 class TuningService {

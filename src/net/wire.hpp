@@ -23,7 +23,8 @@
 //    [kReport][f64 perf]                       REPORT
 //    [kOk]                                     OK (no arguments)
 //    [kConfig][u16 n][n x f64]                 CONFIG
-//    [kDone][u16 n][n x f64][f64 perf][u32 evals][u16 rlen][rbytes]  DONE
+//    [kDone][u16 n][n x f64][f64 perf][u32 evals][u16 rlen][rbytes]
+//           [u32 full-refits][u32 incr-refits]  DONE
 //
 // Both framings are value-equivalent: numbers cross the text wire through
 // format_double/parse_double, and the binary codec converts through the
@@ -65,7 +66,11 @@ void append_report_frame(std::vector<std::uint8_t>& out, double performance);
 void append_ok_frame(std::vector<std::uint8_t>& out);
 void append_config_frame(std::vector<std::uint8_t>& out,
                          const Configuration& config);
-void append_done_frame(std::vector<std::uint8_t>& out, const SimplexResult& r);
+/// The refit counts mirror the text DONE's trailing fields (serving
+/// observability); both framings surface them as two extra arguments.
+void append_done_frame(std::vector<std::uint8_t>& out, const SimplexResult& r,
+                       std::uint32_t full_refits = 0,
+                       std::uint32_t incremental_refits = 0);
 /// Any message: FETCH/REPORT/argument-free OK take their hot shapes, the
 /// rest goes generic. Throws harmony::Error on an unknown verb.
 void append_frame(std::vector<std::uint8_t>& out, const proto::Message& m);

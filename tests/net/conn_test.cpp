@@ -120,7 +120,7 @@ TEST(Connection, TextAndBinarySessionsProduceIdenticalResults) {
   // same format_double/parse_double pair at the boundary, so the two
   // framings carry bit-identical values, extended DONE fields included.
   EXPECT_EQ(text_done, binary_done);
-  ASSERT_GE(text_done.size(), 6u);
+  ASSERT_EQ(text_done.size(), 8u);  // evals, stop reason, refit counts
   EXPECT_EQ(text_done[0], "2");
 }
 

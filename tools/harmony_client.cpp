@@ -20,10 +20,14 @@
 //
 // Output: one line
 //   acked=<done sessions> rejected=<budget ERRORs> aborted=<drain EOFs>
-//   steps=<reports> p50=<us> p99=<us>
+//   steps=<reports> p50=<us> p99=<us> refits_full=<n> refits_incr=<n>
+// The refit counts are the server-side classifier maintenance totals
+// scraped from the last DONE each thread saw (the daemon reports running
+// totals, so the maximum across threads is the freshest snapshot).
 // Sessions cut off by a server drain (EOF mid-session) count as aborted,
 // not errors: the e2e smoke kills the daemon mid-load on purpose. Exits 0
 // unless the daemon was unreachable at start.
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -115,6 +119,8 @@ struct ThreadResult {
   std::uint64_t rejected = 0;  ///< sessions refused by an admission ERROR
   std::uint64_t aborted = 0;   ///< sessions cut off (daemon drain)
   std::uint64_t steps = 0;     ///< REPORTs delivered
+  std::uint32_t full_refits = 0;         ///< server totals from the last DONE
+  std::uint32_t incremental_refits = 0;  ///< (running counters; keep the max)
   Histogram latency{0.0, 1e6, 2000};  ///< per-step latency, microseconds
 };
 
@@ -147,6 +153,11 @@ void run_client(const CliOptions& cli, const std::string& rsl,
         ++result.steps;
       }
       ++result.acked;  // DONE received and counted before BYE is attempted
+      // Running server totals ride on each DONE; the latest is the largest.
+      result.full_refits =
+          std::max(result.full_refits, client.server_full_refits());
+      result.incremental_refits = std::max(result.incremental_refits,
+                                           client.server_incremental_refits());
       try {
         client.close();
       } catch (const Error&) {
@@ -188,6 +199,9 @@ int main(int argc, char** argv) {
       total.rejected += r.rejected;
       total.aborted += r.aborted;
       total.steps += r.steps;
+      total.full_refits = std::max(total.full_refits, r.full_refits);
+      total.incremental_refits =
+          std::max(total.incremental_refits, r.incremental_refits);
       total.latency.merge(r.latency);
     }
     if (!cli.quiet) {
@@ -197,11 +211,13 @@ int main(int argc, char** argv) {
           total.latency.total() > 0 ? total.latency.percentile(99.0) : 0.0;
       std::printf(
           "acked=%llu rejected=%llu aborted=%llu steps=%llu "
-          "p50=%.0fus p99=%.0fus\n",
+          "p50=%.0fus p99=%.0fus refits_full=%u refits_incr=%u\n",
           static_cast<unsigned long long>(total.acked),
           static_cast<unsigned long long>(total.rejected),
           static_cast<unsigned long long>(total.aborted),
-          static_cast<unsigned long long>(total.steps), p50, p99);
+          static_cast<unsigned long long>(total.steps), p50, p99,
+          static_cast<unsigned>(total.full_refits),
+          static_cast<unsigned>(total.incremental_refits));
     }
     return 0;
   } catch (const harmony::Error& e) {

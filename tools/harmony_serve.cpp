@@ -178,7 +178,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "served: %llu connections, %llu sessions, %llu steps in "
                    "%llu batches (%.1f steps/batch), %llu records ingested, "
-                   "%llu rejected, %llu wire errors\n",
+                   "%llu rejected, %llu wire errors, refits %llu full / "
+                   "%llu incremental\n",
                    static_cast<unsigned long long>(s.accepted),
                    static_cast<unsigned long long>(s.sessions_completed),
                    static_cast<unsigned long long>(s.steps),
@@ -188,7 +189,9 @@ int main(int argc, char** argv) {
                                  : 0.0,
                    static_cast<unsigned long long>(s.records_ingested),
                    static_cast<unsigned long long>(s.rejected_sessions),
-                   static_cast<unsigned long long>(s.wire_errors));
+                   static_cast<unsigned long long>(s.wire_errors),
+                   static_cast<unsigned long long>(s.full_refits),
+                   static_cast<unsigned long long>(s.incremental_refits));
     }
     return 0;
   } catch (const harmony::Error& e) {

@@ -28,7 +28,8 @@ fig7_history_distance fig8_sensitivity_web fig9_topn_web \
 table1_search_refinement table2_prior_histories appb_param_restriction \
 headline_combined ablation_estimator ablation_baselines \
 ablation_classifiers ablation_factorial websim_events_per_sec \
-history_scale persistence_throughput tuning_throughput serving_throughput"
+history_scale persistence_throughput tuning_throughput incremental_fit \
+serving_throughput"
 
 JSON="$OUT_DIR/BENCH_timings.json"
 threads=${HARMONY_THREADS:-auto}
@@ -73,8 +74,9 @@ for b in $BENCHES; do
   # metrics on FAULT_TOLERANCE_<key> <value> lines, SIMD kernel speedups on
   # SIMD_<key> <value> lines, DES queue-backend comparisons on
   # DES_<key> <value> lines and durable-store metrics on PERSIST_<key>
-  # <value> lines and serving-front-end metrics on SERVE_<key> <value>
-  # lines; fold any such markers into the bench's JSON entry.
+  # <value> lines, serving-front-end metrics on SERVE_<key> <value>
+  # lines and delta-aware refit metrics on INCFIT_<key> <value> lines;
+  # fold any such markers into the bench's JSON entry.
   rates=$(awk '/^EVENTS_PER_SEC / {
                  if (n++) printf ", ";
                  printf "\"%s\": %s", $2, $3
@@ -110,6 +112,11 @@ for b in $BENCHES; do
                  if (n++) printf ", ";
                  printf "\"%s\": %s", key, $2
                }' "$OUT_DIR/$b.log")
+  incfit=$(awk '/^INCFIT_/ {
+                  key = substr($1, length("INCFIT_") + 1);
+                  if (n++) printf ", ";
+                  printf "\"%s\": %s", key, $2
+                }' "$OUT_DIR/$b.log")
   extra=""
   [ -n "$rates" ] && extra="$extra, \"events_per_sec\": {$rates}"
   [ -n "$spec" ] && extra="$extra, \"speculation\": {$spec}"
@@ -118,6 +125,7 @@ for b in $BENCHES; do
   [ -n "$des" ] && extra="$extra, \"des\": {$des}"
   [ -n "$persist" ] && extra="$extra, \"persistence\": {$persist}"
   [ -n "$serve" ] && extra="$extra, \"serving\": {$serve}"
+  [ -n "$incfit" ] && extra="$extra, \"incremental_fit\": {$incfit}"
   printf '    "%s": {"seconds": %s, "status": "%s"%s}' \
     "$b" "$secs" "$status" "$extra" >> "$JSON"
 done
