@@ -1,0 +1,207 @@
+// Strategy tournament: every registered search kernel (simplex, ils,
+// evolutionary) races the random and Powell baselines on the paper's web
+// simulator surfaces (Fig. 8's shopping/ordering cluster workloads) and on
+// synthetic families (rule-model e-commerce, Rastrigin, staircase), all
+// under one measurement budget.
+//
+// Report-only: the table and TOURNAMENT_* markers record best-found
+// performance and convergence time per (surface, strategy) cell; no cell
+// gates the exit code. Expected shape: the simplex wins smooth surfaces,
+// while a restart-based kernel (ils/evolutionary) overtakes it on at least
+// one rugged/multi-modal surface.
+//
+// HARMONY_TOURNAMENT_SCALE in (0, 1] shrinks the budget and the simulated
+// seconds per websim measurement for CI smoke runs (default 1 = full).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/search_kernels.hpp"
+#include "core/tuner.hpp"
+#include "synth/ecommerce.hpp"
+#include "synth/landscapes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "websim/cluster.hpp"
+
+using namespace harmony;
+
+namespace {
+
+double tournament_scale() {
+  const char* env = std::getenv("HARMONY_TOURNAMENT_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return (s > 0.0 && s <= 1.0) ? s : 1.0;
+}
+
+/// One surface: a parameter space plus a factory for a fresh objective
+/// (each tournament cell owns its objective, so cells can fan out).
+struct Surface {
+  std::string name;
+  ParameterSpace space;
+  std::function<std::unique_ptr<Objective>()> make;
+};
+
+std::vector<Surface> build_surfaces(double scale) {
+  std::vector<Surface> surfaces;
+
+  // Fig. 8's web cluster surfaces: the DES-backed objective, one seed per
+  // surface so every strategy races on the identical landscape.
+  for (const auto& [label, mix] :
+       {std::pair<std::string, websim::WorkloadMix>{
+            "web_shopping", websim::WorkloadMix::shopping()},
+        {"web_ordering", websim::WorkloadMix::ordering()}}) {
+    websim::SimOptions sim;
+    sim.mix = mix;
+    sim.warmup_s = std::max(0.5, 2.0 * scale);
+    sim.measure_s = std::max(1.0, 8.0 * scale);
+    sim.seed = label == "web_shopping" ? 100 : 200;
+    surfaces.push_back({label, websim::ClusterConfig::parameter_space(),
+                        [sim]() -> std::unique_ptr<Objective> {
+                          return std::make_unique<websim::ClusterObjective>(
+                              sim);
+                        }});
+  }
+
+  // Synthetic rule-model e-commerce surface.
+  {
+    auto system = std::make_shared<synth::SyntheticSystem>();
+    surfaces.push_back(
+        {"synth_ecommerce", system->space(),
+         [system]() -> std::unique_ptr<Objective> {
+           return std::make_unique<synth::SyntheticObjective>(
+               *system, system->shopping_workload());
+         }});
+  }
+
+  // Analytic families: Rastrigin (rugged, many local optima — restart
+  // kernels should shine) and the staircase (piecewise-constant plateaus).
+  // Shifted so the optimum sits off the space's default configuration
+  // (and off-grid): every kernel has to actually search the rugged bowl.
+  surfaces.push_back(
+      {"rastrigin", synth::symmetric_space(4, 5.0, 0.5),
+       []() -> std::unique_ptr<Objective> {
+         return std::make_unique<FunctionObjective>(
+             [](const Configuration& c) {
+               double v = -10.0 * static_cast<double>(c.size());
+               for (const double x : c) {
+                 const double d = x - 1.3;
+                 v -= d * d - 10.0 * std::cos(2.0 * std::numbers::pi * d);
+               }
+               return v;
+             },
+             "rastrigin");
+       }});
+  surfaces.push_back({"staircase", synth::symmetric_space(3, 5.0, 0.5),
+                      []() -> std::unique_ptr<Objective> {
+                        return std::make_unique<FunctionObjective>(
+                            synth::staircase_objective(1.5, 6.0, 8));
+                      }});
+  return surfaces;
+}
+
+struct Cell {
+  double best = 0.0;
+  int convergence = 0;
+  int evaluations = 0;
+  std::string stop_reason;
+};
+
+Cell run_cell(const Surface& surface, const std::string& strategy,
+              int budget) {
+  const auto obj = surface.make();
+  TuningResult r;
+  if (strategy == "random") {
+    r = random_search(surface.space, *obj, budget, Rng(2004));
+  } else if (strategy == "powell") {
+    PowellOptions popts;
+    popts.max_evaluations = budget;
+    r = powell_search(surface.space, *obj, surface.space.defaults(), popts);
+  } else {
+    TuningOptions opts;
+    opts.search.kernel = strategy;
+    opts.simplex.max_evaluations = budget;
+    TuningSession session(surface.space, *obj, opts);
+    r = session.run();
+  }
+  const TraceMetrics m = analyze_trace(r.trace);
+  return {r.best_performance, m.convergence_iteration, r.evaluations,
+          r.stop_reason};
+}
+
+}  // namespace
+
+int main() {
+  const double scale = tournament_scale();
+  const int budget = std::max(20, static_cast<int>(80 * scale));
+
+  bench::section("Strategy tournament: search kernels vs baselines");
+  bench::expectation(
+      "the simplex wins smooth surfaces; a restart-based kernel (ils or "
+      "evolutionary) finds a better configuration on at least one "
+      "rugged/multi-modal surface (report-only)");
+  std::printf("budget: %d evaluations per cell (scale %.2f)\n\n", budget,
+              scale);
+
+  const std::vector<Surface> surfaces = build_surfaces(scale);
+  std::vector<std::string> strategies = search_kernel_names();
+  strategies.push_back("random");
+  strategies.push_back("powell");
+
+  // Cells are pure functions of their (surface, strategy) index pair, so
+  // the tournament fans out across the pool; results land in index order.
+  const std::size_t cells = surfaces.size() * strategies.size();
+  const auto results =
+      bench::run_repeats(cells, [&](std::size_t i) {
+        const Surface& surface = surfaces[i / strategies.size()];
+        const std::string& strategy = strategies[i % strategies.size()];
+        return run_cell(surface, strategy, budget);
+      });
+
+  Table t({"surface", "strategy", "best found", "convergence (iters)",
+           "evaluations", "stop reason"});
+  std::map<std::string, std::map<std::string, double>> best;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const Surface& surface = surfaces[i / strategies.size()];
+    const std::string& strategy = strategies[i % strategies.size()];
+    const Cell& c = results[i];
+    best[surface.name][strategy] = c.best;
+    t.add_row({surface.name, strategy, Table::num(c.best, 3),
+               std::to_string(c.convergence), std::to_string(c.evaluations),
+               c.stop_reason});
+    std::printf("TOURNAMENT_%s_%s_best %.17g\n", surface.name.c_str(),
+                strategy.c_str(), c.best);
+    std::printf("TOURNAMENT_%s_%s_convergence %d\n", surface.name.c_str(),
+                strategy.c_str(), c.convergence);
+  }
+  std::printf("\n");
+  bench::print_table(t, "tournament");
+
+  // Report-only findings: who wins where.
+  std::vector<std::string> upsets;
+  for (const auto& [surface, row] : best) {
+    const double simplex = row.at("simplex");
+    for (const std::string& challenger : {"ils", "evolutionary"}) {
+      if (row.at(challenger) > simplex) {
+        upsets.push_back(surface + ":" + challenger);
+      }
+    }
+  }
+  std::printf("TOURNAMENT_upsets %zu\n", upsets.size());
+  std::string detail;
+  for (const std::string& u : upsets) detail += " " + u;
+  bench::finding(!upsets.empty(),
+                 "a non-simplex kernel beats the simplex on best-found for "
+                 "some surface (report-only):" + detail);
+  return 0;
+}

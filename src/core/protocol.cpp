@@ -66,6 +66,30 @@ Message parse_message(const std::string& line) {
   return m;
 }
 
+HelloPayload parse_hello_payload(const std::string& payload) {
+  HelloPayload out;
+  const std::vector<std::string> tokens = split_ws(trim(payload));
+  HARMONY_REQUIRE(!tokens.empty(), "HELLO needs a client name");
+  out.name = tokens[0];
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const std::size_t eq = tok.find('=');
+    HARMONY_REQUIRE(eq != std::string::npos && eq > 0,
+                    "HELLO option must be key=value: '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "strategy") {
+      HARMONY_REQUIRE(is_search_kernel(value),
+                      "unknown strategy '" + value +
+                          "' (expected simplex, ils or evolutionary)");
+      out.strategy = value;
+    }
+    // Unknown keys are ignored: older servers reject the whole line anyway,
+    // newer ones must tolerate options they have not learned yet.
+  }
+  return out;
+}
+
 Message ok() { return {"OK", {}}; }
 
 Message error(const std::string& what) {
@@ -124,9 +148,17 @@ Message ServerSession::handle_hello(const Message& m) {
   if (m.args.size() != 1 || m.args[0].empty()) {
     return error("HELLO needs a client name");
   }
-  client_name_ = m.args[0];
+  const HelloPayload hello = parse_hello_payload(m.args[0]);
+  client_name_ = hello.name;
+  requested_strategy_ = hello.strategy;
   state_ = State::kAwaitBundles;
   return ok();
+}
+
+SearchSpec ServerSession::session_search_spec() const {
+  SearchSpec spec = opts_.tuning.search;
+  if (!requested_strategy_.empty()) spec.kernel = requested_strategy_;
+  return spec;
 }
 
 Message ServerSession::handle_bundles(const Message& m) {
@@ -134,9 +166,10 @@ Message ServerSession::handle_bundles(const Message& m) {
   ParameterSpace space = parse_rsl(m.args[0]);
   if (space.empty()) return error("no bundles declared");
   space_ = std::move(space);
-  kernel_ = std::make_unique<StepwiseSimplex>(
-      space_, opts_.tuning.simplex,
+  kernel_ = make_search_kernel(
+      session_search_spec(), space_, opts_.tuning.simplex,
       opts_.tuning.strategy->vertices(space_, space_.defaults()));
+  kernel_name_ = kernel_->name();
   state_ = State::kTuning;
   Message reply = ok();
   reply.args.push_back(std::to_string(space_.size()));
@@ -183,9 +216,16 @@ Message ServerSession::handle_signature(const Message& m) {
           }
         }
       }
-      kernel_ = std::make_unique<StepwiseSimplex>(
-          space_, opts_.tuning.simplex, std::move(vertices),
-          std::move(values));
+      // Non-censored history feeds kernels that can model-seed from it.
+      std::vector<std::pair<Configuration, double>> history;
+      history.reserve(exp->measurements.size());
+      for (const Measurement& pm : exp->measurements) {
+        if (!pm.censored) history.emplace_back(pm.config, pm.performance);
+      }
+      kernel_ = make_search_kernel(session_search_spec(), space_,
+                                   opts_.tuning.simplex, std::move(vertices),
+                                   std::move(values), history);
+      kernel_name_ = kernel_->name();
       reply.args.push_back("experience");
       reply.args.push_back(exp->label);
     }
@@ -214,6 +254,7 @@ ServerSession::FetchStep ServerSession::step_fetch() {
     const auto& rs = analyzer.refit_stats();
     step.full_refits = static_cast<std::uint32_t>(rs.full);
     step.incremental_refits = static_cast<std::uint32_t>(rs.incremental);
+    step.strategy = &kernel_name_;
     return step;
   }
   if (opts_.max_steps > 0 && steps_issued_ >= opts_.max_steps) {
@@ -234,7 +275,7 @@ const char* ServerSession::step_report(double performance) {
   }
   if (!outstanding_.has_value()) return "no configuration outstanding";
   trace_.push_back({*outstanding_, performance, /*estimated=*/false});
-  kernel_->submit(performance);
+  kernel_->report(performance);
   outstanding_.reset();
   return nullptr;
 }
@@ -252,6 +293,7 @@ Message ServerSession::handle_fetch() {
     reply.args.push_back(r.stop_reason);
     reply.args.push_back(std::to_string(step.full_refits));
     reply.args.push_back(std::to_string(step.incremental_refits));
+    reply.args.push_back(*step.strategy);
     return reply;
   }
   Message reply{"CONFIG", {}};
@@ -312,8 +354,11 @@ Message HarmonyClient::call(const Message& m) {
   return response;
 }
 
-void HarmonyClient::open(const std::string& name, const std::string& rsl) {
-  (void)call({"HELLO", {name}});
+void HarmonyClient::open(const std::string& name, const std::string& rsl,
+                         const std::string& strategy) {
+  std::string hello = name;
+  if (!strategy.empty()) hello += " strategy=" + strategy;
+  (void)call({"HELLO", {hello}});
   // Collapse the RSL to one line for the wire.
   std::string flat;
   for (char c : rsl) flat += (c == '\n' || c == '\t') ? ' ' : c;
@@ -367,6 +412,9 @@ std::optional<Configuration> HarmonyClient::fetch() {
           static_cast<std::uint32_t>(parse_long(reply.args[un + 4]));
       incremental_refits_ =
           static_cast<std::uint32_t>(parse_long(reply.args[un + 5]));
+    }
+    if (reply.args.size() >= un + 7) {
+      server_strategy_ = reply.args[un + 6];
     }
     done_ = true;
     return std::nullopt;

@@ -10,7 +10,12 @@
 // examples run it in-process while a deployment would put it on a socket.
 //
 // Exchange:
-//   C: HELLO <client-name>
+//   C: HELLO <client-name> [strategy=<kernel>]
+//                                         (the optional strategy token picks
+//                                          the session's search kernel —
+//                                          simplex/ils/evolutionary; servers
+//                                          that predate it reject the line,
+//                                          old clients simply never send it)
 //   S: OK
 //   C: BUNDLES <rsl-text on one line>
 //   S: OK <n-parameters>
@@ -19,12 +24,15 @@
 //   C: FETCH
 //   S: CONFIG <n> <v1> ... <vn>           (measure this configuration)
 //      | DONE <n> <v1> ... <vn> <perf> [<evals> <stop-reason>
-//                                       [<full-refits> <incr-refits>]]
+//                                       [<full-refits> <incr-refits>
+//                                       [<strategy>]]]
 //                                         (tuning finished; best config —
 //                                          clients must tolerate trailing
 //                                          fields after <perf>; the refit
 //                                          counts expose how the server's
-//                                          classifier absorbed ingest)
+//                                          classifier absorbed ingest, the
+//                                          strategy tag names the kernel
+//                                          that produced the result)
 //   C: REPORT <performance>
 //   S: OK
 //   C: BYE
@@ -75,6 +83,20 @@ struct Message {
 /// the text so exception messages always serialize cleanly.
 [[nodiscard]] Message ok();
 [[nodiscard]] Message error(const std::string& what);
+
+/// Parsed HELLO payload: the client name plus the optional session options
+/// carried as `key=value` tokens after it (today: strategy=<kernel>).
+/// Shared between the session state machine and the serving front end's
+/// admission path, which needs the tenant name before a session exists.
+struct HelloPayload {
+  std::string name;      ///< tenant/client name (first token)
+  std::string strategy;  ///< requested kernel; empty = server default
+};
+/// Splits a HELLO rest-of-line payload. Unknown `key=value` tokens are
+/// ignored (forward compatibility). Throws harmony::Error on an empty name,
+/// a non-key=value extra token, or an unregistered strategy name, so
+/// callers surface a clean ERROR reply.
+[[nodiscard]] HelloPayload parse_hello_payload(const std::string& payload);
 
 struct SessionOptions {
   TuningOptions tuning;
@@ -134,6 +156,9 @@ class ServerSession {
     /// session retrieves through (serving observability, echoed on DONE).
     std::uint32_t full_refits = 0;
     std::uint32_t incremental_refits = 0;
+    /// kDone: name of the search kernel that ran the session (the DONE
+    /// strategy tag). Points at session state, valid like `result`.
+    const std::string* strategy = nullptr;
   };
   /// FETCH: the next configuration, the final result, or a protocol error.
   /// Returned pointers stay valid until the next step/handle call.
@@ -167,14 +192,21 @@ class ServerSession {
   Message handle_bye();
   void store_experience();
 
+  /// Kernel spec the session's searches run with: the server default from
+  /// SessionOptions::tuning.search, with the kernel name overridden when the
+  /// client's HELLO asked for one.
+  [[nodiscard]] SearchSpec session_search_spec() const;
+
   SessionOptions opts_;
   HistoryDatabase* db_;
   DataAnalyzer analyzer_;
   State state_ = State::kAwaitHello;
   std::string client_name_;
+  std::string requested_strategy_;  ///< from HELLO; empty = server default
+  std::string kernel_name_;         ///< name of the running kernel (DONE tag)
   ParameterSpace space_;
   WorkloadSignature signature_;
-  std::unique_ptr<StepwiseSimplex> kernel_;
+  std::unique_ptr<SearchStrategy> kernel_;
   std::optional<Configuration> outstanding_;
   std::vector<Measurement> trace_;
   bool experience_stored_ = false;
@@ -190,8 +222,11 @@ class HarmonyClient {
  public:
   explicit HarmonyClient(Transport transport);
 
-  /// HELLO + BUNDLES; throws harmony::Error when the server rejects.
-  void open(const std::string& name, const std::string& rsl);
+  /// HELLO + BUNDLES; throws harmony::Error when the server rejects. A
+  /// non-empty `strategy` asks the server to run that search kernel for the
+  /// session (sent as the HELLO strategy token).
+  void open(const std::string& name, const std::string& rsl,
+            const std::string& strategy = "");
 
   /// Optional workload characteristics; returns the experience label the
   /// server warm-started from, if any.
@@ -225,6 +260,11 @@ class HarmonyClient {
   [[nodiscard]] std::uint32_t server_incremental_refits() const noexcept {
     return incremental_refits_;
   }
+  /// Search-kernel name from an extended DONE's strategy tag (empty when
+  /// the server sent a shorter form).
+  [[nodiscard]] const std::string& server_strategy() const noexcept {
+    return server_strategy_;
+  }
 
  private:
   Message call(const Message& m);
@@ -236,6 +276,7 @@ class HarmonyClient {
   std::string stop_reason_;
   std::uint32_t full_refits_ = 0;
   std::uint32_t incremental_refits_ = 0;
+  std::string server_strategy_;
   bool done_ = false;
 };
 

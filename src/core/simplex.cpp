@@ -132,12 +132,6 @@ const Configuration* StepwiseSimplex::peek() {
   return pending_.has_value() ? &*pending_ : nullptr;
 }
 
-std::optional<Configuration> StepwiseSimplex::next() {
-  const Configuration* c = peek();
-  if (c == nullptr) return std::nullopt;
-  return *c;
-}
-
 namespace {
 
 /// Appends `c` unless an equal configuration is already present (the

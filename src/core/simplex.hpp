@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/parameter.hpp"
+#include "core/search.hpp"
 
 namespace harmony {
 
@@ -65,20 +66,18 @@ struct SimplexOptions {
   double censored_threshold = -std::numeric_limits<double>::infinity();
 };
 
-/// Result of one simplex run.
-struct SimplexResult {
-  Configuration best;          ///< best configuration measured
-  double best_value = 0.0;     ///< its performance
-  int evaluations = 0;         ///< live measurements consumed
-  bool converged = false;      ///< simplex met a convergence criterion
-  std::string stop_reason;     ///< "perf-spread", "size", "budget", "stall"
-};
+/// Result of one simplex run — the historical name for the strategy-generic
+/// SearchResult (core/search.hpp), kept for the many existing callers.
+using SimplexResult = SearchResult;
 
-/// Inverted-control Nelder–Mead: call next() for the configuration to
+/// Inverted-control Nelder–Mead: call peek() for the configuration to
 /// measure, run the system with it, then submit() the observed performance.
-/// next() returns nullopt once the search has finished (converged, stalled
-/// or out of budget); result() is then final.
-class StepwiseSimplex {
+/// peek() returns nullptr once the search has finished (converged, stalled
+/// or out of budget); result() is then final. The first — and
+/// bit-identically preserved — implementation of the SearchStrategy
+/// contract; submit() predates the contract's report() and stays as the
+/// primary spelling for direct users.
+class StepwiseSimplex : public SearchStrategy {
  public:
   /// `initial_vertices` are snapped and deduplicated; at least two distinct
   /// vertices must remain or construction throws. `seeded_values` may
@@ -90,14 +89,9 @@ class StepwiseSimplex {
 
   /// The configuration to measure next; nullptr when finished. The pointer
   /// refers to the machine's pending slot — it stays valid (and repeated
-  /// calls return it unchanged) until the next submit(). Zero-copy form of
-  /// next(); the drivers poll this every step.
-  [[nodiscard]] const Configuration* peek();
-
-  /// The configuration to measure next; nullopt when finished. Repeated
-  /// calls without an intervening submit() return the same configuration.
-  /// Copying shim over peek(), kept for existing callers.
-  [[nodiscard]] std::optional<Configuration> next();
+  /// calls return it unchanged) until the next submit(). The drivers poll
+  /// this every step. (The old copying next() shim is gone; callers peek.)
+  [[nodiscard]] const Configuration* peek() override;
 
   /// Every configuration the state machine may request before its next
   /// planning decision, from the current state: the pending configuration
@@ -110,15 +104,20 @@ class StepwiseSimplex {
   /// measurements, and a request outside the frontier (possible only after
   /// the next planning decision) is simply a cache miss — never an error.
   /// Empty when finished.
-  [[nodiscard]] std::vector<Configuration> frontier();
+  [[nodiscard]] std::vector<Configuration> frontier() override;
 
   /// Reports the measured performance of the configuration last returned by
-  /// peek()/next(). Throws when no measurement is outstanding.
+  /// peek(). Throws when no measurement is outstanding.
   void submit(double performance);
+  /// SearchStrategy spelling of submit().
+  void report(double performance) override { submit(performance); }
 
-  [[nodiscard]] bool finished() const noexcept { return state_ == State::kDone; }
-  [[nodiscard]] const SimplexResult& result() const;
-  [[nodiscard]] int evaluations() const noexcept { return evals_; }
+  [[nodiscard]] bool finished() const noexcept override {
+    return state_ == State::kDone;
+  }
+  [[nodiscard]] const SimplexResult& result() const override;
+  [[nodiscard]] int evaluations() const noexcept override { return evals_; }
+  [[nodiscard]] std::string name() const override { return "simplex"; }
 
  private:
   enum class State {

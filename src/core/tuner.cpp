@@ -109,10 +109,15 @@ TuningResult TuningSession::run() {
     return run_fault_tolerant(std::move(vertices), std::move(seeded_values));
   }
 
-  SimplexSearch search(space_, opts_.simplex);
-  const SimplexResult sr = search.maximize(
-      [&](const Configuration& c) { return recorder.measure(c); },
-      std::move(vertices), seeded_values);
+  // The serial loop: pull a configuration, measure, push the value back.
+  // For the simplex kernel this is exactly SimplexSearch::maximize and the
+  // trajectory is bit-identical to the pre-interface session.
+  std::unique_ptr<SearchStrategy> kernel =
+      make_kernel(std::move(vertices), std::move(seeded_values));
+  while (const Configuration* c = kernel->peek()) {
+    kernel->report(recorder.measure(*c));
+  }
+  const SearchResult& sr = kernel->result();
 
   TuningResult out;
   out.trace.reserve(recorder.trace().size());
@@ -127,24 +132,39 @@ TuningResult TuningSession::run() {
   return out;
 }
 
+std::unique_ptr<SearchStrategy> TuningSession::make_kernel(
+    std::vector<Configuration> vertices, std::vector<double> seeded_values) {
+  // Prior-run history for kernels that model-seed their starting points;
+  // censored entries are penalties, not observations, so they stay out.
+  std::vector<std::pair<Configuration, double>> history;
+  history.reserve(seed_history_.size());
+  for (const Measurement& m : seed_history_) {
+    if (!m.censored) history.emplace_back(m.config, m.performance);
+  }
+  return make_search_kernel(opts_.search, space_,
+                            effective_simplex_options(opts_),
+                            std::move(vertices), std::move(seeded_values),
+                            history);
+}
+
 TuningResult TuningSession::run_fault_tolerant(
     std::vector<Configuration> vertices, std::vector<double> seeded_values) {
-  // The serial kernel loop of SimplexSearch::maximize, driven through the
-  // fallible path: each step retries per the policy, and an exhausted step
-  // enters the kernel as the censored penalty instead of aborting the run.
-  StepwiseSimplex machine(space_, effective_simplex_options(opts_),
-                          std::move(vertices), std::move(seeded_values));
+  // The serial kernel loop, driven through the fallible path: each step
+  // retries per the policy, and an exhausted step enters the kernel as the
+  // censored penalty instead of aborting the run.
+  std::unique_ptr<SearchStrategy> machine =
+      make_kernel(std::move(vertices), std::move(seeded_values));
   TuningResult out;
   out.trace.reserve(static_cast<std::size_t>(opts_.simplex.max_evaluations));
-  while (const Configuration* c = machine.peek()) {
+  while (const Configuration* c = machine->peek()) {
     const MeasurementOutcome o =
         measure_with_retry(objective_, *c, opts_.retry, out.retry);
     const bool censored = !o.ok();
     const double v = censored ? opts_.retry.censored_value : o.value;
     out.trace.push_back({*c, v, /*estimated=*/false, censored});
-    machine.submit(v);
+    machine->report(v);
   }
-  const SimplexResult& sr = machine.result();
+  const SearchResult& sr = machine->result();
   out.best_config = sr.best;
   out.best_performance = sr.best_value;
   out.evaluations = sr.evaluations;
@@ -155,8 +175,8 @@ TuningResult TuningSession::run_fault_tolerant(
 
 TuningResult TuningSession::run_speculative(
     std::vector<Configuration> vertices, std::vector<double> seeded_values) {
-  StepwiseSimplex machine(space_, effective_simplex_options(opts_),
-                          std::move(vertices), std::move(seeded_values));
+  std::unique_ptr<SearchStrategy> machine =
+      make_kernel(std::move(vertices), std::move(seeded_values));
   ParallelEvaluator evaluator(objective_, opts_.retry);
 
   // Speculation cache: every live measurement lands here keyed by its
@@ -181,13 +201,13 @@ TuningResult TuningSession::run_speculative(
   std::vector<std::uint8_t> censored_flags;
   std::vector<std::uint8_t>* const censored =
       opts_.retry.enabled() ? &censored_flags : nullptr;
-  while (const Configuration* c = machine.peek()) {
+  while (const Configuration* c = machine->peek()) {
     auto it = cache.find(*c);
     if (it == cache.end()) {
       // Miss: measure the whole frontier in one batch. The pending
       // configuration comes first, so it is always covered even after the
       // waste bound truncates the tail.
-      std::vector<Configuration> frontier = machine.frontier();
+      std::vector<Configuration> frontier = machine->frontier();
       to_measure.clear();
       to_measure.reserve(frontier.size());
       for (Configuration& f : frontier) {
@@ -196,8 +216,8 @@ TuningResult TuningSession::run_speculative(
       // The kernel asks for at most budget - evals_ more values; measuring
       // beyond that bound could only ever be waste.
       const std::size_t remaining = budget > static_cast<std::size_t>(
-                                                 machine.evaluations())
-                                        ? budget - machine.evaluations()
+                                                 machine->evaluations())
+                                        ? budget - machine->evaluations()
                                         : 1;
       if (to_measure.size() > remaining) to_measure.resize(remaining);
       values.resize(to_measure.size());
@@ -218,14 +238,14 @@ TuningResult TuningSession::run_speculative(
     const double v = it->second.value;
     out.trace.push_back({*c, v, /*estimated=*/false, it->second.censored});
     ++stats.consumed;
-    machine.submit(v);
+    machine->report(v);
   }
   for (const auto& [config, entry] : cache) {
     if (!entry.consumed) ++stats.wasted;
   }
   out.retry = evaluator.retry_stats();
 
-  const SimplexResult& sr = machine.result();
+  const SearchResult& sr = machine->result();
   out.best_config = sr.best;
   out.best_performance = sr.best_value;
   out.evaluations = sr.evaluations;

@@ -1,6 +1,8 @@
 // TuningSession — the Adaptation Controller of the Harmony server.
 //
-// Drives the simplex kernel against a live Objective, records every
+// Drives a search kernel (the simplex by default; any registered
+// SearchStrategy via TuningOptions::search) against a live Objective,
+// records every
 // exploration (one "iteration" per measured configuration, matching the
 // paper's reporting unit), and supports the paper's improvements:
 //   * pluggable initial-simplex strategy (§4.1),
@@ -16,6 +18,7 @@
 
 #include "core/objective.hpp"
 #include "core/parameter.hpp"
+#include "core/search_kernels.hpp"
 #include "core/simplex.hpp"
 #include "core/strategies.hpp"
 
@@ -35,6 +38,10 @@ struct Measurement {
 
 struct TuningOptions {
   SimplexOptions simplex;
+  /// Which search kernel drives the session ("simplex" by default) plus its
+  /// per-kernel knobs. The shared knobs — budget, censoring threshold — live
+  /// in `simplex` above and apply to every kernel.
+  SearchSpec search;
   /// Strategy used when no warm-start seeds are provided. Defaults to the
   /// paper's improved even-spread refinement; benches switch to
   /// ExtremeCornerStrategy to reproduce the original behaviour.
@@ -127,6 +134,11 @@ class TuningSession {
   [[nodiscard]] TuningResult run_speculative(
       std::vector<Configuration> vertices, std::vector<double> seeded_values);
   [[nodiscard]] TuningResult run_fault_tolerant(
+      std::vector<Configuration> vertices, std::vector<double> seeded_values);
+  /// Builds the configured search kernel over these initial vertices, with
+  /// the retry-aware effective options and the seed history (for kernels
+  /// that can model-seed from prior runs).
+  [[nodiscard]] std::unique_ptr<SearchStrategy> make_kernel(
       std::vector<Configuration> vertices, std::vector<double> seeded_values);
 
   const ParameterSpace& space_;

@@ -84,7 +84,7 @@ void Connection::execute_pending() {
           break;
         case proto::ServerSession::FetchStep::Kind::kDone:
           append_done_frame(out_, *step.result, step.full_refits,
-                            step.incremental_refits);
+                            step.incremental_refits, *step.strategy);
           break;
         case proto::ServerSession::FetchStep::Kind::kError:
           queue_reply(proto::error(step.error));

@@ -186,7 +186,14 @@ void TuningService::dispatch_batch(const std::vector<Slot*>& batch) {
     if (c.admitted()) continue;
     const proto::Message* m = c.pending_message();
     if (m == nullptr || !m->is("HELLO") || m->args.empty()) continue;
-    const std::string& tenant = m->args[0];
+    // The payload may carry options after the name (strategy=...); the
+    // tenant key is the name alone. A malformed payload is admitted as-is
+    // and rejected with a precise ERROR by the session state machine.
+    std::string tenant = m->args[0];
+    try {
+      tenant = proto::parse_hello_payload(m->args[0]).name;
+    } catch (const Error&) {
+    }
     if (opts_.max_tenant_sessions > 0 &&
         tenant_sessions_[tenant] >= opts_.max_tenant_sessions) {
       ++stats_.rejected_sessions;

@@ -172,7 +172,8 @@ void append_config_frame(std::vector<std::uint8_t>& out,
 
 void append_done_frame(std::vector<std::uint8_t>& out, const SimplexResult& r,
                        std::uint32_t full_refits,
-                       std::uint32_t incremental_refits) {
+                       std::uint32_t incremental_refits,
+                       const std::string& strategy) {
   const std::size_t h = begin_frame(out);
   out.push_back(kDone);
   put_u16(out, static_cast<std::uint16_t>(r.best.size()));
@@ -183,6 +184,8 @@ void append_done_frame(std::vector<std::uint8_t>& out, const SimplexResult& r,
   out.insert(out.end(), r.stop_reason.begin(), r.stop_reason.end());
   put_u32(out, full_refits);
   put_u32(out, incremental_refits);
+  put_u16(out, static_cast<std::uint16_t>(strategy.size()));
+  out.insert(out.end(), strategy.begin(), strategy.end());
   end_frame(out, h);
 }
 
@@ -238,7 +241,7 @@ proto::Message decode_frame_payload(const std::uint8_t* p, std::size_t n) {
     case kDone: {
       const std::uint16_t count = c.u16();
       m.verb = "DONE";
-      m.args.reserve(static_cast<std::size_t>(count) + 6);
+      m.args.reserve(static_cast<std::size_t>(count) + 7);
       m.args.push_back(std::to_string(count));
       for (std::uint16_t i = 0; i < count; ++i) {
         m.args.push_back(format_double(c.f64()));
@@ -249,6 +252,8 @@ proto::Message decode_frame_payload(const std::uint8_t* p, std::size_t n) {
       m.args.push_back(c.bytes(rlen));
       m.args.push_back(std::to_string(c.u32()));
       m.args.push_back(std::to_string(c.u32()));
+      const std::uint16_t slen = c.u16();
+      m.args.push_back(c.bytes(slen));
       c.done();
       return m;
     }

@@ -24,7 +24,10 @@
 //    [kOk]                                     OK (no arguments)
 //    [kConfig][u16 n][n x f64]                 CONFIG
 //    [kDone][u16 n][n x f64][f64 perf][u32 evals][u16 rlen][rbytes]
-//           [u32 full-refits][u32 incr-refits]  DONE
+//           [u32 full-refits][u32 incr-refits]
+//           [u16 slen][sbytes]                  DONE (slen/sbytes: the
+//                                               strategy tag — name of the
+//                                               search kernel that ran)
 //
 // Both framings are value-equivalent: numbers cross the text wire through
 // format_double/parse_double, and the binary codec converts through the
@@ -66,11 +69,13 @@ void append_report_frame(std::vector<std::uint8_t>& out, double performance);
 void append_ok_frame(std::vector<std::uint8_t>& out);
 void append_config_frame(std::vector<std::uint8_t>& out,
                          const Configuration& config);
-/// The refit counts mirror the text DONE's trailing fields (serving
-/// observability); both framings surface them as two extra arguments.
+/// The refit counts and the strategy tag mirror the text DONE's trailing
+/// fields (serving observability); both framings surface them as extra
+/// arguments after the stop reason.
 void append_done_frame(std::vector<std::uint8_t>& out, const SimplexResult& r,
                        std::uint32_t full_refits = 0,
-                       std::uint32_t incremental_refits = 0);
+                       std::uint32_t incremental_refits = 0,
+                       const std::string& strategy = "simplex");
 /// Any message: FETCH/REPORT/argument-free OK take their hot shapes, the
 /// rest goes generic. Throws harmony::Error on an unknown verb.
 void append_frame(std::vector<std::uint8_t>& out, const proto::Message& m);

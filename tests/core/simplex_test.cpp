@@ -233,7 +233,7 @@ TEST_P(StepwiseEquivalence, MatchesBlockingSearch) {
       [&](const Configuration& c) { return objective.measure(c); }, verts);
 
   StepwiseSimplex machine(space, opts, verts);
-  while (auto c = machine.next()) {
+  while (const Configuration* c = machine.peek()) {
     machine.submit(objective.measure(*c));
   }
   const SimplexResult& b = machine.result();
@@ -247,16 +247,18 @@ TEST_P(StepwiseEquivalence, MatchesBlockingSearch) {
 INSTANTIATE_TEST_SUITE_P(Dims, StepwiseEquivalence,
                          ::testing::Values(1, 2, 4, 6));
 
-TEST(StepwiseSimplex, NextIsIdempotentAndSubmitGuarded) {
+TEST(StepwiseSimplex, PeekIsIdempotentAndSubmitGuarded) {
   const ParameterSpace space = symmetric_space(2, 5.0, 1.0);
   EvenSpreadStrategy strategy;
   StepwiseSimplex machine(space, SimplexOptions{},
                           strategy.vertices(space, space.defaults()));
   EXPECT_THROW(machine.submit(1.0), Error);  // nothing outstanding
-  const auto c1 = machine.next();
-  const auto c2 = machine.next();
-  ASSERT_TRUE(c1.has_value());
-  EXPECT_EQ(*c1, *c2);  // repeated next() without submit
+  const Configuration* c1 = machine.peek();
+  ASSERT_NE(c1, nullptr);
+  const Configuration snapshot = *c1;
+  const Configuration* c2 = machine.peek();
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(snapshot, *c2);  // repeated peek() without submit
   machine.submit(0.0);
   EXPECT_THROW((void)machine.result(), Error);  // still running
 }
@@ -273,7 +275,7 @@ TEST(StepwiseSimplex, ExploresOnlyFeasibleConfigsInConstrainedSpace) {
   StepwiseSimplex machine(space, SimplexOptions{},
                           strategy.vertices(space, space.defaults()));
   int steps = 0;
-  while (auto c = machine.next()) {
+  while (const Configuration* c = machine.peek()) {
     EXPECT_TRUE(space.feasible(*c));
     EXPECT_LE((*c)[1], 9.0 - (*c)[0] + 1e-9);
     // Reward large B+C to push the search against the constraint boundary.

@@ -177,6 +177,59 @@ TEST_F(SpeculationTest, FrontierMatchesHandComputedCandidates) {
   }
 }
 
+TEST_F(SpeculationTest, GoldenTrajectoryPrefixPinsTheSimplexKernel) {
+  // Hexfloat golden recorded when StepwiseSimplex moved behind the
+  // SearchStrategy interface: the kernel must keep replaying exactly this
+  // step sequence. Two parameters on [0,10] step 1, deterministic
+  // closed-form objective -((x-3.5)^2 + (y-2.5)^2), first 12 steps.
+  const std::string golden =
+      "0x0p+0,0x1p+3,=-0x1.54p+5;"
+      "0x1p+3,0x0p+0,=-0x1.a8p+4;"
+      "0x0p+0,0x0p+0,=-0x1.28p+4;"
+      "0x1p+3,0x0p+0,=-0x1.a8p+4;"
+      "0x1.8p+2,0x0p+0,=-0x1.9p+3;"
+      "0x0p+0,0x0p+0,=-0x1.28p+4;"
+      "0x1p+0,0x0p+0,=-0x1.9p+3;"
+      "0x1.cp+2,0x0p+0,=-0x1.28p+4;"
+      "0x1p+1,0x0p+0,=-0x1.1p+3;"
+      "0x1.cp+2,0x0p+0,=-0x1.28p+4;"
+      "0x1.8p+1,0x0p+0,=-0x1.ap+2;"
+      "0x0p+0,0x0p+0,=-0x1.28p+4;";
+  ParameterSpace space({{"x", 0, 10, 1}, {"y", 0, 10, 1}});
+  StepwiseSimplex machine(space, SimplexOptions{}, {{0, 8}, {8, 0}, {0, 0}});
+  std::vector<Measurement> trace;
+  while (const Configuration* c = machine.peek()) {
+    const double x = (*c)[0];
+    const double y = (*c)[1];
+    Measurement m;
+    m.config = *c;
+    m.performance = -((x - 3.5) * (x - 3.5) + (y - 2.5) * (y - 2.5));
+    machine.submit(m.performance);
+    trace.push_back(std::move(m));
+    if (trace.size() >= 12) break;
+  }
+  EXPECT_EQ(trace_hex(trace), golden);
+}
+
+TEST_F(SpeculationTest, GoldenEndpointPinsTheDefaultSessionRun) {
+  // Endpoint golden for a full default serial run on the synthetic
+  // system (budget 120): the whole 120-step trajectory funnels into this
+  // exact best configuration and hexfloat best value, so any divergence
+  // anywhere along the run trips it.
+  const TuningResult r =
+      run_tuning(false, 1, std::make_shared<EvenSpreadStrategy>());
+  EXPECT_EQ(r.evaluations, 120);
+  EXPECT_EQ(r.stop_reason, "budget");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", r.best_performance);
+  EXPECT_STREQ(buf, "0x1.7bc0172c9d03p+5");
+  const Configuration want = {0x1.ap+3,  0x1.04p+6, 0x1.1p+7, 0x1.4p+8,
+                              0x1.8p+3,  0x1.9p+5,  0x1.7p+7, 0x1.fp+7,
+                              0x1p+3,    0x1.ep+5,  0x1.1p+7, 0x1.28p+8,
+                              0x1p+4,    0x1.ep+5,  0x1.1p+7};
+  EXPECT_EQ(r.best_config, want);
+}
+
 TEST_F(SpeculationTest, FrontierInvariantsHoldAlongAFullRun) {
   synth::SyntheticSystem system;
   synth::SyntheticObjective objective(system, system.shopping_workload());

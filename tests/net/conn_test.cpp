@@ -120,8 +120,10 @@ TEST(Connection, TextAndBinarySessionsProduceIdenticalResults) {
   // same format_double/parse_double pair at the boundary, so the two
   // framings carry bit-identical values, extended DONE fields included.
   EXPECT_EQ(text_done, binary_done);
-  ASSERT_EQ(text_done.size(), 8u);  // evals, stop reason, refit counts
+  // evals, stop reason, refit counts, strategy tag
+  ASSERT_EQ(text_done.size(), 9u);
   EXPECT_EQ(text_done[0], "2");
+  EXPECT_EQ(text_done[8], "simplex");
 }
 
 TEST(Connection, ByeRequestsClose) {

@@ -75,21 +75,23 @@ TEST(WireCodec, HotShapesMatchTextFraming) {
   append_done_frame(bytes, r);
   m = decode_one(bytes);
   EXPECT_EQ(m.verb, "DONE");
-  ASSERT_EQ(m.args.size(), 8u);
+  ASSERT_EQ(m.args.size(), 9u);
   EXPECT_EQ(m.args[0], "2");
   EXPECT_EQ(m.args[3], format_double(-0.25));
   EXPECT_EQ(m.args[4], "42");
   EXPECT_EQ(m.args[5], "perf-spread");
-  // Default refit counts (the appended DONE extension).
+  // Default refit counts and strategy tag (the appended DONE extensions).
   EXPECT_EQ(m.args[6], "0");
   EXPECT_EQ(m.args[7], "0");
+  EXPECT_EQ(m.args[8], "simplex");
 
   bytes.clear();
-  append_done_frame(bytes, r, 3, 17);
+  append_done_frame(bytes, r, 3, 17, "evolutionary");
   m = decode_one(bytes);
-  ASSERT_EQ(m.args.size(), 8u);
+  ASSERT_EQ(m.args.size(), 9u);
   EXPECT_EQ(m.args[6], "3");
   EXPECT_EQ(m.args[7], "17");
+  EXPECT_EQ(m.args[8], "evolutionary");
 }
 
 TEST(WireCodec, TornFramesReassembleByteByByte) {

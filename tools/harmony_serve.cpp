@@ -17,7 +17,10 @@
 //                        recovered on start, group-committed per batch,
 //                        flushed on shutdown
 //   --budget <n>         per-session measurement budget (default 100)
-//   --strategy <name>    initial simplex: even (default) | extreme
+//   --strategy <name>    even (default) | extreme pick the initial simplex;
+//                        simplex | ils | evolutionary pick the default
+//                        search kernel for sessions (a client's HELLO
+//                        strategy=<kernel> token overrides it per session)
 //   --max-sessions <n>   admission: max concurrently open connections;
 //                        beyond it accepts are deferred (default 256)
 //   --max-tenant <n>     per-tenant (HELLO name) concurrent-session budget;
@@ -72,7 +75,9 @@ struct CliOptions {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--address ip] [--port n] [--store prefix]"
-               " [--budget n] [--strategy even|extreme] [--max-sessions n]"
+               " [--budget n]"
+               " [--strategy even|extreme|simplex|ils|evolutionary]"
+               " [--max-sessions n]"
                " [--max-tenant n] [--max-steps n] [--coalesce-us n]"
                " [--batch n] [--serial] [--threads n] [--recorded-values]"
                " [--no-record] [--quiet]\n",
@@ -103,6 +108,8 @@ CliOptions parse_cli(int argc, char** argv) {
       if (name == "extreme") {
         o.service.session.tuning.strategy =
             std::make_shared<ExtremeCornerStrategy>();
+      } else if (is_search_kernel(name)) {
+        o.service.session.tuning.search.kernel = name;
       } else if (name != "even") {
         std::fprintf(stderr, "%s: unknown strategy: %s\n", argv[0],
                      name.c_str());

@@ -13,7 +13,13 @@
 // Options:
 //   --rsl <file>         RSL parameter specification (required)
 //   --budget <n>         measurement budget (default 100)
-//   --strategy <name>    initial simplex: even (default) | extreme
+//   --strategy <name>    even (default) | extreme pick the initial simplex
+//                        of the Nelder-Mead kernel; simplex | ils |
+//                        evolutionary pick the search kernel itself
+//                        (ils = ParamILS-style iterated local search,
+//                        evolutionary = tournament/crossover GA over the
+//                        grid). Kernel names also work with --connect: the
+//                        choice rides the HELLO line to the daemon
 //   --history <file>     load/store experience database at this path
 //                        (text format, parsed in full at startup)
 //   --store <prefix>     durable experience store at <prefix>.log/.snap:
@@ -36,10 +42,11 @@
 //   --quiet              only print the final configuration line
 //   --connect <h:p>      client mode: drive a running harmony_serve daemon
 //                        over TCP instead of tuning in-process. Commands
-//                        still run locally; the search, budget, strategy
-//                        and experience live on the server, so --budget,
-//                        --strategy, --history, --store, --threads,
-//                        --retries are rejected in this mode
+//                        still run locally; the search, budget and
+//                        experience live on the server, so --budget,
+//                        --history, --store, --threads, --retries are
+//                        rejected in this mode (--strategy only with a
+//                        kernel name, which is forwarded to the server)
 //   --binary             with --connect: use the binary wire framing
 #include <sys/wait.h>
 
@@ -88,7 +95,8 @@ struct CliOptions {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --rsl <file> [--budget n] [--strategy even|extreme]"
+               "usage: %s --rsl <file> [--budget n]"
+               " [--strategy even|extreme|simplex|ils|evolutionary]"
                " [--history db | --store prefix] [--signature v,...]"
                " [--label name]"
                " [--trace out.csv] [--threads n] [--retries n]"
@@ -162,14 +170,17 @@ CliOptions parse_cli(int argc, char** argv) {
     usage(argv[0]);
   }
   if (!o.connect.empty()) {
-    // Client mode: the search, budget, strategy and experience all live on
-    // the daemon — flags that would configure them here are mistakes.
-    if (budget_set || strategy_set || !o.history_path.empty() ||
-        !o.store_prefix.empty() || o.threads != 1 || o.retries >= 0) {
+    // Client mode: the search, budget and experience all live on the daemon
+    // — flags that would configure them here are mistakes. A --strategy
+    // naming a search kernel is the exception: it rides the HELLO line.
+    if (budget_set || (strategy_set && !is_search_kernel(o.strategy)) ||
+        !o.history_path.empty() || !o.store_prefix.empty() ||
+        o.threads != 1 || o.retries >= 0) {
       std::fprintf(stderr,
                    "%s: --connect delegates the search to the server; "
-                   "--budget/--strategy/--history/--store/--threads/"
-                   "--retries do not apply\n",
+                   "--budget/--history/--store/--threads/--retries do not "
+                   "apply, and --strategy must name a search kernel "
+                   "(simplex|ils|evolutionary)\n",
                    argv[0]);
       usage(argv[0]);
     }
@@ -333,7 +344,10 @@ int main(int argc, char** argv) {
       net::SocketTransport transport(host, port, cli.binary);
       proto::HarmonyClient client(
           [&transport](const proto::Message& m) { return transport(m); });
-      client.open(cli.label, rsl_text.str());
+      // Kernel-name strategies are forwarded on the HELLO line; the default
+      // "even" (an initial-simplex choice, not a kernel) sends nothing.
+      client.open(cli.label, rsl_text.str(),
+                  is_search_kernel(cli.strategy) ? cli.strategy : "");
       const WorkloadSignature signature =
           cli.signature.empty() ? WorkloadSignature{0.0} : cli.signature;
       const std::optional<std::string> warm = client.send_signature(signature);
@@ -391,6 +405,8 @@ int main(int argc, char** argv) {
     }
     if (cli.strategy == "extreme") {
       sopts.tuning.strategy = std::make_shared<ExtremeCornerStrategy>();
+    } else if (is_search_kernel(cli.strategy)) {
+      sopts.tuning.search.kernel = cli.strategy;
     } else {
       HARMONY_REQUIRE(cli.strategy == "even",
                       "unknown strategy: " + cli.strategy);

@@ -29,7 +29,7 @@ table1_search_refinement table2_prior_histories appb_param_restriction \
 headline_combined ablation_estimator ablation_baselines \
 ablation_classifiers ablation_factorial websim_events_per_sec \
 history_scale persistence_throughput tuning_throughput incremental_fit \
-serving_throughput"
+serving_throughput strategy_tournament"
 
 JSON="$OUT_DIR/BENCH_timings.json"
 threads=${HARMONY_THREADS:-auto}
@@ -70,6 +70,7 @@ for b in $BENCHES; do
   [ $first -eq 1 ] || printf ',\n' >> "$JSON"
   first=0
   # Benches report throughput on EVENTS_PER_SEC <name> <rate> marker lines,
+  # strategy-tournament cells on TOURNAMENT_<key> <value> lines,
   # speculation metrics on SPECULATION_<key> <value> lines, fault-path
   # metrics on FAULT_TOLERANCE_<key> <value> lines, SIMD kernel speedups on
   # SIMD_<key> <value> lines, DES queue-backend comparisons on
@@ -117,6 +118,11 @@ for b in $BENCHES; do
                   if (n++) printf ", ";
                   printf "\"%s\": %s", key, $2
                 }' "$OUT_DIR/$b.log")
+  tourn=$(awk '/^TOURNAMENT_/ {
+                 key = substr($1, length("TOURNAMENT_") + 1);
+                 if (n++) printf ", ";
+                 printf "\"%s\": %s", key, $2
+               }' "$OUT_DIR/$b.log")
   extra=""
   [ -n "$rates" ] && extra="$extra, \"events_per_sec\": {$rates}"
   [ -n "$spec" ] && extra="$extra, \"speculation\": {$spec}"
@@ -126,6 +132,7 @@ for b in $BENCHES; do
   [ -n "$persist" ] && extra="$extra, \"persistence\": {$persist}"
   [ -n "$serve" ] && extra="$extra, \"serving\": {$serve}"
   [ -n "$incfit" ] && extra="$extra, \"incremental_fit\": {$incfit}"
+  [ -n "$tourn" ] && extra="$extra, \"tournament\": {$tourn}"
   printf '    "%s": {"seconds": %s, "status": "%s"%s}' \
     "$b" "$secs" "$status" "$extra" >> "$JSON"
 done

@@ -73,6 +73,31 @@ nohist=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet -- "$DIR/app.sh")
   echo "FAIL: --threads 2 diverged from the serial run";
   echo "  serial: $nohist"; echo "  spec:   $spec"; exit 1; }
 
+# --- search kernels --------------------------------------------------------
+# The pluggable kernels behind --strategy: each must find the optimum, and
+# the deterministic objective makes the speculative --threads 8 trajectory
+# reproduce the serial result line bit for bit (the SearchStrategy
+# contract: threads change when measurements happen, never which values
+# the search consumes).
+for kernel in ils evolutionary; do
+  kserial=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+            --strategy "$kernel" -- "$DIR/app.sh")
+  echo "$kernel: $kserial"
+  echo "$kserial" | grep -q "x=12" || {
+    echo "FAIL: --strategy $kernel missed optimum"; exit 1; }
+  kthreads=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+             --strategy "$kernel" --threads 8 -- "$DIR/app.sh")
+  [ "$kthreads" = "$kserial" ] || {
+    echo "FAIL: --strategy $kernel --threads 8 diverged from serial";
+    echo "  serial:  $kserial"; echo "  threads: $kthreads"; exit 1; }
+done
+ils_serial=$("$TUNE" --rsl "$DIR/params.rsl" --budget 40 --quiet \
+             --strategy ils -- "$DIR/app.sh")
+
+"$TUNE" --rsl "$DIR/params.rsl" --strategy gradient -- "$DIR/app.sh" \
+    2>/dev/null && {
+  echo "FAIL: unknown --strategy must be rejected"; exit 1; }
+
 cold_runs=$(echo "$cold" | sed 's/.*after \([0-9]*\) runs.*/\1/')
 warm_runs=$(echo "$warm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
 [ "$warm_runs" -le "$cold_runs" ] || {
@@ -214,6 +239,15 @@ servedbin=$("$TUNE" --rsl "$DIR/params.rsl" --quiet \
 [ "$servedbin" = "$nohist" ] || {
   echo "FAIL: --connect --binary diverged from the in-process run";
   echo "  in-process: $nohist"; echo "  binary:     $servedbin"; exit 1; }
+
+# A kernel-name --strategy travels in the HELLO payload; the server runs
+# that kernel and the client reproduces the in-process result bit for bit.
+servedils=$("$TUNE" --rsl "$DIR/params.rsl" --quiet --strategy ils \
+            --connect "127.0.0.1:$PORT" -- "$DIR/app.sh")
+echo "served ils: $servedils"
+[ "$servedils" = "$ils_serial" ] || {
+  echo "FAIL: --connect --strategy ils diverged from the in-process run";
+  echo "  in-process: $ils_serial"; echo "  served:     $servedils"; exit 1; }
 stop_daemon
 
 # A recording daemon warm-starts the second run from the first one's
@@ -235,9 +269,14 @@ svwarm_runs=$(echo "$svwarm" | sed 's/.*after \([0-9]*\) runs.*/\1/')
 stop_daemon
 
 # Client mode delegates the search, so search-shaping flags are rejected.
+# Kernel names are fine (they ride the HELLO payload), but the
+# initial-simplex strategies configure the server side and are not.
 "$TUNE" --rsl "$DIR/params.rsl" --connect "127.0.0.1:1" --budget 40 \
     -- "$DIR/app.sh" 2>/dev/null && {
   echo "FAIL: --connect with --budget must be rejected"; exit 1; }
+"$TUNE" --rsl "$DIR/params.rsl" --connect "127.0.0.1:1" --strategy even \
+    -- "$DIR/app.sh" 2>/dev/null && {
+  echo "FAIL: --connect with --strategy even must be rejected"; exit 1; }
 
 echo "OK (cold $cold_runs runs, warm $warm_runs runs, retries recover," \
      "client mode matches in-process)"
